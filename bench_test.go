@@ -1,0 +1,282 @@
+// Package repro's top-level benchmark harness: one testing.B benchmark
+// per table and figure of the paper (regenerating the result at small
+// scale per iteration), plus microbenchmarks for the hot paths whose
+// costs the paper quotes — the antagonist correlation analysis (§4.2:
+// "about 100µs"), outlier detection, spec aggregation, and the
+// machine-simulator tick.
+//
+// Run everything with:
+//
+//	go test -bench=. -benchmem ./...
+//
+// The per-figure benchmarks double as a one-command regeneration of
+// the whole evaluation: each reports the experiment's key metric via
+// b.ReportMetric.
+package repro
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/interference"
+	"repro/internal/machine"
+	"repro/internal/model"
+	"repro/internal/stats"
+	"repro/internal/timeseries"
+	"repro/internal/workload"
+)
+
+// benchExperiment runs one experiment per iteration at a small scale
+// and reports its first metric.
+func benchExperiment(b *testing.B, id string, keyMetric string, unit string) {
+	b.Helper()
+	var last float64
+	for i := 0; i < b.N; i++ {
+		// Fixed seed: benchmarks time a known-good deterministic run
+		// (scenario experiments are calibrated per seed).
+		rep, err := experiments.Run(id, experiments.Options{Seed: 1, Scale: 0.05})
+		if err != nil {
+			b.Fatalf("%s: %v", id, err)
+		}
+		if keyMetric != "" {
+			last = rep.Metric(keyMetric).Measured
+		}
+	}
+	if keyMetric != "" {
+		b.ReportMetric(last, unit)
+	}
+}
+
+func BenchmarkFig1TaskThreadCDF(b *testing.B) {
+	benchExperiment(b, "fig1", "median tasks/machine", "tasks")
+}
+
+func BenchmarkFig2TPSvsIPS(b *testing.B) {
+	benchExperiment(b, "fig2", "TPS/IPS correlation", "r")
+}
+
+func BenchmarkFig3LatencyVsCPI(b *testing.B) {
+	benchExperiment(b, "fig3", "latency/CPI correlation", "r")
+}
+
+func BenchmarkFig4PerTierCorrelation(b *testing.B) {
+	benchExperiment(b, "fig4", "leaf correlation", "r")
+}
+
+func BenchmarkFig5DiurnalCPI(b *testing.B) {
+	benchExperiment(b, "fig5", "coefficient of variation", "cv")
+}
+
+func BenchmarkTable1CPISpecs(b *testing.B) {
+	benchExperiment(b, "tab1", "jobA mean", "cpi")
+}
+
+func BenchmarkFig7GEVFit(b *testing.B) {
+	benchExperiment(b, "fig7", "GEV ξ", "xi")
+}
+
+func BenchmarkTable2Defaults(b *testing.B) {
+	benchExperiment(b, "tab2", "correlation threshold", "thr")
+}
+
+func BenchmarkFig8Case1(b *testing.B) {
+	benchExperiment(b, "fig8", "top suspect corr", "corr")
+}
+
+func BenchmarkFig9Case2(b *testing.B) {
+	benchExperiment(b, "fig9", "improvement ratio", "ratio")
+}
+
+func BenchmarkFig10Case3(b *testing.B) {
+	benchExperiment(b, "fig10", "caps applied", "caps")
+}
+
+func BenchmarkFig11Case4(b *testing.B) {
+	benchExperiment(b, "fig11", "relative CPI", "ratio")
+}
+
+func BenchmarkFig12LameDuck(b *testing.B) {
+	benchExperiment(b, "fig12", "burst threads", "threads")
+}
+
+func BenchmarkFig13MapReduceExit(b *testing.B) {
+	benchExperiment(b, "fig13", "capping episodes endured", "episodes")
+}
+
+func BenchmarkSec7ReportRate(b *testing.B) {
+	benchExperiment(b, "sec7rate", "reports/machine-day", "rate")
+}
+
+func BenchmarkFig14LoadIndependence(b *testing.B) {
+	benchExperiment(b, "fig14", "corr(util, victim rel CPI)", "r")
+}
+
+func BenchmarkFig15Accuracy(b *testing.B) {
+	benchExperiment(b, "fig15", "prod TP rate @0.35", "tp")
+}
+
+func BenchmarkFig16ProductionAccuracy(b *testing.B) {
+	benchExperiment(b, "fig16", "median relative CPI", "ratio")
+}
+
+// --- ablations and extensions ---
+
+func BenchmarkAblationFilter(b *testing.B) {
+	benchExperiment(b, "ablation-filter", "false incidents, filter off", "incidents")
+}
+
+func BenchmarkAblationDetector(b *testing.B) {
+	benchExperiment(b, "ablation-detector", "false alarms/h @1σ,1 violation", "alarms")
+}
+
+func BenchmarkAblationWindow(b *testing.B) {
+	benchExperiment(b, "ablation-window", "accuracy @10min window", "acc")
+}
+
+func BenchmarkAblationFeedback(b *testing.B) {
+	benchExperiment(b, "ablation-feedback", "victim mean CPI, feedback", "cpi")
+}
+
+func BenchmarkAblationAgeWeight(b *testing.B) {
+	benchExperiment(b, "ablation-ageweight", "days to adapt, weight 0.9", "days")
+}
+
+func BenchmarkExtGroup(b *testing.B) {
+	benchExperiment(b, "ext-group", "group correlation (Pearson)", "r")
+}
+
+func BenchmarkExtNUMA(b *testing.B) {
+	benchExperiment(b, "ext-numa", "victim CPI, cross socket", "cpi")
+}
+
+func BenchmarkExtStraggler(b *testing.B) {
+	benchExperiment(b, "ext-straggler", "completion ratio", "ratio")
+}
+
+// --- microbenchmarks for the paper's quoted costs ---
+
+// BenchmarkCorrelationAnalysis measures one §4.2 antagonist
+// correlation over a 10-minute window of minute samples. The paper
+// quotes ≈100µs per analysis on 2011 hardware.
+func BenchmarkCorrelationAnalysis(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	n := 10 // 10-minute window, one sample per minute
+	cpi := make([]float64, n)
+	usage := make([]float64, n)
+	for i := range cpi {
+		cpi[i] = 1 + rng.Float64()*3
+		usage[i] = rng.Float64() * 5
+	}
+	b.ResetTimer()
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += core.Correlation(cpi, usage, 2.0)
+	}
+	_ = sink
+}
+
+// BenchmarkRankSuspects measures a full ranking round against the 40+
+// co-tenants of a busy machine (the Case 1 scenario's working set).
+func BenchmarkRankSuspects(b *testing.B) {
+	day0 := time.Date(2011, 11, 1, 0, 0, 0, 0, time.UTC)
+	rng := rand.New(rand.NewSource(2))
+	victim := timeseries.New()
+	for i := 0; i < 20; i++ {
+		_ = victim.Append(day0.Add(time.Duration(i)*time.Minute), 1+3*rng.Float64())
+	}
+	suspects := make([]core.SuspectInput, 40)
+	for s := range suspects {
+		series := timeseries.New()
+		for i := 0; i < 20; i++ {
+			_ = series.Append(day0.Add(time.Duration(i)*time.Minute), rng.Float64()*4)
+		}
+		suspects[s] = core.SuspectInput{
+			Task:  model.TaskID{Job: model.JobName("job"), Index: s},
+			Usage: series,
+		}
+	}
+	now := day0.Add(20 * time.Minute)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.RankSuspects(victim, 2.0, suspects, now, 10*time.Minute, time.Minute)
+	}
+}
+
+// BenchmarkDetectorObserve measures the per-sample cost of local
+// outlier detection — this runs once per task per minute on every
+// machine in the fleet, so it must be cheap.
+func BenchmarkDetectorObserve(b *testing.B) {
+	d := core.NewDetector(core.DefaultParams())
+	d.UpdateSpec(model.Spec{
+		Job: "j", Platform: model.PlatformA,
+		NumSamples: 100000, NumTasks: 100, CPIMean: 1.8, CPIStddev: 0.16,
+	})
+	day0 := time.Date(2011, 11, 1, 0, 0, 0, 0, time.UTC)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Observe(model.Sample{
+			Job: "j", Task: model.TaskID{Job: "j", Index: i % 16},
+			Platform:  model.PlatformA,
+			Timestamp: day0.Add(time.Duration(i) * time.Minute),
+			CPUUsage:  1, CPI: 1.8,
+		})
+	}
+}
+
+// BenchmarkSpecBuilderAddSample measures sample ingestion in the
+// aggregation pipeline (thousands per second per cluster).
+func BenchmarkSpecBuilderAddSample(b *testing.B) {
+	sb := core.NewSpecBuilder(core.DefaultParams())
+	day0 := time.Date(2011, 11, 1, 0, 0, 0, 0, time.UTC)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = sb.AddSample(model.Sample{
+			Job: "j", Task: model.TaskID{Job: "j", Index: i % 1000},
+			Platform:  model.PlatformA,
+			Timestamp: day0,
+			CPUUsage:  1, CPI: 1.5,
+		})
+	}
+}
+
+// BenchmarkMachineTick measures one simulator tick of a 40-task
+// machine — the unit of cost that bounds how big a cluster the
+// experiment harness can simulate.
+func BenchmarkMachineTick(b *testing.B) {
+	m := machine.New("bench", interference.DefaultMachine(model.PlatformA), 16, rand.New(rand.NewSource(3)))
+	prof := &interference.Profile{
+		DefaultCPI: 1.2, CacheFootprint: 1, MemBandwidth: 0.5,
+		Sensitivity: 0.5, BaseL3MPKI: 2, NoiseSigma: 0.05,
+	}
+	for i := 0; i < 40; i++ {
+		id := model.TaskID{Job: "j", Index: i}
+		if err := m.AddTask(id, model.Job{Name: "j"}, prof, &workload.Steady{CPU: 0.3, Threads: 4}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	day0 := time.Date(2011, 11, 1, 0, 0, 0, 0, time.UTC)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Tick(day0.Add(time.Duration(i)*time.Second), time.Second)
+	}
+}
+
+// BenchmarkGEVFit measures fitting a GEV to 10k samples (the Figure 7
+// analysis over a day of one job's data).
+func BenchmarkGEVFit(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	g := stats.GEV{Mu: 1.73, Sigma: 0.133, Xi: -0.0534}
+	xs := make([]float64, 10000)
+	for i := range xs {
+		xs[i] = g.Rand(rng)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := stats.FitGEV(xs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,108 @@
+// Command clustersim runs a whole simulated shared compute cluster
+// under CPI² end to end and reports what the system did: incidents,
+// caps, victim recovery, and a forensic summary. It is the "kick the
+// tires on everything at once" binary.
+//
+// Usage:
+//
+//	clustersim [-machines 50] [-duration 1h] [-seed 1]
+//	           [-report-only] [-feedback] [-query "SELECT …"]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/model"
+	"repro/internal/workload"
+)
+
+func main() {
+	machines := flag.Int("machines", 50, "number of machines")
+	duration := flag.Duration("duration", time.Hour, "simulated duration")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	reportOnly := flag.Bool("report-only", false, "disable automatic capping")
+	feedback := flag.Bool("feedback", false, "enable §9 feedback-driven adaptive throttling")
+	query := flag.String("query", "", "extra forensics query to run at the end")
+	flag.Parse()
+
+	c := cluster.New(cluster.Config{
+		Seed:              *seed,
+		Machines:          *machines,
+		CPUsPerMachine:    16,
+		PlatformBFraction: 0.3,
+		Params: core.Params{
+			MinSamplesPerTask:  8,
+			ReportOnly:         *reportOnly,
+			FeedbackThrottling: *feedback,
+		},
+	})
+
+	// Fleet mix: a search tree, two services, plain batch, MapReduce,
+	// and heavy antagonists on a quarter of the machines.
+	defs, tree := cluster.WebSearchJob("websearch", *machines, *machines/5+1, 2, c.RNG())
+	for _, d := range defs {
+		if err := c.AddJob(d); err != nil {
+			log.Fatal(err)
+		}
+	}
+	c.OnTick(func(time.Time) { tree.EndTick() })
+	must := func(err error) {
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	must(c.AddJob(cluster.QuietServiceJob("bigtable", *machines, 0.8)))
+	must(c.AddJob(cluster.BatchJob("logproc", *machines, 0.5, model.PriorityBestEffort)))
+	must(c.AddJob(cluster.MapReduceJob("mapreduce", *machines/2, 3, workload.ReactLameDuck)))
+
+	fmt.Printf("cluster: %d machines, %d jobs; warming up specs…\n", *machines, 6)
+	specs, err := cluster.WarmUpSpecs(c, 15*time.Minute)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%d robust specs learned:\n", len(specs))
+	for _, s := range specs {
+		fmt.Printf("  %-42s CPI %.2f ± %.2f\n", s.Key(), s.CPIMean, s.CPIStddev)
+	}
+
+	must(c.AddJob(cluster.AntagonistJob("video-transcode", *machines/4+1, 7, model.PriorityBatch)))
+	fmt.Printf("\nantagonists landed on ~1/4 of machines; running %v…\n", *duration)
+	start := time.Now()
+	c.Run(*duration)
+	fmt.Printf("simulated %v in %.1fs wall\n\n", *duration, time.Since(start).Seconds())
+
+	incs := c.Incidents()
+	actions := map[core.ActionType]int{}
+	for _, inc := range incs {
+		actions[inc.Decision.Action]++
+	}
+	fmt.Printf("incidents: %d total — %d capped, %d report-only, %d no-action\n",
+		len(incs), actions[core.ActionCap], actions[core.ActionReport], actions[core.ActionNone])
+	exits, restarts := c.Stats()
+	fmt.Printf("task churn: %d exits, %d restarts\n\n", exits, restarts)
+
+	for _, q := range []string{
+		"SELECT suspect_job, count(*), avg(correlation) FROM incidents GROUP BY suspect_job ORDER BY count(*) DESC LIMIT 5",
+		"SELECT victim_job, count(*), max(victim_cpi) FROM incidents GROUP BY victim_job ORDER BY count(*) DESC LIMIT 5",
+	} {
+		res, err := c.Store().Query(q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(q)
+		fmt.Println(res.String())
+	}
+	if *query != "" {
+		res, err := c.Store().Query(*query)
+		if err != nil {
+			log.Fatalf("query: %v", err)
+		}
+		fmt.Println(*query)
+		fmt.Println(res.String())
+	}
+}

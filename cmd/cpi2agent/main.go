@@ -1,0 +1,184 @@
+// Command cpi2agent is the per-machine CPI² daemon in its deployable
+// shape: it runs the sampling → detection → correlation → enforcement
+// loop against a machine, ships CPI samples to a cpi2aggregator over
+// TCP, receives spec pushes, and exposes the §5 operator interface on
+// a control port (drive it with cpi2ctl).
+//
+// Real hardware counters are unavailable here, so the machine is the
+// repository's simulator, populated with a configurable tenant mix:
+// a latency-sensitive service plus (optionally, after a delay) a
+// cache-hammering batch antagonist — a live, watchable rendition of
+// the paper's Case 1/2 timeline. Simulated time runs at -speed× wall
+// time.
+//
+// Usage:
+//
+//	cpi2agent [-aggregator host:7421] [-control :7422] [-name machine-01]
+//	          [-cpus 16] [-tenants 20] [-antagonist-after 2m] [-speed 60]
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"sync"
+	"syscall"
+	"time"
+
+	"repro/internal/agent"
+	"repro/internal/core"
+	"repro/internal/interference"
+	"repro/internal/machine"
+	"repro/internal/model"
+	"repro/internal/pipeline"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+func main() {
+	aggregator := flag.String("aggregator", "", "cpi2aggregator address (empty: local detection only)")
+	control := flag.String("control", ":7422", "operator control address (empty: disabled)")
+	name := flag.String("name", "machine-01", "machine name")
+	cpus := flag.Int("cpus", 16, "machine CPU count")
+	tenants := flag.Int("tenants", 20, "number of quiet co-tenant tasks")
+	antagonistAfter := flag.Duration("antagonist-after", 2*time.Minute,
+		"simulated delay before the batch antagonist lands (0: never)")
+	speed := flag.Int("speed", 60, "simulated seconds per wall second")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	reportOnly := flag.Bool("report-only", false, "detect and report, never cap automatically")
+	flag.Parse()
+	if *speed < 1 {
+		*speed = 1
+	}
+
+	rng := stats.NewRNG(*seed)
+	hw := interference.DefaultMachine(model.PlatformA)
+	m := machine.New(*name, hw, *cpus, rng.Stream("noise"))
+
+	var sink pipeline.SampleSink
+	var specClient *pipeline.Client
+	params := core.Params{ReportOnly: *reportOnly, MinSamplesPerTask: 5}
+	var a *agent.Agent
+
+	if *aggregator != "" {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		client, err := pipeline.Dial(ctx, *aggregator, func(s model.Spec) {
+			a.DeliverSpec(s)
+			log.Printf("spec push: %s CPI %.3f ± %.3f", s.Key(), s.CPIMean, s.CPIStddev)
+		})
+		cancel()
+		if err != nil {
+			log.Fatalf("cpi2agent: %v", err)
+		}
+		if err := client.Subscribe(); err != nil {
+			log.Fatalf("cpi2agent: subscribe: %v", err)
+		}
+		specClient = client
+		sink = client
+		defer client.Close()
+	}
+	a = agent.New(m, params, sink)
+	_ = specClient
+
+	// Populate the machine: one protected service + quiet tenants.
+	svcJob := model.Job{Name: "frontend", Class: model.ClassLatencySensitive, Priority: model.PriorityProduction}
+	svcProfile := &interference.Profile{
+		DefaultCPI: 1.0, CacheFootprint: 1.2, MemBandwidth: 0.6,
+		Sensitivity: 1.2, BaseL3MPKI: 2, NoiseSigma: 0.06,
+	}
+	// Six frontend tasks (the victim is index 0) so a connected
+	// aggregator can learn a robust spec (≥5 tasks) from this machine
+	// alone; the bootstrap spec below covers the fleet-less case.
+	for i := 0; i < 6; i++ {
+		id := model.TaskID{Job: "frontend", Index: i}
+		cpu := 1.2
+		threads := 16
+		if i > 0 {
+			cpu, threads = 0.6, 8
+		}
+		if err := m.AddTask(id, svcJob, svcProfile, &workload.Steady{CPU: cpu, Threads: threads}); err != nil {
+			log.Fatal(err)
+		}
+		a.RegisterTask(id, svcJob)
+	}
+	// Bootstrap spec so local detection works before the aggregator
+	// has learned anything.
+	a.DeliverSpec(model.Spec{
+		Job: "frontend", Platform: hw.Platform,
+		NumSamples: 100000, NumTasks: 100, CPIMean: 1.0, CPIStddev: 0.1,
+	})
+	tenantJob := model.Job{Name: "tenant", Class: model.ClassLatencySensitive, Priority: model.PriorityProduction}
+	tenantProfile := &interference.Profile{
+		DefaultCPI: 1.1, CacheFootprint: 0.2, MemBandwidth: 0.1,
+		Sensitivity: 0.3, BaseL3MPKI: 1, NoiseSigma: 0.08,
+	}
+	trng := rng.Stream("tenants")
+	for i := 0; i < *tenants; i++ {
+		id := model.TaskID{Job: "tenant", Index: i}
+		w := &workload.Steady{CPU: 0.1 + 0.3*trng.Float64(), Threads: 2 + trng.Intn(6)}
+		if err := m.AddTask(id, tenantJob, tenantProfile, w); err != nil {
+			log.Fatal(err)
+		}
+		a.RegisterTask(id, tenantJob)
+	}
+
+	// state serializes the tick loop against the control server.
+	var state sync.Mutex
+	if *control != "" {
+		cs := agent.NewControlServer(a, &state)
+		addr, err := cs.Serve(*control)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer cs.Close()
+		log.Printf("cpi2agent: control interface on %s", addr)
+	}
+
+	log.Printf("cpi2agent: %s (%d CPUs, %d tasks) at %dx wall speed", *name, *cpus, m.NumTasks(), *speed)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	wall := time.NewTicker(time.Second / time.Duration(*speed))
+	defer wall.Stop()
+
+	now := time.Now().UTC().Truncate(time.Second)
+	start := now
+	antagonistPlaced := *antagonistAfter <= 0
+	antagID := model.TaskID{Job: "video-processing", Index: 0}
+	for {
+		select {
+		case <-sig:
+			log.Print("cpi2agent: shutting down")
+			return
+		case <-wall.C:
+		}
+		state.Lock()
+		now = now.Add(time.Second)
+		if !antagonistPlaced && now.Sub(start) >= *antagonistAfter {
+			antagonistPlaced = true
+			antagJob := model.Job{Name: "video-processing", Class: model.ClassBatch, Priority: model.PriorityBatch}
+			prof := &interference.Profile{
+				DefaultCPI: 1.5, CacheFootprint: 8, MemBandwidth: 6,
+				Sensitivity: 0.1, BaseL3MPKI: 14, NoiseSigma: 0.05,
+			}
+			if err := m.AddTask(antagID, antagJob, prof, &workload.Steady{CPU: 6, Threads: 16}); err == nil {
+				a.RegisterTask(antagID, antagJob)
+				log.Printf("sim: antagonist %v landed", antagID)
+			}
+		}
+		m.Tick(now, time.Second)
+		incidents := a.Tick(now)
+		state.Unlock()
+		for _, inc := range incidents {
+			top := ""
+			if len(inc.Suspects) > 0 {
+				top = fmt.Sprintf(" top-suspect=%v corr=%.2f", inc.Suspects[0].Task, inc.Suspects[0].Correlation)
+			}
+			log.Printf("incident: victim=%v cpi=%.2f threshold=%.2f action=%s target=%v%s",
+				inc.Victim, inc.VictimCPI, inc.Threshold, inc.Decision.Action, inc.Decision.Target, top)
+		}
+	}
+}

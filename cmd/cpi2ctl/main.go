@@ -1,0 +1,100 @@
+// Command cpi2ctl is the operator CLI of §5: it talks to a cpi2agent's
+// control port to inspect a machine's CPI² state, hard-cap suspects
+// manually, release caps, and pull recent incidents.
+//
+// Usage:
+//
+//	cpi2ctl [-agent host:7422] status
+//	cpi2ctl [-agent host:7422] tasks
+//	cpi2ctl [-agent host:7422] caps
+//	cpi2ctl [-agent host:7422] cap <job>/<index> <quota>
+//	cpi2ctl [-agent host:7422] uncap <job>/<index>
+//	cpi2ctl [-agent host:7422] release-all
+//	cpi2ctl [-agent host:7422] incidents [n]
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"strings"
+	"time"
+)
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: cpi2ctl [-agent host:7422] <status|tasks|caps|cap|uncap|release-all|incidents> [args…]")
+	os.Exit(2)
+}
+
+func main() {
+	agentAddr := flag.String("agent", "127.0.0.1:7422", "cpi2agent control address")
+	timeout := flag.Duration("timeout", 5*time.Second, "dial/read timeout")
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+	}
+	cmd := strings.ToUpper(args[0])
+	switch cmd {
+	case "STATUS", "TASKS", "CAPS", "RELEASE-ALL":
+		if len(args) != 1 {
+			usage()
+		}
+	case "CAP":
+		if len(args) != 3 {
+			usage()
+		}
+	case "UNCAP":
+		if len(args) != 2 {
+			usage()
+		}
+	case "INCIDENTS":
+		if len(args) > 2 {
+			usage()
+		}
+	default:
+		usage()
+	}
+
+	conn, err := net.DialTimeout("tcp", *agentAddr, *timeout)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cpi2ctl: %v\n", err)
+		os.Exit(1)
+	}
+	defer conn.Close()
+	_ = conn.SetDeadline(time.Now().Add(*timeout))
+
+	line := strings.Join(args, " ")
+	if _, err := fmt.Fprintln(conn, line); err != nil {
+		fmt.Fprintf(os.Stderr, "cpi2ctl: send: %v\n", err)
+		os.Exit(1)
+	}
+	r := bufio.NewReader(conn)
+	first, err := r.ReadString('\n')
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cpi2ctl: read: %v\n", err)
+		os.Exit(1)
+	}
+	first = strings.TrimRight(first, "\n")
+	if strings.HasPrefix(first, "err") {
+		fmt.Fprintln(os.Stderr, "cpi2ctl: "+first)
+		os.Exit(1)
+	}
+	fmt.Println(first)
+	if first != "ok" { // single-line response carries the payload
+		return
+	}
+	for {
+		l, err := r.ReadString('\n')
+		if err != nil {
+			return
+		}
+		l = strings.TrimRight(l, "\n")
+		if l == "." {
+			return
+		}
+		fmt.Println(l)
+	}
+}

@@ -1,0 +1,59 @@
+// Command experiments regenerates the paper's tables and figures from
+// the simulated cluster.
+//
+// Usage:
+//
+//	experiments [-seed N] [-scale F] [all | fig1 fig2 …]
+//
+// With no experiment IDs (or "all") it runs everything in paper order.
+// Scale 1.0 approximates paper-scale populations; the default 0.1
+// preserves every qualitative shape at a fraction of the runtime.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	seed := flag.Int64("seed", 1, "experiment seed (same seed, same results)")
+	scale := flag.Float64("scale", 0.1, "population/duration scale; 1.0 ≈ paper scale")
+	list := flag.Bool("list", false, "list experiment IDs and exit")
+	csv := flag.Bool("csv", false, "emit metrics as CSV instead of reports")
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiments.IDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+	ids := flag.Args()
+	if len(ids) == 0 || (len(ids) == 1 && ids[0] == "all") {
+		ids = experiments.IDs()
+	}
+	opts := experiments.Options{Seed: *seed, Scale: *scale}
+	failed := 0
+	for i, id := range ids {
+		start := time.Now()
+		rep, err := experiments.Run(id, opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiment %s failed: %v\n", id, err)
+			failed++
+			continue
+		}
+		if *csv {
+			fmt.Print(rep.CSV(i == 0))
+			continue
+		}
+		fmt.Print(rep.String())
+		fmt.Printf("(%s in %.1fs)\n\n", id, time.Since(start).Seconds())
+	}
+	if failed > 0 {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,11 @@
+// Package repro is a complete Go reproduction of "CPI²: CPU
+// performance isolation for shared compute clusters" (Zhang, Tune,
+// Hagmann, Jnagal, Gokhale, Wilkes — EuroSys 2013).
+//
+// The module root holds the benchmark harness (bench_test.go): one
+// testing.B benchmark per paper table and figure, plus microbenchmarks
+// for the hot paths whose costs the paper quotes. The system itself
+// lives under internal/ (see README.md for the architecture map), the
+// runnable binaries under cmd/, and the tutorial programs under
+// examples/.
+package repro

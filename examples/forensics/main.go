@@ -1,0 +1,138 @@
+// Forensics: offline analysis of CPI² incident logs (§5).
+//
+// CPI² logs every incident — victim, suspects, correlations, action —
+// and job owners query the log with a SQL-like language (the paper
+// used Dremel) to answer questions like "who are my job's worst
+// antagonists?", then feed the answer back to the scheduler as
+// anti-affinity constraints.
+//
+// This example runs a multi-tenant cluster long enough to accumulate
+// incidents, then walks through the queries an operator would run,
+// ending with the §9 future-work loop: automatically teaching the
+// scheduler to keep the worst antagonist away from its victims.
+//
+// Run with:
+//
+//	go run ./examples/forensics
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/model"
+)
+
+func main() {
+	c := cluster.New(cluster.Config{
+		Seed:           11,
+		Machines:       16,
+		CPUsPerMachine: 16,
+		Params:         core.Params{MinSamplesPerTask: 8, ReportOnly: true},
+	})
+	// Two latency-sensitive jobs and two differently aggressive batch
+	// jobs.
+	if err := c.AddJob(cluster.QuietServiceJob("bigtable", 12, 1.0)); err != nil {
+		log.Fatal(err)
+	}
+	if err := c.AddJob(cluster.QuietServiceJob("gmail-fe", 12, 0.8)); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := cluster.WarmUpSpecs(c, 15*time.Minute); err != nil {
+		log.Fatal(err)
+	}
+	if err := c.AddJob(cluster.AntagonistJob("video-transcode", 8, 7, model.PriorityBatch)); err != nil {
+		log.Fatal(err)
+	}
+	if err := c.AddJob(cluster.BatchJob("log-compactor", 8, 2, model.PriorityBestEffort)); err != nil {
+		log.Fatal(err)
+	}
+	c.Run(30 * time.Minute)
+
+	store := c.Store()
+	fmt.Printf("incident log: %d rows\n\n", store.Len())
+	if store.Len() == 0 {
+		log.Fatal("no incidents recorded")
+	}
+
+	queries := []struct {
+		title string
+		q     string
+	}{
+		{
+			"most aggressive antagonists (fleet-wide)",
+			"SELECT suspect_job, count(*), avg(correlation) FROM incidents " +
+				"GROUP BY suspect_job ORDER BY count(*) DESC LIMIT 5",
+		},
+		{
+			"who is hurting bigtable?",
+			"SELECT suspect_job, count(*) FROM incidents WHERE victim_job = 'bigtable' " +
+				"GROUP BY suspect_job ORDER BY count(*) DESC LIMIT 3",
+		},
+		{
+			"worst single observations",
+			"SELECT time, machine, victim_task, victim_cpi FROM incidents " +
+				"ORDER BY victim_cpi DESC LIMIT 5",
+		},
+		{
+			"high-confidence identifications (corr ≥ 0.5)",
+			"SELECT count(*), avg(victim_cpi) FROM incidents WHERE correlation >= 0.5",
+		},
+	}
+	for _, q := range queries {
+		fmt.Printf("-- %s\n   %s\n", q.title, q.q)
+		res, err := store.Query(q.q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(res.String())
+		fmt.Println()
+	}
+
+	// Close the loop (§9 future work): take the top antagonist of
+	// bigtable and register an anti-affinity constraint, then migrate
+	// the offending tasks away from bigtable machines.
+	res, err := store.Query("SELECT suspect_job, count(*) FROM incidents " +
+		"WHERE victim_job = 'bigtable' GROUP BY suspect_job ORDER BY count(*) DESC LIMIT 1")
+	if err != nil || len(res.Rows) == 0 {
+		log.Fatal("no antagonist found for bigtable")
+	}
+	worst := model.JobName(res.Rows[0][0].(string))
+	fmt.Printf("registering anti-affinity: bigtable must avoid %q\n", worst)
+	c.Scheduler().AvoidColocation("bigtable", worst)
+
+	moved := 0
+	for i := 0; i < 8; i++ {
+		id := model.TaskID{Job: worst, Index: i}
+		mach, ok := c.Scheduler().MachineOf(id)
+		if !ok {
+			continue
+		}
+		// Migrate only offenders sharing a machine with bigtable.
+		shared := false
+		for _, t := range c.Scheduler().TasksOn(mach) {
+			if t.Job == "bigtable" {
+				shared = true
+				break
+			}
+		}
+		if !shared {
+			continue
+		}
+		if err := c.KillAndRestart(id); err == nil {
+			moved++
+		}
+	}
+	fmt.Printf("migrated %d %s tasks off bigtable machines\n", moved, worst)
+	c.Run(10 * time.Minute)
+
+	// With the antagonists gone, new bigtable incidents should dry up.
+	res, err = store.Query("SELECT count(*) FROM incidents WHERE victim_job = 'bigtable'")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("total bigtable incidents at end of run: %v\n", res.Rows[0][0])
+}

@@ -1,0 +1,145 @@
+// Package agent implements the per-machine CPI² node agent: the
+// "system daemon" of §3.1 plus the "management agent" of §4.1. Each
+// tick it drives the duty-cycle perf sampler over the machine's
+// per-cgroup counters, turns completed measurements into CPI samples,
+// feeds them to the local CPI² manager (detect → correlate → enforce),
+// ships them up the pipeline, and expires hard caps.
+//
+// The agent is transport-agnostic: give it an in-process pipeline Bus
+// for simulation, or a TCP pipeline Client in cmd/cpi2agent for a real
+// deployment shape.
+package agent
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/model"
+	"repro/internal/perfcnt"
+	"repro/internal/pipeline"
+)
+
+// Agent is one machine's CPI² daemon.
+type Agent struct {
+	mach    *machine.Machine
+	manager *core.Manager
+	sampler *perfcnt.Sampler
+	sink    pipeline.SampleSink
+	params  core.Params
+
+	mu    sync.Mutex
+	tasks map[string]taskInfo // cgroup name → identity
+}
+
+type taskInfo struct {
+	id  model.TaskID
+	job model.Job
+}
+
+// New creates an agent for mach. sink may be nil (no sample export —
+// local detection still works, which is the availability property the
+// paper's design aims for: anomalies are detected on-machine even if
+// the pipeline is down).
+func New(mach *machine.Machine, params core.Params, sink pipeline.SampleSink) *Agent {
+	p := params.Sanitize()
+	return &Agent{
+		mach:    mach,
+		manager: core.NewManager(mach.Name(), p, mach),
+		sampler: perfcnt.NewSampler(perfcnt.Config{
+			Duration: p.SamplingDuration,
+			Interval: p.SamplingInterval,
+		}),
+		sink:   sink,
+		params: p,
+		tasks:  make(map[string]taskInfo),
+	}
+}
+
+// Machine returns the agent's machine.
+func (a *Agent) Machine() *machine.Machine { return a.mach }
+
+// Manager returns the agent's CPI² manager (operator tooling and
+// tests reach through this).
+func (a *Agent) Manager() *core.Manager { return a.manager }
+
+// RegisterTask tells the agent about a placed task; the scheduler (or
+// cluster harness) calls this alongside machine.AddTask.
+func (a *Agent) RegisterTask(id model.TaskID, job model.Job) {
+	a.mu.Lock()
+	a.tasks[id.String()] = taskInfo{id: id, job: job}
+	a.mu.Unlock()
+	a.manager.RegisterJob(job)
+}
+
+// TaskExited clears agent state for a departed task.
+func (a *Agent) TaskExited(id model.TaskID) {
+	a.mu.Lock()
+	delete(a.tasks, id.String())
+	a.mu.Unlock()
+	a.manager.TaskExited(id)
+}
+
+// WantSpec implements pipeline.SpecWatcher: the agent only needs specs
+// for jobs with tasks on this machine, on this machine's platform.
+func (a *Agent) WantSpec(key model.SpecKey) bool {
+	if key.Platform != a.mach.Platform() {
+		return false
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for _, info := range a.tasks {
+		if info.id.Job == key.Job {
+			return true
+		}
+	}
+	return false
+}
+
+// DeliverSpec implements pipeline.SpecWatcher.
+func (a *Agent) DeliverSpec(spec model.Spec) { a.manager.UpdateSpec(spec) }
+
+// Tick runs one agent cycle at now: sample counters, analyse, publish,
+// and expire caps. It returns the incidents raised this tick. Call it
+// once per simulated second; the duty-cycle sampler internally limits
+// real work to window boundaries.
+func (a *Agent) Tick(now time.Time) []core.Incident {
+	measurements := a.sampler.Tick(now, a.mach.Counters)
+	var incidents []core.Incident
+	if len(measurements) > 0 {
+		samples := a.toSamples(now, measurements)
+		for _, s := range samples {
+			if inc := a.manager.Observe(s); inc != nil {
+				incidents = append(incidents, *inc)
+			}
+		}
+		if a.sink != nil && len(samples) > 0 {
+			_ = a.sink.Publish(samples) // losing samples is tolerable
+		}
+	}
+	a.manager.Tick(now)
+	return incidents
+}
+
+func (a *Agent) toSamples(now time.Time, ms []perfcnt.Measurement) []model.Sample {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make([]model.Sample, 0, len(ms))
+	for _, m := range ms {
+		info, ok := a.tasks[m.Cgroup]
+		if !ok {
+			continue // task exited between window end and now
+		}
+		out = append(out, model.Sample{
+			Job:       info.id.Job,
+			Task:      info.id,
+			Platform:  a.mach.Platform(),
+			Timestamp: now,
+			CPUUsage:  m.CPUUsage,
+			CPI:       m.CPI,
+			Machine:   a.mach.Name(),
+		})
+	}
+	return out
+}

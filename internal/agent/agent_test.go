@@ -1,0 +1,213 @@
+package agent
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/interference"
+	"repro/internal/machine"
+	"repro/internal/model"
+	"repro/internal/pipeline"
+	"repro/internal/workload"
+)
+
+var t0 = time.Date(2011, 11, 1, 0, 0, 0, 0, time.UTC)
+
+var (
+	searchJob = model.Job{Name: "search", Class: model.ClassLatencySensitive, Priority: model.PriorityProduction}
+	mrJob     = model.Job{Name: "mr", Class: model.ClassBatch, Priority: model.PriorityBatch}
+)
+
+func victimProfile() *interference.Profile {
+	return &interference.Profile{DefaultCPI: 1.0, CacheFootprint: 1, MemBandwidth: 0.5, Sensitivity: 1.2, BaseL3MPKI: 2}
+}
+
+func antagonistProfile() *interference.Profile {
+	return &interference.Profile{DefaultCPI: 1.5, CacheFootprint: 10, MemBandwidth: 8, Sensitivity: 0.2, BaseL3MPKI: 12}
+}
+
+// installSearchSpec gives the agent a robust spec matching the
+// victim's uncontended CPI.
+func installSearchSpec(a *Agent) {
+	a.DeliverSpec(model.Spec{
+		Job: "search", Platform: model.PlatformA,
+		NumSamples: 100000, NumTasks: 300,
+		CPIMean: 1.0, CPIStddev: 0.08,
+	})
+}
+
+// newRig builds a machine+agent with a victim search task.
+func newRig(t *testing.T, sink pipeline.SampleSink) (*Agent, *machine.Machine, model.TaskID) {
+	t.Helper()
+	m := machine.New("m1", interference.DefaultMachine(model.PlatformA), 8, nil)
+	a := New(m, core.DefaultParams(), sink)
+	vid := model.TaskID{Job: "search", Index: 0}
+	err := m.AddTask(vid, searchJob, victimProfile(), &workload.Steady{CPU: 1.2, Threads: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.RegisterTask(vid, searchJob)
+	return a, m, vid
+}
+
+// runSim advances machine and agent together, one second at a time.
+func runSim(a *Agent, m *machine.Machine, start time.Time, seconds int) []core.Incident {
+	var incidents []core.Incident
+	now := start
+	for s := 0; s < seconds; s++ {
+		m.Tick(now, time.Second)
+		incidents = append(incidents, a.Tick(now)...)
+		now = now.Add(time.Second)
+	}
+	return incidents
+}
+
+func TestAgentSamplesAndPublishes(t *testing.T) {
+	bus := pipeline.NewBus(core.NewSpecBuilder(core.DefaultParams()))
+	a, m, _ := newRig(t, bus)
+	runSim(a, m, t0, 130)
+	received, dropped := bus.Stats()
+	if received < 2 {
+		t.Errorf("published samples = %d, want ≥2 (two windows)", received)
+	}
+	if dropped != 0 {
+		t.Errorf("dropped = %d", dropped)
+	}
+}
+
+func TestAgentDetectsAndCapsAntagonist(t *testing.T) {
+	a, m, vid := newRig(t, nil)
+	installSearchSpec(a)
+
+	// Quiet first few minutes (healthy baseline), then the antagonist
+	// arrives and hammers the cache.
+	runSim(a, m, t0, 180)
+	aid := model.TaskID{Job: "mr", Index: 0}
+	if err := m.AddTask(aid, mrJob, antagonistProfile(), &workload.Steady{CPU: 5, Threads: 40}); err != nil {
+		t.Fatal(err)
+	}
+	a.RegisterTask(aid, mrJob)
+
+	// Advance second by second until the first incident fires.
+	now := t0.Add(180 * time.Second)
+	var inc *core.Incident
+	for s := 0; s < 900 && inc == nil; s++ {
+		m.Tick(now, time.Second)
+		if got := a.Tick(now); len(got) > 0 {
+			inc = &got[0]
+		}
+		now = now.Add(time.Second)
+	}
+	if inc == nil {
+		t.Fatal("no incidents despite sustained interference")
+	}
+	if inc.Victim != vid {
+		t.Errorf("victim = %v", inc.Victim)
+	}
+	if len(inc.Suspects) == 0 || inc.Suspects[0].Task != aid {
+		t.Fatalf("top suspect = %+v", inc.Suspects)
+	}
+	if inc.Decision.Action != core.ActionCap {
+		t.Fatalf("decision = %+v", inc.Decision)
+	}
+	if !m.IsCapped(aid) {
+		t.Error("antagonist not actually capped on the machine")
+	}
+
+	// The cap expires after 5 minutes of agent ticks; a re-cap needs 3
+	// fresh violations (≥3 more minutes), so just past expiry the task
+	// must be uncapped.
+	runSim(a, m, now, 302)
+	if m.IsCapped(aid) {
+		t.Error("cap never expired")
+	}
+}
+
+func TestAgentVictimCPIRecoversUnderCap(t *testing.T) {
+	a, m, vid := newRig(t, nil)
+	installSearchSpec(a)
+	runSim(a, m, t0, 120)
+	aid := model.TaskID{Job: "mr", Index: 0}
+	_ = m.AddTask(aid, mrJob, antagonistProfile(), &workload.Steady{CPU: 5, Threads: 40})
+	a.RegisterTask(aid, mrJob)
+	runSim(a, m, t0.Add(120*time.Second), 900)
+
+	cpiSeries := a.Manager().CPISeries(vid)
+	if cpiSeries == nil || cpiSeries.Len() < 10 {
+		t.Fatal("no victim CPI history")
+	}
+	// Find max CPI (during interference) and min CPI after capping
+	// within the post-antagonist period.
+	vals := cpiSeries.Values()
+	var maxCPI, minAfter float64
+	maxCPI = 0
+	minAfter = 1e9
+	for _, v := range vals[len(vals)/3:] {
+		if v > maxCPI {
+			maxCPI = v
+		}
+		if v < minAfter {
+			minAfter = v
+		}
+	}
+	if maxCPI < 1.3 {
+		t.Errorf("interference never visible: max CPI %v", maxCPI)
+	}
+	if minAfter > 1.2 {
+		t.Errorf("victim never recovered: min CPI %v", minAfter)
+	}
+}
+
+func TestAgentWantSpec(t *testing.T) {
+	a, _, _ := newRig(t, nil)
+	if !a.WantSpec(model.SpecKey{Job: "search", Platform: model.PlatformA}) {
+		t.Error("agent should want its own job's spec")
+	}
+	if a.WantSpec(model.SpecKey{Job: "search", Platform: model.PlatformB}) {
+		t.Error("agent wants wrong-platform spec")
+	}
+	if a.WantSpec(model.SpecKey{Job: "absent", Platform: model.PlatformA}) {
+		t.Error("agent wants spec for absent job")
+	}
+}
+
+func TestAgentTaskExited(t *testing.T) {
+	a, m, vid := newRig(t, nil)
+	runSim(a, m, t0, 70)
+	a.TaskExited(vid)
+	if a.WantSpec(model.SpecKey{Job: "search", Platform: model.PlatformA}) {
+		t.Error("agent still wants spec after task exit")
+	}
+	if a.Manager().CPISeries(vid) != nil {
+		t.Error("manager state survived task exit")
+	}
+}
+
+func TestAgentNoSinkStillDetects(t *testing.T) {
+	// Pipeline down: local detection must still work (sink == nil).
+	a, m, _ := newRig(t, nil)
+	installSearchSpec(a)
+	aid := model.TaskID{Job: "mr", Index: 0}
+	_ = m.AddTask(aid, mrJob, antagonistProfile(), &workload.Steady{CPU: 5, Threads: 40})
+	a.RegisterTask(aid, mrJob)
+	incidents := runSim(a, m, t0, 700)
+	if len(incidents) == 0 {
+		t.Error("no incidents without a sink")
+	}
+}
+
+func TestAgentUnregisteredTaskSamplesSkipped(t *testing.T) {
+	// A task placed on the machine but never registered with the agent
+	// produces no samples (and no crash).
+	bus := pipeline.NewBus(core.NewSpecBuilder(core.DefaultParams()))
+	m := machine.New("m1", interference.DefaultMachine(model.PlatformA), 8, nil)
+	a := New(m, core.DefaultParams(), bus)
+	id := model.TaskID{Job: "stealth", Index: 0}
+	_ = m.AddTask(id, mrJob, antagonistProfile(), &workload.Steady{CPU: 1, Threads: 2})
+	runSim(a, m, t0, 130)
+	received, _ := bus.Stats()
+	if received != 0 {
+		t.Errorf("samples for unregistered task: %d", received)
+	}
+}

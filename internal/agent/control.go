@@ -1,0 +1,257 @@
+package agent
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+
+	"repro/internal/model"
+)
+
+// ControlServer exposes the operator interface of §5 over a line-based
+// TCP protocol: operators can inspect a machine's CPI² state, hard-cap
+// suspects manually, and release caps — the workflow Google's system
+// operators used during the conservative rollout. cmd/cpi2ctl is the
+// matching client.
+//
+// Protocol: one command per line, one response per command. Responses
+// are a single line starting with "ok" or "err", optionally followed
+// by JSON payload lines and a terminating "." line for multi-line
+// results.
+//
+//	STATUS
+//	TASKS
+//	CAPS
+//	CAP <job>/<index> <quota>
+//	UNCAP <job>/<index>
+//	RELEASE-ALL
+//	INCIDENTS <n>
+type ControlServer struct {
+	agent *Agent
+	// state guards the agent/machine against the driving loop: the
+	// machine simulator is not safe for concurrent use, so a daemon
+	// that ticks the agent on one goroutine passes the same lock here
+	// and holds it around every tick. May be nil when the caller
+	// serializes externally (tests).
+	state sync.Locker
+
+	mu sync.Mutex
+	ln net.Listener
+	wg sync.WaitGroup
+}
+
+// NewControlServer wraps an agent with a control endpoint. state (may
+// be nil) is locked around every command; a live daemon passes the
+// mutex its tick loop holds.
+func NewControlServer(a *Agent, state sync.Locker) *ControlServer {
+	return &ControlServer{agent: a, state: state}
+}
+
+// Serve starts listening on addr and returns the bound address.
+func (c *ControlServer) Serve(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("agent: control listen: %w", err)
+	}
+	c.mu.Lock()
+	c.ln = ln
+	c.mu.Unlock()
+	c.wg.Add(1)
+	go func() {
+		defer c.wg.Done()
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			c.wg.Add(1)
+			go func() {
+				defer c.wg.Done()
+				c.handle(conn)
+			}()
+		}
+	}()
+	return ln.Addr().String(), nil
+}
+
+// Close stops the listener.
+func (c *ControlServer) Close() error {
+	c.mu.Lock()
+	ln := c.ln
+	c.mu.Unlock()
+	var err error
+	if ln != nil {
+		err = ln.Close()
+	}
+	c.wg.Wait()
+	return err
+}
+
+func (c *ControlServer) handle(conn net.Conn) {
+	defer conn.Close()
+	sc := bufio.NewScanner(conn)
+	w := bufio.NewWriter(conn)
+	for sc.Scan() {
+		resp := c.execute(strings.TrimSpace(sc.Text()))
+		w.WriteString(resp)
+		if !strings.HasSuffix(resp, "\n") {
+			w.WriteByte('\n')
+		}
+		w.Flush()
+	}
+}
+
+// execute runs one command line and renders the response.
+func (c *ControlServer) execute(line string) string {
+	if c.state != nil {
+		c.state.Lock()
+		defer c.state.Unlock()
+	}
+	fields := strings.Fields(line)
+	if len(fields) == 0 {
+		return "err empty command"
+	}
+	cmd := strings.ToUpper(fields[0])
+	switch cmd {
+	case "STATUS":
+		return c.status()
+	case "TASKS":
+		return c.tasks()
+	case "CAPS":
+		return c.caps()
+	case "CAP":
+		if len(fields) != 3 {
+			return "err usage: CAP <job>/<index> <quota>"
+		}
+		task, err := parseTaskID(fields[1])
+		if err != nil {
+			return "err " + err.Error()
+		}
+		quota, err := strconv.ParseFloat(fields[2], 64)
+		if err != nil || quota <= 0 {
+			return "err bad quota"
+		}
+		if err := c.agent.Machine().Cap(task, quota); err != nil {
+			return "err " + err.Error()
+		}
+		return fmt.Sprintf("ok capped %v at %g CPU-sec/sec", task, quota)
+	case "UNCAP":
+		if len(fields) != 2 {
+			return "err usage: UNCAP <job>/<index>"
+		}
+		task, err := parseTaskID(fields[1])
+		if err != nil {
+			return "err " + err.Error()
+		}
+		if err := c.agent.Machine().Uncap(task); err != nil {
+			return "err " + err.Error()
+		}
+		return fmt.Sprintf("ok uncapped %v", task)
+	case "RELEASE-ALL":
+		released := c.agent.Manager().Enforcer().ReleaseAll()
+		return fmt.Sprintf("ok released %d caps", len(released))
+	case "INCIDENTS":
+		n := 10
+		if len(fields) == 2 {
+			if v, err := strconv.Atoi(fields[1]); err == nil && v > 0 {
+				n = v
+			}
+		}
+		return c.incidents(n)
+	default:
+		return "err unknown command " + cmd
+	}
+}
+
+func parseTaskID(s string) (model.TaskID, error) {
+	i := strings.LastIndexByte(s, '/')
+	if i <= 0 || i == len(s)-1 {
+		return model.TaskID{}, fmt.Errorf("bad task id %q (want job/index)", s)
+	}
+	idx, err := strconv.Atoi(s[i+1:])
+	if err != nil {
+		return model.TaskID{}, fmt.Errorf("bad task index in %q", s)
+	}
+	return model.TaskID{Job: model.JobName(s[:i]), Index: idx}, nil
+}
+
+func (c *ControlServer) status() string {
+	m := c.agent.Machine()
+	caps := c.agent.Manager().Enforcer().ActiveCaps()
+	return fmt.Sprintf("ok machine=%s platform=%s cpus=%d tasks=%d threads=%d util=%.2f caps=%d",
+		m.Name(), m.Platform(), m.NumCPUs(), m.NumTasks(), m.ThreadCount(), m.Utilization(), len(caps))
+}
+
+func (c *ControlServer) tasks() string {
+	m := c.agent.Machine()
+	var sb strings.Builder
+	sb.WriteString("ok\n")
+	for _, id := range m.Tasks() {
+		t := m.Task(id)
+		capped := ""
+		if m.IsCapped(id) {
+			capped = " CAPPED"
+		}
+		fmt.Fprintf(&sb, "%s %s %s%s\n", id, t.Job.Class, t.Job.Priority, capped)
+	}
+	sb.WriteString(".")
+	return sb.String()
+}
+
+func (c *ControlServer) caps() string {
+	// The machine's cgroups are the source of truth: they include
+	// operator-applied caps that the enforcer does not own. Annotate
+	// CPI²-owned caps (which auto-expire) as such.
+	m := c.agent.Machine()
+	owned := c.agent.Manager().Enforcer().ActiveCaps()
+	var sb strings.Builder
+	sb.WriteString("ok\n")
+	for _, id := range m.Tasks() {
+		if !m.IsCapped(id) {
+			continue
+		}
+		if q, ok := owned[id]; ok {
+			fmt.Fprintf(&sb, "%s %g cpi2\n", id, q)
+		} else {
+			fmt.Fprintf(&sb, "%s - operator\n", id)
+		}
+	}
+	sb.WriteString(".")
+	return sb.String()
+}
+
+func (c *ControlServer) incidents(n int) string {
+	incs := c.agent.Manager().Incidents()
+	if len(incs) > n {
+		incs = incs[len(incs)-n:]
+	}
+	var sb strings.Builder
+	sb.WriteString("ok\n")
+	for _, inc := range incs {
+		row := map[string]interface{}{
+			"time":       inc.Time,
+			"victim":     inc.Victim.String(),
+			"victim_cpi": inc.VictimCPI,
+			"threshold":  inc.Threshold,
+			"action":     inc.Decision.Action.String(),
+			"target":     inc.Decision.Target.String(),
+			"reason":     inc.Decision.Reason,
+		}
+		if len(inc.Suspects) > 0 {
+			row["top_suspect"] = inc.Suspects[0].Task.String()
+			row["correlation"] = inc.Suspects[0].Correlation
+		}
+		b, err := json.Marshal(row)
+		if err != nil {
+			continue
+		}
+		sb.Write(b)
+		sb.WriteByte('\n')
+	}
+	sb.WriteString(".")
+	return sb.String()
+}

@@ -1,0 +1,170 @@
+package agent
+
+import (
+	"bufio"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/model"
+	"repro/internal/workload"
+)
+
+// controlClient is a minimal test client for the control protocol.
+type controlClient struct {
+	conn net.Conn
+	r    *bufio.Reader
+}
+
+func dialControl(t *testing.T, addr string) *controlClient {
+	t.Helper()
+	conn, err := net.DialTimeout("tcp", addr, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { conn.Close() })
+	return &controlClient{conn: conn, r: bufio.NewReader(conn)}
+}
+
+// roundTrip sends one command and reads the full response (single line
+// or multi-line ending with ".").
+func (c *controlClient) roundTrip(t *testing.T, cmd string) []string {
+	t.Helper()
+	if _, err := c.conn.Write([]byte(cmd + "\n")); err != nil {
+		t.Fatal(err)
+	}
+	first, err := c.r.ReadString('\n')
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := []string{strings.TrimRight(first, "\n")}
+	if lines[0] != "ok" { // single-line response
+		return lines
+	}
+	for {
+		l, err := c.r.ReadString('\n')
+		if err != nil {
+			t.Fatal(err)
+		}
+		l = strings.TrimRight(l, "\n")
+		if l == "." {
+			return lines
+		}
+		lines = append(lines, l)
+	}
+}
+
+func controlRig(t *testing.T) (*controlClient, *Agent) {
+	t.Helper()
+	a, m, _ := newRig(t, nil)
+	_ = m
+	srv := NewControlServer(a, nil)
+	addr, err := srv.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return dialControl(t, addr), a
+}
+
+func TestControlStatus(t *testing.T) {
+	c, _ := controlRig(t)
+	resp := c.roundTrip(t, "STATUS")
+	if !strings.HasPrefix(resp[0], "ok machine=m1") {
+		t.Errorf("STATUS = %q", resp[0])
+	}
+	if !strings.Contains(resp[0], "tasks=1") {
+		t.Errorf("STATUS missing task count: %q", resp[0])
+	}
+}
+
+func TestControlTasksAndCaps(t *testing.T) {
+	c, a := controlRig(t)
+	aid := model.TaskID{Job: "mr", Index: 0}
+	_ = a.Machine().AddTask(aid, mrJob, antagonistProfile(), &workload.Steady{CPU: 2, Threads: 4})
+	a.RegisterTask(aid, mrJob)
+
+	lines := c.roundTrip(t, "TASKS")
+	if len(lines) != 3 { // ok + 2 tasks
+		t.Fatalf("TASKS = %v", lines)
+	}
+	resp := c.roundTrip(t, "CAP mr/0 0.1")
+	if !strings.HasPrefix(resp[0], "ok capped") {
+		t.Fatalf("CAP = %q", resp[0])
+	}
+	if !a.Machine().IsCapped(aid) {
+		t.Error("task not capped")
+	}
+	lines = c.roundTrip(t, "TASKS")
+	joined := strings.Join(lines, "\n")
+	if !strings.Contains(joined, "CAPPED") {
+		t.Errorf("TASKS missing CAPPED flag: %s", joined)
+	}
+	resp = c.roundTrip(t, "UNCAP mr/0")
+	if !strings.HasPrefix(resp[0], "ok uncapped") {
+		t.Fatalf("UNCAP = %q", resp[0])
+	}
+	if a.Machine().IsCapped(aid) {
+		t.Error("task still capped")
+	}
+}
+
+func TestControlErrors(t *testing.T) {
+	c, _ := controlRig(t)
+	cases := []string{
+		"",
+		"BOGUS",
+		"CAP",
+		"CAP badid 0.1",
+		"CAP mr/x 0.1",
+		"CAP mr/0 -1",
+		"UNCAP",
+		"UNCAP noslash",
+		"CAP ghost/0 0.1", // unknown task
+	}
+	for _, cmd := range cases {
+		resp := c.roundTrip(t, cmd)
+		if !strings.HasPrefix(resp[0], "err") {
+			t.Errorf("command %q: got %q, want err", cmd, resp[0])
+		}
+	}
+}
+
+func TestControlIncidents(t *testing.T) {
+	c, a := controlRig(t)
+	installSearchSpec(a)
+	m := a.Machine()
+	aid := model.TaskID{Job: "mr", Index: 0}
+	_ = m.AddTask(aid, mrJob, antagonistProfile(), &workload.Steady{CPU: 5, Threads: 40})
+	a.RegisterTask(aid, mrJob)
+	runSim(a, m, t0, 700)
+
+	lines := c.roundTrip(t, "INCIDENTS 5")
+	if len(lines) < 2 {
+		t.Fatalf("no incidents returned: %v", lines)
+	}
+	if !strings.Contains(lines[1], `"victim":"search/0"`) {
+		t.Errorf("incident json = %s", lines[1])
+	}
+	caps := c.roundTrip(t, "CAPS")
+	if len(caps) < 1 {
+		t.Fatal("CAPS failed")
+	}
+	rel := c.roundTrip(t, "RELEASE-ALL")
+	if !strings.HasPrefix(rel[0], "ok released") {
+		t.Errorf("RELEASE-ALL = %q", rel[0])
+	}
+}
+
+func TestParseTaskID(t *testing.T) {
+	id, err := parseTaskID("websearch-leaf/42")
+	if err != nil || id.Job != "websearch-leaf" || id.Index != 42 {
+		t.Errorf("parse = %v, %v", id, err)
+	}
+	for _, bad := range []string{"", "noslash", "/3", "job/", "job/x"} {
+		if _, err := parseTaskID(bad); err == nil {
+			t.Errorf("parseTaskID(%q) accepted", bad)
+		}
+	}
+}

@@ -1,0 +1,179 @@
+package agent
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/interference"
+	"repro/internal/machine"
+	"repro/internal/model"
+	"repro/internal/pipeline"
+	"repro/internal/workload"
+)
+
+// TestFleetOverTCP is the distributed integration test: several
+// machines, each with its own agent, publish CPI samples to one
+// aggregation server over real TCP sockets; the server builds specs
+// from fleet-wide data and pushes them back; a machine whose victim
+// then suffers interference detects and caps using the *pushed* spec,
+// never a locally installed one. This is Figure 6 end to end.
+func TestFleetOverTCP(t *testing.T) {
+	params := core.Params{MinSamplesPerTask: 5}
+	bus := pipeline.NewBus(core.NewSpecBuilder(params))
+	srv := pipeline.NewServer(bus)
+	addr, err := srv.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	const nMachines = 4
+	svcJob := model.Job{Name: "svc", Class: model.ClassLatencySensitive, Priority: model.PriorityProduction}
+	svcProfile := &interference.Profile{
+		DefaultCPI: 1.0, CacheFootprint: 1.2, MemBandwidth: 0.6,
+		Sensitivity: 1.2, BaseL3MPKI: 2, NoiseSigma: 0.05,
+	}
+
+	type node struct {
+		m      *machine.Machine
+		a      *Agent
+		client *pipeline.Client
+	}
+	nodes := make([]*node, nMachines)
+	for i := range nodes {
+		m := machine.New(fmt.Sprintf("m%02d", i), interference.DefaultMachine(model.PlatformA), 16, nil)
+		n := &node{m: m}
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		client, err := pipeline.Dial(ctx, addr, func(s model.Spec) {
+			n.a.DeliverSpec(s) // push path: spec reaches the detector over TCP
+		})
+		cancel()
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer client.Close()
+		if err := client.Subscribe(); err != nil {
+			t.Fatal(err)
+		}
+		n.client = client
+		n.a = New(m, params, client)
+		// Two svc tasks per machine → 8 tasks fleet-wide (≥ MinTasks).
+		for j := 0; j < 2; j++ {
+			id := model.TaskID{Job: "svc", Index: i*2 + j}
+			if err := m.AddTask(id, svcJob, svcProfile, &workload.Steady{CPU: 1.0, Threads: 8}); err != nil {
+				t.Fatal(err)
+			}
+			n.a.RegisterTask(id, svcJob)
+		}
+		nodes[i] = n
+	}
+
+	// Phase 1: healthy fleet publishes samples for 8 simulated minutes.
+	now := time.Date(2011, 11, 1, 0, 0, 0, 0, time.UTC)
+	step := func(seconds int) {
+		for s := 0; s < seconds; s++ {
+			for _, n := range nodes {
+				n.m.Tick(now, time.Second)
+				n.a.Tick(now)
+			}
+			now = now.Add(time.Second)
+		}
+	}
+	step(8 * 60)
+
+	// Wait for the samples to cross the sockets.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if r, _ := bus.Stats(); r >= nMachines*2*7 {
+			break
+		}
+		if time.Now().After(deadline) {
+			r, d := bus.Stats()
+			t.Fatalf("samples missing: received %d dropped %d", r, d)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// Aggregator recomputes and pushes specs over TCP.
+	specs := bus.Recompute(now)
+	if len(specs) != 1 || specs[0].Job != "svc" {
+		t.Fatalf("specs = %+v", specs)
+	}
+	for {
+		n := nodes[0]
+		if _, ok := n.a.Manager().Detector().Spec(model.SpecKey{Job: "svc", Platform: model.PlatformA}); ok {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("spec push never reached agent 0")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	// All agents must have it before the interference phase starts.
+	for i, n := range nodes {
+		for {
+			if _, ok := n.a.Manager().Detector().Spec(model.SpecKey{Job: "svc", Platform: model.PlatformA}); ok {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("spec push never reached agent %d", i)
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+
+	// Phase 2: an antagonist lands on machine 2 only.
+	antagJob := model.Job{Name: "hog", Class: model.ClassBatch, Priority: model.PriorityBatch}
+	antagID := model.TaskID{Job: "hog", Index: 0}
+	err = nodes[2].m.AddTask(antagID, antagJob,
+		&interference.Profile{
+			DefaultCPI: 1.5, CacheFootprint: 8, MemBandwidth: 6,
+			Sensitivity: 0.1, BaseL3MPKI: 12, NoiseSigma: 0.05,
+		}, &workload.Steady{CPU: 6, Threads: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodes[2].a.RegisterTask(antagID, antagJob)
+
+	var capInc *core.Incident
+	for s := 0; s < 12*60 && capInc == nil; s++ {
+		for _, n := range nodes {
+			n.m.Tick(now, time.Second)
+			for _, inc := range n.a.Tick(now) {
+				if inc.Decision.Action == core.ActionCap && capInc == nil {
+					ic := inc
+					capInc = &ic
+				}
+			}
+		}
+		now = now.Add(time.Second)
+	}
+	if capInc == nil {
+		t.Fatal("no cap despite interference (pushed spec unused?)")
+	}
+	if capInc.Machine != "m02" {
+		t.Errorf("cap on %s, want m02", capInc.Machine)
+	}
+	if capInc.Decision.Target != antagID {
+		t.Errorf("decision = %+v", capInc.Decision)
+	}
+	if !nodes[2].m.IsCapped(antagID) {
+		t.Error("antagonist not capped")
+	}
+	// Healthy machines may raise the occasional no-action incident (a
+	// task in the spec's statistical tail crossing 2σ on noise), but
+	// must never cap anyone: there is no correlated suspect.
+	for i, n := range nodes {
+		if i == 2 {
+			continue
+		}
+		for _, other := range n.a.Manager().Incidents() {
+			if other.Decision.Action == core.ActionCap {
+				t.Errorf("machine %d capped %v with no antagonist present", i, other.Decision.Target)
+			}
+		}
+	}
+}

@@ -1,0 +1,285 @@
+// Package cgroup simulates the Linux control-group CPU mechanisms that
+// CPI² relies on: per-task groups holding all of a task's threads,
+// proportional-share scheduling weights (cpu.shares), CFS bandwidth
+// control (cpu.cfs_quota_us / cpu.cfs_period_us — the "CPU
+// hard-capping" of Turner et al. that §5 uses to throttle antagonists),
+// and cumulative usage accounting (cpuacct).
+//
+// Groups form a tree rooted at a machine root group; a group's
+// effective rate limit is the minimum along its ancestor chain. The
+// package also provides the proportional-share allocator the machine
+// simulator runs each tick: capacity is divided in proportion to
+// shares, bounded per group by demand and by the effective bandwidth
+// limit, with unused capacity redistributed (water-filling) exactly as
+// CFS would over a scheduling period.
+package cgroup
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// DefaultShares is the default cpu.shares weight, matching Linux.
+const DefaultShares = 1024
+
+// DefaultPeriod is the default CFS bandwidth-control period. The paper
+// describes caps as "25 ms in each 250 ms window" (§5), i.e. a 250 ms
+// period.
+const DefaultPeriod = 250 * time.Millisecond
+
+// Limit is a CFS bandwidth limit: Quota CPU-time per Period of wall
+// time. The zero Limit means "unlimited".
+type Limit struct {
+	Quota  time.Duration
+	Period time.Duration
+}
+
+// Unlimited is the no-cap limit.
+var Unlimited = Limit{}
+
+// LimitFromRate builds a Limit granting rate CPU-sec/sec with the
+// default period: rate 0.1 → 25ms/250ms, the paper's standard cap.
+func LimitFromRate(rate float64) Limit {
+	if rate <= 0 {
+		return Limit{Quota: 0, Period: DefaultPeriod}
+	}
+	if math.IsInf(rate, 1) {
+		return Unlimited
+	}
+	return Limit{
+		Quota:  time.Duration(rate * float64(DefaultPeriod)),
+		Period: DefaultPeriod,
+	}
+}
+
+// IsLimited reports whether the limit constrains CPU at all.
+func (l Limit) IsLimited() bool { return l.Period > 0 }
+
+// Rate returns the limit as CPU-sec/sec (+Inf when unlimited).
+func (l Limit) Rate() float64 {
+	if !l.IsLimited() {
+		return math.Inf(1)
+	}
+	return float64(l.Quota) / float64(l.Period)
+}
+
+// String renders the limit in cfs_quota/cfs_period form.
+func (l Limit) String() string {
+	if !l.IsLimited() {
+		return "unlimited"
+	}
+	return fmt.Sprintf("%v/%v (%.3g CPU-sec/sec)", l.Quota, l.Period, l.Rate())
+}
+
+// Group is one control group. Create groups with Hierarchy.NewGroup;
+// the zero Group is not usable.
+type Group struct {
+	name   string
+	parent *Group
+
+	shares uint64
+	limit  Limit
+
+	// cpuacct-style accounting.
+	usage          float64 // cumulative CPU-seconds consumed
+	throttledTime  float64 // cumulative seconds spent capped below demand
+	periodsTotal   int64   // accounting ticks observed while limited
+	periodsCapped  int64   // ticks in which the cap actually bit
+	lastAllocation float64 // CPU-sec/sec granted in the latest tick
+}
+
+// Name returns the group's path-like name.
+func (g *Group) Name() string { return g.name }
+
+// Shares returns the group's cpu.shares weight.
+func (g *Group) Shares() uint64 { return g.shares }
+
+// SetShares sets the proportional-share weight (minimum 2, like Linux).
+func (g *Group) SetShares(s uint64) {
+	if s < 2 {
+		s = 2
+	}
+	g.shares = s
+}
+
+// SetLimit applies a CFS bandwidth limit — this is the hard-capping
+// operation CPI² performs on antagonists.
+func (g *Group) SetLimit(l Limit) { g.limit = l }
+
+// ClearLimit removes any bandwidth limit.
+func (g *Group) ClearLimit() { g.limit = Unlimited }
+
+// Limit returns the group's own (not effective) limit.
+func (g *Group) Limit() Limit { return g.limit }
+
+// EffectiveRate returns the tightest rate limit along the ancestor
+// chain, in CPU-sec/sec (+Inf when uncapped).
+func (g *Group) EffectiveRate() float64 {
+	rate := math.Inf(1)
+	for n := g; n != nil; n = n.parent {
+		if r := n.limit.Rate(); r < rate {
+			rate = r
+		}
+	}
+	return rate
+}
+
+// Usage returns cumulative CPU-seconds consumed (cpuacct.usage).
+func (g *Group) Usage() float64 { return g.usage }
+
+// ThrottledTime returns cumulative seconds during which the group
+// demanded more CPU than its cap allowed (cpu.stat throttled_time).
+func (g *Group) ThrottledTime() float64 { return g.throttledTime }
+
+// ThrottleStats returns (nr_periods, nr_throttled)-style counters.
+func (g *Group) ThrottleStats() (total, capped int64) {
+	return g.periodsTotal, g.periodsCapped
+}
+
+// LastAllocation returns the CPU rate granted in the most recent
+// accounting tick, in CPU-sec/sec.
+func (g *Group) LastAllocation() float64 { return g.lastAllocation }
+
+// Hierarchy is a machine's cgroup tree.
+type Hierarchy struct {
+	root   *Group
+	groups map[string]*Group
+}
+
+// NewHierarchy creates a tree with an unlimited root group "/".
+func NewHierarchy() *Hierarchy {
+	root := &Group{name: "/", shares: DefaultShares}
+	return &Hierarchy{root: root, groups: map[string]*Group{"/": root}}
+}
+
+// Root returns the root group.
+func (h *Hierarchy) Root() *Group { return h.root }
+
+// NewGroup creates a child group under parent (nil means root). Names
+// must be unique within the hierarchy.
+func (h *Hierarchy) NewGroup(name string, parent *Group) (*Group, error) {
+	if name == "" || name == "/" {
+		return nil, fmt.Errorf("cgroup: invalid group name %q", name)
+	}
+	if _, ok := h.groups[name]; ok {
+		return nil, fmt.Errorf("cgroup: group %q already exists", name)
+	}
+	if parent == nil {
+		parent = h.root
+	}
+	g := &Group{name: name, parent: parent, shares: DefaultShares}
+	h.groups[name] = g
+	return g, nil
+}
+
+// Lookup returns the named group, or nil.
+func (h *Hierarchy) Lookup(name string) *Group { return h.groups[name] }
+
+// Remove deletes a group (e.g. when its task exits). Removing the
+// root is an error.
+func (h *Hierarchy) Remove(name string) error {
+	if name == "/" {
+		return fmt.Errorf("cgroup: cannot remove root")
+	}
+	if _, ok := h.groups[name]; !ok {
+		return fmt.Errorf("cgroup: no group %q", name)
+	}
+	delete(h.groups, name)
+	return nil
+}
+
+// Len returns the number of groups including the root.
+func (h *Hierarchy) Len() int { return len(h.groups) }
+
+// Demand is one group's CPU request for an accounting tick.
+type Demand struct {
+	Group *Group
+	// Want is the CPU the group would consume if unconstrained,
+	// in CPU-sec/sec (e.g. 3.0 = three saturated threads).
+	Want float64
+}
+
+// Allocate runs one accounting tick of duration dt: it divides
+// capacity (in CPUs) among the demanding groups in proportion to their
+// shares, bounding each group by its demand and its effective
+// bandwidth limit, water-filling until capacity or demand is
+// exhausted. It updates each group's usage and throttle accounting and
+// returns the granted rate (CPU-sec/sec) per demand, in input order.
+//
+// This mirrors what CFS achieves over a period: work-conserving
+// weighted fair sharing, except that bandwidth-capped groups cannot
+// exceed quota even when the machine is idle — which is exactly why
+// hard-capping protects victims regardless of load.
+func Allocate(capacity float64, dt time.Duration, demands []Demand) []float64 {
+	grants := make([]float64, len(demands))
+	if capacity <= 0 || dt <= 0 || len(demands) == 0 {
+		// Still account a tick for limited groups.
+		for _, d := range demands {
+			accountTick(d.Group, 0, d.Want, dt)
+		}
+		return grants
+	}
+
+	// ceil[i] = min(want, effective cap) — the most group i may get.
+	type entry struct {
+		idx    int
+		shares float64
+		ceil   float64
+	}
+	entries := make([]entry, 0, len(demands))
+	for i, d := range demands {
+		ceil := d.Want
+		if ceil < 0 {
+			ceil = 0
+		}
+		if r := d.Group.EffectiveRate(); r < ceil {
+			ceil = r
+		}
+		entries = append(entries, entry{idx: i, shares: float64(d.Group.Shares()), ceil: ceil})
+	}
+
+	// Water-filling: groups whose ceiling is below their proportional
+	// share get exactly their ceiling; the surplus is re-divided among
+	// the rest. Sorting by ceil/shares lets us finalize groups in one
+	// pass.
+	sort.Slice(entries, func(a, b int) bool {
+		return entries[a].ceil*entries[b].shares < entries[b].ceil*entries[a].shares
+	})
+	remaining := capacity
+	var remainingShares float64
+	for _, e := range entries {
+		remainingShares += e.shares
+	}
+	for _, e := range entries {
+		var grant float64
+		if remainingShares > 0 {
+			fairShare := remaining * e.shares / remainingShares
+			grant = math.Min(e.ceil, fairShare)
+		}
+		grants[e.idx] = grant
+		remaining -= grant
+		remainingShares -= e.shares
+	}
+
+	for i, d := range demands {
+		accountTick(d.Group, grants[i], d.Want, dt)
+	}
+	return grants
+}
+
+func accountTick(g *Group, granted, want float64, dt time.Duration) {
+	sec := dt.Seconds()
+	g.usage += granted * sec
+	g.lastAllocation = granted
+	if g.EffectiveRate() < math.Inf(1) {
+		g.periodsTotal++
+		// The cap "bit" when the group wanted more than it received and
+		// the cap (not machine contention) was the binding constraint.
+		if want > granted && granted >= g.EffectiveRate()-1e-9 {
+			g.periodsCapped++
+			g.throttledTime += sec
+		}
+	}
+}

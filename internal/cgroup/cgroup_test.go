@@ -1,0 +1,277 @@
+package cgroup
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func mustGroup(t *testing.T, h *Hierarchy, name string, parent *Group) *Group {
+	t.Helper()
+	g, err := h.NewGroup(name, parent)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestLimitFromRate(t *testing.T) {
+	l := LimitFromRate(0.1)
+	if l.Quota != 25*time.Millisecond || l.Period != 250*time.Millisecond {
+		t.Errorf("0.1 cap = %v, want 25ms/250ms", l)
+	}
+	if !almostEqual(l.Rate(), 0.1, 1e-12) {
+		t.Errorf("Rate = %v", l.Rate())
+	}
+	if LimitFromRate(math.Inf(1)).IsLimited() {
+		t.Error("Inf rate should be unlimited")
+	}
+	z := LimitFromRate(0)
+	if !z.IsLimited() || z.Rate() != 0 {
+		t.Errorf("zero rate limit = %v", z)
+	}
+	if Unlimited.IsLimited() || !math.IsInf(Unlimited.Rate(), 1) {
+		t.Error("Unlimited wrong")
+	}
+	if s := l.String(); s == "" || s == "unlimited" {
+		t.Errorf("String = %q", s)
+	}
+	if Unlimited.String() != "unlimited" {
+		t.Error("Unlimited.String wrong")
+	}
+}
+
+func TestHierarchyCRUD(t *testing.T) {
+	h := NewHierarchy()
+	if h.Root() == nil || h.Root().Name() != "/" {
+		t.Fatal("bad root")
+	}
+	g := mustGroup(t, h, "task1", nil)
+	if g.Shares() != DefaultShares {
+		t.Errorf("default shares = %d", g.Shares())
+	}
+	if h.Lookup("task1") != g {
+		t.Error("Lookup failed")
+	}
+	if _, err := h.NewGroup("task1", nil); err == nil {
+		t.Error("duplicate name should fail")
+	}
+	if _, err := h.NewGroup("", nil); err == nil {
+		t.Error("empty name should fail")
+	}
+	if _, err := h.NewGroup("/", nil); err == nil {
+		t.Error("root name should fail")
+	}
+	if h.Len() != 2 {
+		t.Errorf("Len = %d", h.Len())
+	}
+	if err := h.Remove("task1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Remove("task1"); err == nil {
+		t.Error("double remove should fail")
+	}
+	if err := h.Remove("/"); err == nil {
+		t.Error("removing root should fail")
+	}
+}
+
+func TestSetSharesFloor(t *testing.T) {
+	h := NewHierarchy()
+	g := mustGroup(t, h, "g", nil)
+	g.SetShares(0)
+	if g.Shares() != 2 {
+		t.Errorf("shares floor = %d, want 2", g.Shares())
+	}
+}
+
+func TestEffectiveRateInheritsTightestAncestor(t *testing.T) {
+	h := NewHierarchy()
+	parent := mustGroup(t, h, "batch", nil)
+	child := mustGroup(t, h, "batch/task", parent)
+	if !math.IsInf(child.EffectiveRate(), 1) {
+		t.Error("uncapped child should be unlimited")
+	}
+	parent.SetLimit(LimitFromRate(0.5))
+	child.SetLimit(LimitFromRate(2.0))
+	if got := child.EffectiveRate(); !almostEqual(got, 0.5, 1e-9) {
+		t.Errorf("effective rate = %v, want parent's 0.5", got)
+	}
+	child.SetLimit(LimitFromRate(0.1))
+	if got := child.EffectiveRate(); !almostEqual(got, 0.1, 1e-9) {
+		t.Errorf("effective rate = %v, want child's 0.1", got)
+	}
+	child.ClearLimit()
+	if got := child.EffectiveRate(); !almostEqual(got, 0.5, 1e-9) {
+		t.Errorf("after clear = %v", got)
+	}
+}
+
+func TestAllocateUncontended(t *testing.T) {
+	h := NewHierarchy()
+	a := mustGroup(t, h, "a", nil)
+	b := mustGroup(t, h, "b", nil)
+	grants := Allocate(8, time.Second, []Demand{{a, 2}, {b, 1.5}})
+	if !almostEqual(grants[0], 2, 1e-9) || !almostEqual(grants[1], 1.5, 1e-9) {
+		t.Errorf("grants = %v, want demands met", grants)
+	}
+	if !almostEqual(a.Usage(), 2, 1e-9) {
+		t.Errorf("usage = %v", a.Usage())
+	}
+	if !almostEqual(a.LastAllocation(), 2, 1e-9) {
+		t.Errorf("last alloc = %v", a.LastAllocation())
+	}
+}
+
+func TestAllocateContendedProportional(t *testing.T) {
+	h := NewHierarchy()
+	a := mustGroup(t, h, "a", nil)
+	b := mustGroup(t, h, "b", nil)
+	b.SetShares(DefaultShares * 3)
+	// Both want 4 CPUs but only 4 exist: 1:3 split.
+	grants := Allocate(4, time.Second, []Demand{{a, 4}, {b, 4}})
+	if !almostEqual(grants[0], 1, 1e-9) || !almostEqual(grants[1], 3, 1e-9) {
+		t.Errorf("grants = %v, want [1 3]", grants)
+	}
+}
+
+func TestAllocateWaterFilling(t *testing.T) {
+	h := NewHierarchy()
+	small := mustGroup(t, h, "small", nil)
+	big := mustGroup(t, h, "big", nil)
+	// Equal shares; small only wants 0.5 so big should get the rest.
+	grants := Allocate(4, time.Second, []Demand{{small, 0.5}, {big, 10}})
+	if !almostEqual(grants[0], 0.5, 1e-9) || !almostEqual(grants[1], 3.5, 1e-9) {
+		t.Errorf("grants = %v, want [0.5 3.5]", grants)
+	}
+}
+
+func TestAllocateHardCapBitesEvenWhenIdle(t *testing.T) {
+	// The defining property of bandwidth control: a capped group cannot
+	// exceed quota even on an otherwise idle machine.
+	h := NewHierarchy()
+	g := mustGroup(t, h, "antagonist", nil)
+	g.SetLimit(LimitFromRate(0.1))
+	grants := Allocate(16, time.Second, []Demand{{g, 5}})
+	if !almostEqual(grants[0], 0.1, 1e-9) {
+		t.Errorf("capped grant = %v, want 0.1", grants[0])
+	}
+	total, capped := g.ThrottleStats()
+	if total != 1 || capped != 1 {
+		t.Errorf("throttle stats = %d/%d, want 1/1", capped, total)
+	}
+	if !almostEqual(g.ThrottledTime(), 1, 1e-9) {
+		t.Errorf("throttled time = %v", g.ThrottledTime())
+	}
+}
+
+func TestAllocateCapNotChargedWhenDemandLow(t *testing.T) {
+	h := NewHierarchy()
+	g := mustGroup(t, h, "g", nil)
+	g.SetLimit(LimitFromRate(0.5))
+	Allocate(16, time.Second, []Demand{{g, 0.2}})
+	total, capped := g.ThrottleStats()
+	if total != 1 || capped != 0 {
+		t.Errorf("stats = %d/%d, want 1/0 (cap never bit)", capped, total)
+	}
+	if g.ThrottledTime() != 0 {
+		t.Error("throttled time should be zero")
+	}
+}
+
+func TestAllocateZeroCapacity(t *testing.T) {
+	h := NewHierarchy()
+	g := mustGroup(t, h, "g", nil)
+	grants := Allocate(0, time.Second, []Demand{{g, 1}})
+	if grants[0] != 0 {
+		t.Errorf("grant = %v", grants[0])
+	}
+	if g.Usage() != 0 {
+		t.Error("usage should be 0")
+	}
+}
+
+func TestAllocateEmptyDemands(t *testing.T) {
+	if got := Allocate(4, time.Second, nil); len(got) != 0 {
+		t.Errorf("grants = %v", got)
+	}
+}
+
+func TestAllocateNegativeDemandClamped(t *testing.T) {
+	h := NewHierarchy()
+	g := mustGroup(t, h, "g", nil)
+	grants := Allocate(4, time.Second, []Demand{{g, -3}})
+	if grants[0] != 0 {
+		t.Errorf("negative demand grant = %v", grants[0])
+	}
+}
+
+func TestAllocateConservationProperty(t *testing.T) {
+	// Properties: Σgrants ≤ capacity (+ε); 0 ≤ grant ≤ min(want, cap);
+	// work conservation — if total ceil ≥ capacity then Σgrants ≈ capacity.
+	f := func(wantsRaw []uint16, capsRaw []uint16, capRaw uint16) bool {
+		n := len(wantsRaw)
+		if n == 0 || n > 64 {
+			return true
+		}
+		h := NewHierarchy()
+		demands := make([]Demand, n)
+		ceils := make([]float64, n)
+		for i := range demands {
+			g, err := h.NewGroup(string(rune('a'+i%26))+string(rune('0'+i/26)), nil)
+			if err != nil {
+				return false
+			}
+			want := float64(wantsRaw[i]) / 1000 // 0..65.5 CPUs
+			ceil := want
+			if i < len(capsRaw) && capsRaw[i]%3 == 0 { // cap some groups
+				rate := float64(capsRaw[i]) / 2000
+				g.SetLimit(LimitFromRate(rate))
+				if rate < ceil {
+					ceil = rate
+				}
+			}
+			demands[i] = Demand{Group: g, Want: want}
+			ceils[i] = ceil
+		}
+		capacity := float64(capRaw) / 1000
+		grants := Allocate(capacity, time.Second, demands)
+		var sum, sumCeil float64
+		for i, g := range grants {
+			if g < -1e-9 || g > ceils[i]+1e-9 {
+				return false
+			}
+			sum += g
+			sumCeil += ceils[i]
+		}
+		if sum > capacity+1e-6 {
+			return false
+		}
+		wantTotal := math.Min(capacity, sumCeil)
+		return almostEqual(sum, wantTotal, 1e-6*(1+wantTotal))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCapThenUncapRestoresThroughput(t *testing.T) {
+	// Simulates the §6 case-study pattern: a batch group is capped for a
+	// while, then released, and its allocation recovers.
+	h := NewHierarchy()
+	g := mustGroup(t, h, "batch", nil)
+	unconstrained := Allocate(8, time.Second, []Demand{{g, 3}})[0]
+	g.SetLimit(LimitFromRate(0.1))
+	capped := Allocate(8, time.Second, []Demand{{g, 3}})[0]
+	g.ClearLimit()
+	restored := Allocate(8, time.Second, []Demand{{g, 3}})[0]
+	if !almostEqual(unconstrained, 3, 1e-9) || !almostEqual(capped, 0.1, 1e-9) || !almostEqual(restored, 3, 1e-9) {
+		t.Errorf("alloc sequence = %v %v %v", unconstrained, capped, restored)
+	}
+	if !almostEqual(g.Usage(), 3+0.1+3, 1e-9) {
+		t.Errorf("cumulative usage = %v", g.Usage())
+	}
+}

@@ -1,0 +1,429 @@
+// Package cluster is the full-system harness: a simulated compute
+// cluster of machines running the CPI² node agent, a central
+// scheduler placing jobs, the sample/spec pipeline, and the forensics
+// store. The experiment harness (cmd/experiments, bench_test.go) and
+// the examples drive everything through this package.
+package cluster
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/agent"
+	"repro/internal/core"
+	"repro/internal/forensics"
+	"repro/internal/interference"
+	"repro/internal/machine"
+	"repro/internal/model"
+	"repro/internal/pipeline"
+	"repro/internal/scheduler"
+	"repro/internal/stats"
+)
+
+// Config sizes and seeds a cluster.
+type Config struct {
+	// Seed roots all randomness; equal seeds give identical runs.
+	Seed int64
+	// Machines is the number of machines (default 10).
+	Machines int
+	// CPUsPerMachine is the per-machine CPU count (default 16).
+	CPUsPerMachine int
+	// PlatformBFraction is the fraction of machines using PlatformB
+	// (the rest are PlatformA).
+	PlatformBFraction float64
+	// Params are the CPI² parameters (zero fields take Table 2
+	// defaults).
+	Params core.Params
+	// Overcommit is the scheduler's batch overcommit factor
+	// (default 1.5).
+	Overcommit float64
+	// Start is the simulation epoch (default 2011-11-01 00:00 UTC,
+	// the first day of the paper's Figure 5 trace).
+	Start time.Time
+	// TickInterval is the simulation step (default 1s).
+	TickInterval time.Duration
+	// AutoAvoidThreshold, when > 0, enables the §9 future-work loop
+	// "provide this information to the scheduler automatically": after
+	// a (victim job, antagonist job) pair appears in that many capped
+	// incidents, the pair becomes a scheduler anti-affinity constraint.
+	AutoAvoidThreshold int
+	// AutoMigrateAfterCaps, when > 0, enables the other §9 loop: a
+	// task capped that many times is killed and restarted on a
+	// different machine ("our version of task migration").
+	AutoMigrateAfterCaps int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Machines <= 0 {
+		c.Machines = 10
+	}
+	if c.CPUsPerMachine <= 0 {
+		c.CPUsPerMachine = 16
+	}
+	if c.Overcommit <= 0 {
+		c.Overcommit = 1.5
+	}
+	if c.Start.IsZero() {
+		c.Start = time.Date(2011, 11, 1, 0, 0, 0, 0, time.UTC)
+	}
+	if c.TickInterval <= 0 {
+		c.TickInterval = time.Second
+	}
+	c.Params = c.Params.Sanitize()
+	return c
+}
+
+// WorkloadFactory builds the workload for one task of a job.
+type WorkloadFactory func(id model.TaskID, rng *stats.RNG) machine.Workload
+
+// JobDef is a catalog entry: everything the cluster needs to run one
+// job.
+type JobDef struct {
+	Job model.Job
+	// Profile is the job's microarchitectural character (shared by all
+	// its tasks — same binary).
+	Profile *interference.Profile
+	// NewWorkload builds each task's workload.
+	NewWorkload WorkloadFactory
+	// RestartOnExit re-places a task that exits by itself (MapReduce
+	// masters restart workers elsewhere).
+	RestartOnExit bool
+}
+
+// Cluster is a running simulated cluster.
+type Cluster struct {
+	cfg   Config
+	rng   *stats.RNG
+	sched *scheduler.Scheduler
+	mach  map[string]*machine.Machine
+	agent map[string]*agent.Agent
+	bus   *pipeline.Bus
+	store *forensics.Store
+	jobs  map[model.JobName]*JobDef
+	now   time.Time
+
+	onTick    []func(now time.Time)
+	incidents []core.Incident
+	exits     int64
+	restarts  int64
+
+	// §9 automation state.
+	pairCounts map[[2]model.JobName]int
+	capCounts  map[model.TaskID]int
+	avoided    map[[2]model.JobName]bool
+	migrations int64
+}
+
+// New builds a cluster per cfg, with machines registered but no jobs.
+func New(cfg Config) *Cluster {
+	cfg = cfg.withDefaults()
+	rng := stats.NewRNG(cfg.Seed)
+	c := &Cluster{
+		cfg:   cfg,
+		rng:   rng,
+		sched: scheduler.New(cfg.Overcommit),
+		mach:  make(map[string]*machine.Machine),
+		agent: make(map[string]*agent.Agent),
+		bus:   pipeline.NewBus(core.NewSpecBuilder(cfg.Params)),
+		store: forensics.NewStore(),
+		jobs:  make(map[model.JobName]*JobDef),
+		now:   cfg.Start,
+
+		pairCounts: make(map[[2]model.JobName]int),
+		capCounts:  make(map[model.TaskID]int),
+		avoided:    make(map[[2]model.JobName]bool),
+	}
+	nB := int(float64(cfg.Machines) * cfg.PlatformBFraction)
+	for i := 0; i < cfg.Machines; i++ {
+		name := fmt.Sprintf("machine-%04d", i)
+		platform := model.PlatformA
+		if i < nB {
+			platform = model.PlatformB
+		}
+		hw := interference.DefaultMachine(platform)
+		m := machine.New(name, hw, cfg.CPUsPerMachine, rng.Stream("machine/"+name))
+		a := agent.New(m, cfg.Params, c.bus)
+		c.mach[name] = m
+		c.agent[name] = a
+		c.bus.Watch(a)
+		if err := c.sched.AddMachine(name, platform, float64(cfg.CPUsPerMachine)); err != nil {
+			panic(err) // unique generated names: cannot happen
+		}
+	}
+	return c
+}
+
+// Now returns the current simulation time.
+func (c *Cluster) Now() time.Time { return c.now }
+
+// Scheduler returns the central scheduler.
+func (c *Cluster) Scheduler() *scheduler.Scheduler { return c.sched }
+
+// Bus returns the in-process pipeline.
+func (c *Cluster) Bus() *pipeline.Bus { return c.bus }
+
+// Store returns the forensics incident store.
+func (c *Cluster) Store() *forensics.Store { return c.store }
+
+// Machine returns a machine by name (nil if unknown).
+func (c *Cluster) Machine(name string) *machine.Machine { return c.mach[name] }
+
+// Agent returns a machine's agent (nil if unknown).
+func (c *Cluster) Agent(name string) *agent.Agent { return c.agent[name] }
+
+// MachineOf returns the machine a task runs on.
+func (c *Cluster) MachineOf(id model.TaskID) (*machine.Machine, bool) {
+	name, ok := c.sched.MachineOf(id)
+	if !ok {
+		return nil, false
+	}
+	return c.mach[name], true
+}
+
+// AgentOf returns the agent of the machine a task runs on.
+func (c *Cluster) AgentOf(id model.TaskID) (*agent.Agent, bool) {
+	name, ok := c.sched.MachineOf(id)
+	if !ok {
+		return nil, false
+	}
+	return c.agent[name], true
+}
+
+// RNG returns the cluster's root random-stream factory.
+func (c *Cluster) RNG() *stats.RNG { return c.rng }
+
+// OnTick registers a callback invoked once per simulation tick after
+// all machines and agents have ticked (e.g. workload.SearchTree's
+// EndTick).
+func (c *Cluster) OnTick(f func(now time.Time)) { c.onTick = append(c.onTick, f) }
+
+// AddJob registers a job and places all its tasks. Tasks that cannot
+// be placed are reported in the error, but successfully placed tasks
+// stay placed.
+func (c *Cluster) AddJob(def JobDef) error {
+	if def.Job.Name == "" || def.NewWorkload == nil {
+		return fmt.Errorf("cluster: job definition needs a name and workload factory")
+	}
+	if _, ok := c.jobs[def.Job.Name]; ok {
+		return fmt.Errorf("cluster: job %q already added", def.Job.Name)
+	}
+	d := def
+	c.jobs[def.Job.Name] = &d
+	var failed int
+	for i := 0; i < def.Job.NumTasks; i++ {
+		id := model.TaskID{Job: def.Job.Name, Index: i}
+		if err := c.placeTask(id, &d); err != nil {
+			failed++
+		}
+	}
+	if failed > 0 {
+		return fmt.Errorf("cluster: job %q: %d/%d tasks unplaceable", def.Job.Name, failed, def.Job.NumTasks)
+	}
+	return nil
+}
+
+// placeTask schedules one task and installs it on its machine,
+// re-placing any batch tasks preempted to make room.
+func (c *Cluster) placeTask(id model.TaskID, def *JobDef) error {
+	p, err := c.sched.Place(scheduler.TaskSpec{ID: id, Job: def.Job})
+	if err != nil {
+		return err
+	}
+	c.installTask(id, def, p.Machine)
+	for _, ev := range p.Evicted {
+		c.uninstallTask(ev.ID)
+		evDef, ok := c.jobs[ev.ID.Job]
+		if !ok {
+			continue
+		}
+		// Preempted batch work restarts elsewhere — "simply another
+		// source of failures that need to be handled anyway" (§2).
+		if err := c.placeTask(ev.ID, evDef); err == nil {
+			c.restarts++
+		}
+	}
+	return nil
+}
+
+func (c *Cluster) installTask(id model.TaskID, def *JobDef, machineName string) {
+	m := c.mach[machineName]
+	w := def.NewWorkload(id, c.rng.Sub("workload/"+id.String()))
+	if err := m.AddTask(id, def.Job, def.Profile, w); err != nil {
+		// Scheduler and machine disagree: a bug, surface loudly.
+		panic(fmt.Sprintf("cluster: machine rejected scheduled task: %v", err))
+	}
+	c.agent[machineName].RegisterTask(id, def.Job)
+}
+
+func (c *Cluster) uninstallTask(id model.TaskID) {
+	name, ok := c.sched.MachineOf(id)
+	if ok {
+		// Still on the scheduler's books (eviction path removes it
+		// before we get here, so ok is false then).
+		_ = c.sched.Remove(id)
+	}
+	if name == "" {
+		// Eviction already removed the booking; find the machine by
+		// scanning (rare path).
+		for n, m := range c.mach {
+			if m.Task(id) != nil {
+				name = n
+				break
+			}
+		}
+	}
+	if name == "" {
+		return
+	}
+	if m := c.mach[name]; m.Task(id) != nil {
+		_ = m.RemoveTask(id)
+	}
+	c.agent[name].TaskExited(id)
+}
+
+// CrashMachine simulates a machine failure: every resident task dies;
+// tasks of RestartOnExit jobs are rescheduled elsewhere (the machine
+// itself stays registered and keeps accepting new work after the
+// "reboot" — state on it is simply gone). §2: task death is "simply
+// another source of the failures that need to be handled anyway".
+// It returns how many tasks were lost and how many were restarted.
+func (c *Cluster) CrashMachine(name string) (lost, restarted int, err error) {
+	m, ok := c.mach[name]
+	if !ok {
+		return 0, 0, fmt.Errorf("cluster: no machine %q", name)
+	}
+	a := c.agent[name]
+	for _, id := range m.Tasks() {
+		lost++
+		_ = m.RemoveTask(id)
+		a.TaskExited(id)
+		_ = c.sched.Remove(id)
+		c.exits++
+		if def, ok := c.jobs[id.Job]; ok && def.RestartOnExit {
+			if err := c.placeTask(id, def); err == nil {
+				restarted++
+				c.restarts++
+			}
+		}
+	}
+	return lost, restarted, nil
+}
+
+// KillAndRestart migrates a task to a different machine — the §5
+// operator action for persistent offenders. The restarted task loses
+// its progress (a fresh workload is built).
+func (c *Cluster) KillAndRestart(id model.TaskID) error {
+	def, ok := c.jobs[id.Job]
+	if !ok {
+		return fmt.Errorf("cluster: unknown job %q", id.Job)
+	}
+	oldName, ok := c.sched.MachineOf(id)
+	if !ok {
+		return fmt.Errorf("cluster: %v is not placed", id)
+	}
+	p, err := c.sched.Migrate(scheduler.TaskSpec{ID: id, Job: def.Job})
+	if err != nil {
+		return err
+	}
+	_ = c.mach[oldName].RemoveTask(id)
+	c.agent[oldName].TaskExited(id)
+	c.installTask(id, def, p.Machine)
+	for _, ev := range p.Evicted {
+		c.uninstallTask(ev.ID)
+		if evDef, ok := c.jobs[ev.ID.Job]; ok {
+			if err := c.placeTask(ev.ID, evDef); err == nil {
+				c.restarts++
+			}
+		}
+	}
+	return nil
+}
+
+// Step advances the simulation by one tick.
+func (c *Cluster) Step() {
+	dt := c.cfg.TickInterval
+	now := c.now.Add(dt)
+	c.now = now
+	for i := 0; i < c.cfg.Machines; i++ {
+		name := fmt.Sprintf("machine-%04d", i)
+		m := c.mach[name]
+		_, exited := m.Tick(now, dt)
+		for _, id := range exited {
+			c.exits++
+			_ = c.sched.Remove(id)
+			c.agent[name].TaskExited(id)
+			if def, ok := c.jobs[id.Job]; ok && def.RestartOnExit {
+				if err := c.placeTask(id, def); err == nil {
+					c.restarts++
+				}
+			}
+		}
+		incs := c.agent[name].Tick(now)
+		for _, inc := range incs {
+			c.incidents = append(c.incidents, inc)
+			c.store.Add(inc)
+			c.automate(inc)
+		}
+	}
+	c.bus.MaybeRecompute(now)
+	for _, f := range c.onTick {
+		f(now)
+	}
+}
+
+// Run advances the simulation for d.
+func (c *Cluster) Run(d time.Duration) {
+	steps := int(d / c.cfg.TickInterval)
+	for i := 0; i < steps; i++ {
+		c.Step()
+	}
+}
+
+// RecomputeSpecs forces a spec recomputation and push, regardless of
+// the configured interval. Experiments call this to bootstrap specs
+// from a warm-up phase without simulating a full 24 hours.
+func (c *Cluster) RecomputeSpecs() []model.Spec {
+	return c.bus.Recompute(c.now)
+}
+
+// automate applies the §9 feedback loops to one incident.
+func (c *Cluster) automate(inc core.Incident) {
+	if inc.Decision.Action != core.ActionCap {
+		return
+	}
+	target := inc.Decision.Target
+
+	if c.cfg.AutoAvoidThreshold > 0 {
+		pair := [2]model.JobName{inc.VictimJob, target.Job}
+		c.pairCounts[pair]++
+		if c.pairCounts[pair] >= c.cfg.AutoAvoidThreshold && !c.avoided[pair] {
+			c.avoided[pair] = true
+			c.sched.AvoidColocation(pair[0], pair[1])
+		}
+	}
+	if c.cfg.AutoMigrateAfterCaps > 0 {
+		c.capCounts[target]++
+		if c.capCounts[target] >= c.cfg.AutoMigrateAfterCaps {
+			if err := c.KillAndRestart(target); err == nil {
+				c.migrations++
+				c.capCounts[target] = 0
+			}
+		}
+	}
+}
+
+// AutoActions returns counters for the §9 automation: anti-affinity
+// pairs registered and automatic migrations performed.
+func (c *Cluster) AutoActions() (avoidPairs int, migrations int64) {
+	return len(c.avoided), c.migrations
+}
+
+// Incidents returns all incidents raised so far.
+func (c *Cluster) Incidents() []core.Incident {
+	out := make([]core.Incident, len(c.incidents))
+	copy(out, c.incidents)
+	return out
+}
+
+// Stats returns counters of task exits and restarts.
+func (c *Cluster) Stats() (exits, restarts int64) { return c.exits, c.restarts }

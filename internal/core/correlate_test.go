@@ -1,0 +1,222 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/model"
+	"repro/internal/timeseries"
+)
+
+func TestCorrelationPerfectAntagonist(t *testing.T) {
+	// Victim CPI is high exactly when the suspect burns CPU.
+	cpi := []float64{3, 3, 3, 1, 1, 1}
+	usage := []float64{2, 2, 2, 0, 0, 0}
+	got := Correlation(cpi, usage, 2.0)
+	// All usage mass is at c=3 > threshold 2: corr = 1 − 2/3 = 1/3.
+	if !almostEqual(got, 1.0/3.0, 1e-12) {
+		t.Errorf("corr = %v, want 1/3", got)
+	}
+}
+
+func TestCorrelationInnocentBystander(t *testing.T) {
+	// Suspect busy only while victim CPI is low → negative score.
+	cpi := []float64{3, 3, 1, 1}
+	usage := []float64{0, 0, 2, 2}
+	got := Correlation(cpi, usage, 2.0)
+	// All mass at c=1 < 2: corr = 1/2 − 1 = −0.5.
+	if !almostEqual(got, -0.5, 1e-12) {
+		t.Errorf("corr = %v, want -0.5", got)
+	}
+}
+
+func TestCorrelationMixed(t *testing.T) {
+	cpi := []float64{4, 1}
+	usage := []float64{1, 1}
+	got := Correlation(cpi, usage, 2.0)
+	// u normalized to 0.5 each: 0.5·(1−2/4) + 0.5·(1/2−1) = 0.25 − 0.25.
+	if !almostEqual(got, 0, 1e-12) {
+		t.Errorf("corr = %v, want 0", got)
+	}
+}
+
+func TestCorrelationAtThresholdContributesNothing(t *testing.T) {
+	cpi := []float64{2.0, 2.0}
+	usage := []float64{1, 1}
+	if got := Correlation(cpi, usage, 2.0); got != 0 {
+		t.Errorf("corr = %v, want 0", got)
+	}
+}
+
+func TestCorrelationDegenerateInputs(t *testing.T) {
+	if Correlation(nil, nil, 2) != 0 {
+		t.Error("empty should be 0")
+	}
+	if Correlation([]float64{1}, []float64{1, 2}, 2) != 0 {
+		t.Error("length mismatch should be 0")
+	}
+	if Correlation([]float64{3}, []float64{1}, 0) != 0 {
+		t.Error("zero threshold should be 0")
+	}
+	if Correlation([]float64{3, 3}, []float64{0, 0}, 2) != 0 {
+		t.Error("idle suspect should be 0")
+	}
+}
+
+func TestCorrelationBoundsProperty(t *testing.T) {
+	// The score is always within [−1, 1], for any inputs.
+	f := func(cpiRaw, usageRaw []uint16, thrRaw uint8) bool {
+		n := len(cpiRaw)
+		if len(usageRaw) < n {
+			n = len(usageRaw)
+		}
+		if n == 0 {
+			return true
+		}
+		cpi := make([]float64, n)
+		usage := make([]float64, n)
+		for i := 0; i < n; i++ {
+			cpi[i] = float64(cpiRaw[i]) / 1000
+			usage[i] = float64(usageRaw[i]) / 1000
+		}
+		thr := float64(thrRaw)/32 + 0.1
+		c := Correlation(cpi, usage, thr)
+		return c >= -1-1e-9 && c <= 1+1e-9 && !math.IsNaN(c)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCorrelationApproachesOneForExtremeAntagonist(t *testing.T) {
+	// Massive CPI inflation coinciding with all suspect activity pushes
+	// the score toward 1.
+	cpi := []float64{1000, 1000, 1000}
+	usage := []float64{5, 5, 5}
+	got := Correlation(cpi, usage, 2.0)
+	if got < 0.99 {
+		t.Errorf("corr = %v, want ≈1", got)
+	}
+}
+
+func buildSeries(vals []float64, step time.Duration) *timeseries.Series {
+	s := timeseries.New()
+	for i, v := range vals {
+		_ = s.Append(day0.Add(time.Duration(i)*step), v)
+	}
+	return s
+}
+
+func TestRankSuspectsOrdering(t *testing.T) {
+	victim := buildSeries([]float64{3, 3, 3, 1, 1, 1, 3, 3, 3, 3}, time.Minute)
+	guilty := buildSeries([]float64{2, 2, 2, 0, 0, 0, 2, 2, 2, 2}, time.Minute)
+	innocent := buildSeries([]float64{0, 0, 0, 2, 2, 2, 0, 0, 0, 0}, time.Minute)
+	steady := buildSeries([]float64{1, 1, 1, 1, 1, 1, 1, 1, 1, 1}, time.Minute)
+
+	suspects := []SuspectInput{
+		{Task: model.TaskID{Job: "innocent", Index: 0}, Job: "innocent", Usage: innocent},
+		{Task: model.TaskID{Job: "guilty", Index: 0}, Job: "guilty", Usage: guilty},
+		{Task: model.TaskID{Job: "steady", Index: 0}, Job: "steady", Usage: steady},
+		{Task: model.TaskID{Job: "nilusage", Index: 0}, Job: "nilusage", Usage: nil},
+	}
+	now := day0.Add(10 * time.Minute)
+	ranked := RankSuspects(victim, 2.0, suspects, now, 10*time.Minute, time.Minute)
+	if len(ranked) != 3 {
+		t.Fatalf("ranked = %d, want 3 (nil usage dropped)", len(ranked))
+	}
+	if ranked[0].Job != "guilty" {
+		t.Errorf("top suspect = %s", ranked[0].Job)
+	}
+	if ranked[0].Correlation <= ranked[1].Correlation ||
+		ranked[1].Correlation < ranked[2].Correlation {
+		t.Errorf("not sorted: %+v", ranked)
+	}
+	if ranked[2].Job != "innocent" || ranked[2].Correlation >= 0 {
+		t.Errorf("innocent bystander = %+v", ranked[2])
+	}
+}
+
+func TestRankSuspectsWindowRestriction(t *testing.T) {
+	// Activity outside the correlation window must not count. The
+	// suspect was hot long ago; in the last 10 minutes it is idle.
+	n := 30
+	victimVals := make([]float64, n)
+	suspectVals := make([]float64, n)
+	for i := 0; i < n; i++ {
+		victimVals[i] = 3 // always anomalous
+		if i < 15 {
+			suspectVals[i] = 2 // hot in the old window only
+		}
+	}
+	victim := buildSeries(victimVals, time.Minute)
+	suspect := buildSeries(suspectVals, time.Minute)
+	now := day0.Add(time.Duration(n) * time.Minute)
+	ranked := RankSuspects(victim, 2.0, []SuspectInput{
+		{Task: model.TaskID{Job: "s", Index: 0}, Job: "s", Usage: suspect},
+	}, now, 10*time.Minute, time.Minute)
+	if len(ranked) != 1 {
+		t.Fatal("suspect missing")
+	}
+	if ranked[0].Correlation != 0 {
+		t.Errorf("stale activity scored %v, want 0", ranked[0].Correlation)
+	}
+}
+
+func TestRankSuspectsTieBreakDeterministic(t *testing.T) {
+	victim := buildSeries([]float64{3, 3, 3}, time.Minute)
+	mk := func(name string) SuspectInput {
+		return SuspectInput{
+			Task:  model.TaskID{Job: model.JobName(name), Index: 0},
+			Job:   model.JobName(name),
+			Usage: buildSeries([]float64{1, 1, 1}, time.Minute),
+		}
+	}
+	now := day0.Add(3 * time.Minute)
+	r1 := RankSuspects(victim, 2.0, []SuspectInput{mk("zz"), mk("aa")}, now, 10*time.Minute, time.Minute)
+	r2 := RankSuspects(victim, 2.0, []SuspectInput{mk("aa"), mk("zz")}, now, 10*time.Minute, time.Minute)
+	if r1[0].Job != r2[0].Job || r1[0].Job != "aa" {
+		t.Errorf("tie-break nondeterministic: %v vs %v", r1[0].Job, r2[0].Job)
+	}
+}
+
+func TestTopSuspects(t *testing.T) {
+	ranked := []Suspect{
+		{Job: "a", Correlation: 0.9},
+		{Job: "b", Correlation: 0.5},
+		{Job: "c", Correlation: 0.36},
+		{Job: "d", Correlation: 0.2},
+	}
+	top := TopSuspects(ranked, 5, 0.35)
+	if len(top) != 3 || top[2].Job != "c" {
+		t.Errorf("top = %+v", top)
+	}
+	top = TopSuspects(ranked, 2, 0.35)
+	if len(top) != 2 || top[1].Job != "b" {
+		t.Errorf("top-2 = %+v", top)
+	}
+	if got := TopSuspects(nil, 3, 0.35); len(got) != 0 {
+		t.Error("empty input should yield empty output")
+	}
+}
+
+func TestCorrelationCaseStudyShape(t *testing.T) {
+	// Reconstruction of Case 1's shape: victim CPI rising to ≈5 while a
+	// video-processing batch task's CPU spikes; correlation lands in
+	// the 0.4-0.5 range like the paper's table (0.46).
+	var cpi, usage []float64
+	for i := 0; i < 30; i++ {
+		if i%3 == 0 {
+			cpi = append(cpi, 5.0)
+			usage = append(usage, 6.5)
+		} else {
+			cpi = append(cpi, 2.4)
+			usage = append(usage, 1.5)
+		}
+	}
+	got := Correlation(cpi, usage, 2.0)
+	if got < 0.3 || got > 0.6 {
+		t.Errorf("case-1-like correlation = %v, want ≈0.4-0.5", got)
+	}
+}

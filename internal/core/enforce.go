@@ -1,0 +1,326 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/model"
+)
+
+// Capper is the mechanism the enforcer drives: CFS bandwidth control
+// on the machine (implemented by the agent over the cgroup package,
+// or by an operator shim). Quota is in CPU-sec/sec.
+type Capper interface {
+	Cap(task model.TaskID, quota float64) error
+	Uncap(task model.TaskID) error
+}
+
+// ActionType classifies what the enforcer decided to do.
+type ActionType int
+
+const (
+	// ActionNone: no suspect met the correlation threshold, or the
+	// victim is not eligible for protection.
+	ActionNone ActionType = iota
+	// ActionReport: an antagonist was identified but auto-capping is
+	// off or the antagonist is not throttleable; the incident is
+	// reported for operators.
+	ActionReport
+	// ActionCap: the antagonist was hard-capped.
+	ActionCap
+)
+
+// String implements fmt.Stringer.
+func (a ActionType) String() string {
+	switch a {
+	case ActionNone:
+		return "none"
+	case ActionReport:
+		return "report"
+	case ActionCap:
+		return "cap"
+	default:
+		return fmt.Sprintf("action(%d)", int(a))
+	}
+}
+
+// Decision is the outcome of one enforcement round.
+type Decision struct {
+	Action ActionType
+	// Target is the chosen antagonist (zero TaskID when ActionNone).
+	Target model.TaskID
+	// Quota is the applied cap in CPU-sec/sec (ActionCap only).
+	Quota float64
+	// Until is when the cap expires (ActionCap only).
+	Until time.Time
+	// Reason is a human-readable explanation.
+	Reason string
+}
+
+// activeCap tracks one in-force hard cap.
+type activeCap struct {
+	task    model.TaskID
+	victim  model.TaskID
+	quota   float64
+	expires time.Time
+	// round counts how many times this victim has triggered capping of
+	// this task, for feedback throttling.
+	round int
+}
+
+// Enforcer implements the §5 policy: prefer latency-sensitive jobs
+// over batch; cap only throttleable (batch) antagonists, at
+// 0.01 CPU-sec/sec for best-effort and 0.1 for other batch, for
+// CapDuration; expire caps; and optionally adapt quotas per round
+// (FeedbackThrottling, §9).
+type Enforcer struct {
+	params Params
+	capper Capper
+
+	mu     sync.Mutex
+	active map[model.TaskID]*activeCap
+	// history remembers victim→task cap rounds even after expiry so
+	// feedback throttling can escalate on repeat offenders.
+	rounds map[string]int
+}
+
+// NewEnforcer returns an enforcer applying caps through capper.
+func NewEnforcer(p Params, capper Capper) *Enforcer {
+	return &Enforcer{
+		params: p.Sanitize(),
+		capper: capper,
+		active: make(map[model.TaskID]*activeCap),
+		rounds: make(map[string]int),
+	}
+}
+
+// JobResolver supplies job metadata for suspects; provided by the
+// caller because the enforcer itself holds no job table. When it
+// returns false the enforcer falls back to the class/priority carried
+// on the Suspect.
+type JobResolver func(model.JobName) (model.Job, bool)
+
+// Decide runs one enforcement round for an anomalous victim with the
+// given ranked suspects. It picks the highest-correlated suspect that
+// (a) meets the correlation threshold and (b) is throttleable, and —
+// if the victim's job is protected and enforcement is enabled — applies a hard
+// cap via the Capper. Already-capped suspects are skipped: throttling
+// an already-throttled task cannot help, and its reduced CPU usage
+// will naturally drop it from future rankings (§5).
+func (e *Enforcer) Decide(now time.Time, victim model.TaskID, victimJob model.Job,
+	ranked []Suspect, resolve JobResolver) Decision {
+
+	e.mu.Lock()
+	defer e.mu.Unlock()
+
+	// Find the best eligible antagonist.
+	var chosen *Suspect
+	var chosenJob model.Job
+	for i := range ranked {
+		s := &ranked[i]
+		if s.Correlation < e.params.CorrelationThreshold {
+			break // ranked is sorted descending; nothing below qualifies
+		}
+		if s.Task == victim {
+			continue
+		}
+		if _, capped := e.active[s.Task]; capped {
+			continue
+		}
+		var job model.Job
+		var ok bool
+		if resolve != nil {
+			job, ok = resolve(s.Job)
+		}
+		if !ok {
+			job = model.Job{Name: s.Job, Class: s.Class, Priority: s.Priority}
+		}
+		if !job.Throttleable() {
+			continue
+		}
+		chosen = s
+		chosenJob = job
+		break
+	}
+	if chosen == nil {
+		return Decision{Action: ActionNone, Reason: "no throttleable suspect above correlation threshold"}
+	}
+	if !victimJob.Protected() {
+		return Decision{
+			Action: ActionReport,
+			Target: chosen.Task,
+			Reason: fmt.Sprintf("victim %v not protection-eligible; reporting only", victim),
+		}
+	}
+	if e.params.ReportOnly {
+		return Decision{
+			Action: ActionReport,
+			Target: chosen.Task,
+			Reason: "auto-capping disabled; reporting for operator action",
+		}
+	}
+
+	quota := e.quotaFor(chosenJob, victim, chosen.Task)
+	if err := e.capper.Cap(chosen.Task, quota); err != nil {
+		return Decision{
+			Action: ActionReport,
+			Target: chosen.Task,
+			Reason: fmt.Sprintf("cap failed: %v", err),
+		}
+	}
+	until := now.Add(e.params.CapDuration)
+	key := victim.String() + "→" + chosen.Task.String()
+	e.rounds[key]++
+	e.active[chosen.Task] = &activeCap{
+		task:    chosen.Task,
+		victim:  victim,
+		quota:   quota,
+		expires: until,
+		round:   e.rounds[key],
+	}
+	return Decision{
+		Action: ActionCap,
+		Target: chosen.Task,
+		Quota:  quota,
+		Until:  until,
+		Reason: fmt.Sprintf("correlation %.2f ≥ %.2f", chosen.Correlation, e.params.CorrelationThreshold),
+	}
+}
+
+// quotaFor returns the cap quota for a job: the Table 2 fixed values,
+// or — with FeedbackThrottling — a quota that halves on each repeated
+// round against the same victim, down to the best-effort floor.
+func (e *Enforcer) quotaFor(job model.Job, victim, target model.TaskID) float64 {
+	base := e.params.BatchQuota
+	if job.Priority == model.PriorityBestEffort {
+		base = e.params.BestEffortQuota
+	}
+	if !e.params.FeedbackThrottling {
+		return base
+	}
+	round := e.rounds[victim.String()+"→"+target.String()] // rounds so far
+	for i := 0; i < round; i++ {
+		base /= 2
+		if base < e.params.BestEffortQuota {
+			base = e.params.BestEffortQuota
+			break
+		}
+	}
+	return base
+}
+
+// DecideGroup enforces against an antagonist group (GroupDetection):
+// every throttleable, not-already-capped member is capped, sharing one
+// expiry. The same eligibility rules as Decide apply; latency-
+// sensitive members are never touched. It returns one Decision per
+// member acted on (capped or reported).
+func (e *Enforcer) DecideGroup(now time.Time, victim model.TaskID, victimJob model.Job,
+	group GroupSuspect, resolve JobResolver) []Decision {
+
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	var out []Decision
+	for _, s := range group.Members {
+		if s.Task == victim {
+			continue
+		}
+		if _, capped := e.active[s.Task]; capped {
+			continue
+		}
+		var job model.Job
+		var ok bool
+		if resolve != nil {
+			job, ok = resolve(s.Job)
+		}
+		if !ok {
+			job = model.Job{Name: s.Job, Class: s.Class, Priority: s.Priority}
+		}
+		if !job.Throttleable() {
+			continue
+		}
+		if !victimJob.Protected() || e.params.ReportOnly {
+			out = append(out, Decision{
+				Action: ActionReport,
+				Target: s.Task,
+				Reason: fmt.Sprintf("group member (group corr %.2f); reporting only", group.Correlation),
+			})
+			continue
+		}
+		quota := e.quotaFor(job, victim, s.Task)
+		if err := e.capper.Cap(s.Task, quota); err != nil {
+			out = append(out, Decision{
+				Action: ActionReport,
+				Target: s.Task,
+				Reason: fmt.Sprintf("group cap failed: %v", err),
+			})
+			continue
+		}
+		until := now.Add(e.params.CapDuration)
+		key := victim.String() + "→" + s.Task.String()
+		e.rounds[key]++
+		e.active[s.Task] = &activeCap{
+			task: s.Task, victim: victim, quota: quota, expires: until,
+			round: e.rounds[key],
+		}
+		out = append(out, Decision{
+			Action: ActionCap,
+			Target: s.Task,
+			Quota:  quota,
+			Until:  until,
+			Reason: fmt.Sprintf("member of %d-task group, group corr %.2f", len(group.Members), group.Correlation),
+		})
+	}
+	return out
+}
+
+// Tick expires caps whose duration has elapsed, uncapping the tasks.
+// It returns the tasks released. Call it at least once per sampling
+// interval.
+func (e *Enforcer) Tick(now time.Time) []model.TaskID {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	var released []model.TaskID
+	for task, ac := range e.active {
+		if !now.Before(ac.expires) {
+			if err := e.capper.Uncap(task); err == nil {
+				released = append(released, task)
+				delete(e.active, task)
+			}
+		}
+	}
+	sort.Slice(released, func(i, j int) bool {
+		return released[i].String() < released[j].String()
+	})
+	return released
+}
+
+// ActiveCaps returns the currently capped tasks and their quotas.
+func (e *Enforcer) ActiveCaps() map[model.TaskID]float64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make(map[model.TaskID]float64, len(e.active))
+	for t, c := range e.active {
+		out[t] = c.quota
+	}
+	return out
+}
+
+// ReleaseAll removes every active cap immediately (operator action,
+// or cluster-wide disable). It returns the released tasks.
+func (e *Enforcer) ReleaseAll() []model.TaskID {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	var released []model.TaskID
+	for task := range e.active {
+		if err := e.capper.Uncap(task); err == nil {
+			released = append(released, task)
+			delete(e.active, task)
+		}
+	}
+	sort.Slice(released, func(i, j int) bool {
+		return released[i].String() < released[j].String()
+	})
+	return released
+}

@@ -1,0 +1,233 @@
+package core
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/model"
+	"repro/internal/timeseries"
+)
+
+// Incident records one detected performance-isolation event: a victim
+// whose CPI went anomalous, the ranked suspects, and what was done.
+// Incidents are what CPI² logs for offline (Dremel-style) forensics
+// and what operators act on during conservative rollout.
+type Incident struct {
+	Time      time.Time
+	Machine   string
+	Victim    model.TaskID
+	VictimJob model.JobName
+	VictimCPI float64
+	Threshold float64
+	Suspects  []Suspect // ranked, descending correlation
+	Decision  Decision
+	// Group is set when GroupDetection found an antagonist group after
+	// no single suspect qualified; GroupDecisions records the per-
+	// member actions.
+	Group          *GroupSuspect
+	GroupDecisions []Decision
+}
+
+// Manager is the per-machine CPI² engine: it ingests the local
+// sampler's measurements, maintains per-task CPI and CPU-usage
+// history, runs the detector, and — when a task goes anomalous and the
+// per-machine analysis rate limit allows — ranks suspects and lets the
+// enforcer act. It is the component labelled "agent" in Figure 6,
+// minus the transport (package agent adds that).
+type Manager struct {
+	params   Params
+	machine  string
+	detector *Detector
+	enforcer *Enforcer
+
+	mu           sync.Mutex
+	jobs         map[model.JobName]model.Job
+	cpi          map[model.TaskID]*timeseries.Series
+	usage        map[model.TaskID]*timeseries.Series
+	lastAnalysis time.Time
+	incidents    []Incident
+	maxIncidents int
+}
+
+// NewManager creates a per-machine manager named machine, applying
+// caps through capper.
+func NewManager(machine string, p Params, capper Capper) *Manager {
+	p = p.Sanitize()
+	return &Manager{
+		params:       p,
+		machine:      machine,
+		detector:     NewDetector(p),
+		enforcer:     NewEnforcer(p, capper),
+		jobs:         make(map[model.JobName]model.Job),
+		cpi:          make(map[model.TaskID]*timeseries.Series),
+		usage:        make(map[model.TaskID]*timeseries.Series),
+		maxIncidents: 4096,
+	}
+}
+
+// RegisterJob installs job metadata for tasks on this machine. The
+// cluster scheduler calls this when placing a task.
+func (m *Manager) RegisterJob(j model.Job) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.jobs[j.Name] = j
+}
+
+// UpdateSpec forwards a pushed CPI spec to the local detector.
+func (m *Manager) UpdateSpec(s model.Spec) { m.detector.UpdateSpec(s) }
+
+// Detector exposes the manager's detector (read-mostly; used by tests
+// and by the agent for spec introspection).
+func (m *Manager) Detector() *Detector { return m.detector }
+
+// Enforcer exposes the manager's enforcer for operator tooling
+// (manual capping, release-all).
+func (m *Manager) Enforcer() *Enforcer { return m.enforcer }
+
+// TaskExited clears all state for a departed task.
+func (m *Manager) TaskExited(task model.TaskID) {
+	m.mu.Lock()
+	delete(m.cpi, task)
+	delete(m.usage, task)
+	m.mu.Unlock()
+	m.detector.Forget(task)
+}
+
+// Observe ingests one CPI sample and runs the full local loop:
+// record → detect → (maybe) correlate → (maybe) enforce. It returns a
+// non-nil Incident when an anomaly was analysed this round.
+func (m *Manager) Observe(s model.Sample) *Incident {
+	m.mu.Lock()
+	cs, ok := m.cpi[s.Task]
+	if !ok {
+		cs = timeseries.NewBounded(2*m.params.CorrelationWindow, 0)
+		m.cpi[s.Task] = cs
+	}
+	us, ok := m.usage[s.Task]
+	if !ok {
+		us = timeseries.NewBounded(2*m.params.CorrelationWindow, 0)
+		m.usage[s.Task] = us
+	}
+	_ = cs.Append(s.Timestamp, s.CPI)
+	_ = us.Append(s.Timestamp, s.CPUUsage)
+	m.mu.Unlock()
+
+	a := m.detector.Observe(s)
+	if !a.Anomalous {
+		return nil
+	}
+	return m.analyse(s, a)
+}
+
+// analyse runs one rate-limited antagonist-identification round.
+func (m *Manager) analyse(s model.Sample, a Assessment) *Incident {
+	m.mu.Lock()
+	// §4.2: at most one analysis per AnalysisRateLimit per machine, so
+	// the analysis itself never becomes the antagonist.
+	if !m.lastAnalysis.IsZero() && s.Timestamp.Sub(m.lastAnalysis) < m.params.AnalysisRateLimit {
+		m.mu.Unlock()
+		return nil
+	}
+	m.lastAnalysis = s.Timestamp
+
+	victimCPI := m.cpi[s.Task]
+	suspects := make([]SuspectInput, 0, len(m.usage))
+	for task, usage := range m.usage {
+		if task == s.Task {
+			continue
+		}
+		in := SuspectInput{Task: task, Job: task.Job, Usage: usage}
+		if j, ok := m.jobs[task.Job]; ok {
+			in.Class = j.Class
+			in.Priority = j.Priority
+		}
+		suspects = append(suspects, in)
+	}
+	victimJob, haveJob := m.jobs[s.Job]
+	m.mu.Unlock()
+	if !haveJob {
+		victimJob = model.Job{Name: s.Job, Class: model.ClassLatencySensitive}
+	}
+
+	now := s.Timestamp.Add(time.Nanosecond)
+	ranked := RankSuspects(victimCPI, a.Threshold, suspects,
+		now, m.params.CorrelationWindow, m.params.SamplingInterval)
+	decision := m.enforcer.Decide(s.Timestamp, s.Task, victimJob, ranked, m.resolveJob)
+
+	// No individual culprit: try the group hypothesis (§4.2 future
+	// work) — several tasks taking turns can hide below the threshold
+	// individually while their union explains the victim's CPI.
+	var group *GroupSuspect
+	var groupDecisions []Decision
+	if decision.Action == ActionNone && m.params.GroupDetection {
+		g := FindAntagonistGroup(victimCPI, a.Threshold, suspects,
+			now, m.params.CorrelationWindow, m.params.SamplingInterval, m.params.MaxGroupSize)
+		if len(g.Members) >= 2 && g.Correlation >= m.params.CorrelationThreshold {
+			group = &g
+			groupDecisions = m.enforcer.DecideGroup(s.Timestamp, s.Task, victimJob, g, m.resolveJob)
+			for _, d := range groupDecisions {
+				if d.Action == ActionCap {
+					decision = d // headline decision: the first group cap
+					break
+				}
+			}
+		}
+	}
+
+	inc := &Incident{
+		Time:           s.Timestamp,
+		Machine:        m.machine,
+		Victim:         s.Task,
+		VictimJob:      s.Job,
+		VictimCPI:      s.CPI,
+		Threshold:      a.Threshold,
+		Suspects:       ranked,
+		Decision:       decision,
+		Group:          group,
+		GroupDecisions: groupDecisions,
+	}
+	m.mu.Lock()
+	m.incidents = append(m.incidents, *inc)
+	if len(m.incidents) > m.maxIncidents {
+		m.incidents = m.incidents[len(m.incidents)-m.maxIncidents:]
+	}
+	m.mu.Unlock()
+	return inc
+}
+
+func (m *Manager) resolveJob(name model.JobName) (model.Job, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[name]
+	return j, ok
+}
+
+// Tick expires caps; call once per simulated second (or wall second).
+func (m *Manager) Tick(now time.Time) []model.TaskID {
+	return m.enforcer.Tick(now)
+}
+
+// Incidents returns a copy of the recorded incidents.
+func (m *Manager) Incidents() []Incident {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]Incident, len(m.incidents))
+	copy(out, m.incidents)
+	return out
+}
+
+// UsageSeries returns the recorded CPU-usage series for a task (nil
+// if unknown); the experiment harness uses it for case-study plots.
+func (m *Manager) UsageSeries(task model.TaskID) *timeseries.Series {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.usage[task]
+}
+
+// CPISeries returns the recorded CPI series for a task (nil if
+// unknown).
+func (m *Manager) CPISeries(task model.TaskID) *timeseries.Series {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.cpi[task]
+}

@@ -1,0 +1,178 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/model"
+)
+
+// managerFixture builds a manager with a victim job spec and two
+// co-located suspect tasks whose usage histories the manager records.
+func managerFixture(t *testing.T) (*Manager, *fakeCapper) {
+	t.Helper()
+	capper := newFakeCapper()
+	m := NewManager("machine-1", DefaultParams(), capper)
+	m.RegisterJob(victimJob)
+	m.RegisterJob(model.Job{Name: "mapreduce", Class: model.ClassBatch, Priority: model.PriorityBatch})
+	m.RegisterJob(model.Job{Name: "bigtable", Class: model.ClassLatencySensitive, Priority: model.PriorityProduction})
+	m.UpdateSpec(model.Spec{
+		Job: "search", Platform: model.PlatformA,
+		NumSamples: 100000, NumTasks: 300,
+		CPIMean: 1.0, CPIStddev: 0.1,
+	})
+	return m, capper
+}
+
+// feed sends one minute-aligned sample for a task.
+func feed(m *Manager, job model.JobName, idx, minute int, usage, cpi float64) *Incident {
+	return m.Observe(model.Sample{
+		Job:       job,
+		Task:      model.TaskID{Job: job, Index: idx},
+		Platform:  model.PlatformA,
+		Timestamp: day0.Add(time.Duration(minute) * time.Minute),
+		CPUUsage:  usage,
+		CPI:       cpi,
+		Machine:   "machine-1",
+	})
+}
+
+func TestManagerEndToEndIncident(t *testing.T) {
+	m, capper := managerFixture(t)
+	// Build up co-runner usage history: the antagonist is hot exactly
+	// when the victim's CPI is high.
+	var inc *Incident
+	for min := 0; min < 10; min++ {
+		victimCPI := 1.0
+		antagUsage := 0.2
+		if min >= 4 { // interference starts at minute 4
+			victimCPI = 2.5
+			antagUsage = 4.0
+		}
+		feed(m, "mapreduce", 0, min, antagUsage, 1.5)
+		feed(m, "bigtable", 0, min, 1.0, 0.9)
+		if got := feed(m, "search", 0, min, 1.2, victimCPI); got != nil && inc == nil {
+			inc = got // first incident: later rounds see the cap in place
+		}
+	}
+	if inc == nil {
+		t.Fatal("no incident detected")
+	}
+	if inc.Victim != (model.TaskID{Job: "search", Index: 0}) {
+		t.Errorf("victim = %v", inc.Victim)
+	}
+	if len(inc.Suspects) == 0 || inc.Suspects[0].Job != "mapreduce" {
+		t.Fatalf("top suspect = %+v", inc.Suspects)
+	}
+	if inc.Decision.Action != ActionCap {
+		t.Fatalf("decision = %+v", inc.Decision)
+	}
+	if q, ok := capper.quota(model.TaskID{Job: "mapreduce", Index: 0}); !ok || q != 0.1 {
+		t.Errorf("cap = %v,%v", q, ok)
+	}
+	if len(m.Incidents()) == 0 {
+		t.Error("incident not logged")
+	}
+}
+
+func TestManagerNoIncidentWithoutAnomaly(t *testing.T) {
+	m, _ := managerFixture(t)
+	for min := 0; min < 10; min++ {
+		feed(m, "mapreduce", 0, min, 3.0, 1.5)
+		if inc := feed(m, "search", 0, min, 1.2, 1.05); inc != nil {
+			t.Fatalf("incident on healthy CPI: %+v", inc)
+		}
+	}
+}
+
+func TestManagerAnalysisRateLimit(t *testing.T) {
+	p := DefaultParams()
+	p.AnalysisRateLimit = 10 * time.Minute // very coarse for the test
+	capper := newFakeCapper()
+	m := NewManager("m", p, capper)
+	m.RegisterJob(victimJob)
+	m.RegisterJob(model.Job{Name: "mapreduce", Class: model.ClassBatch, Priority: model.PriorityBatch})
+	m.UpdateSpec(model.Spec{
+		Job: "search", Platform: model.PlatformA,
+		NumSamples: 100000, NumTasks: 300, CPIMean: 1.0, CPIStddev: 0.1,
+	})
+	incidents := 0
+	for min := 0; min < 9; min++ {
+		feed(m, "mapreduce", 0, min, 4.0, 1.5)
+		if inc := feed(m, "search", 0, min, 1.2, 3.0); inc != nil {
+			incidents++
+		}
+	}
+	// Anomalous from minute 2 onward (3 violations), but rate-limited
+	// to one analysis per 10 minutes → exactly 1 incident.
+	if incidents != 1 {
+		t.Errorf("incidents = %d, want 1 under rate limit", incidents)
+	}
+}
+
+func TestManagerCapExpiryViaTick(t *testing.T) {
+	m, capper := managerFixture(t)
+	for min := 0; min < 6; min++ {
+		feed(m, "mapreduce", 0, min, 4.0, 1.5)
+		feed(m, "search", 0, min, 1.2, 3.0)
+	}
+	target := model.TaskID{Job: "mapreduce", Index: 0}
+	if _, ok := capper.quota(target); !ok {
+		t.Fatal("no cap applied")
+	}
+	released := m.Tick(day0.Add(30 * time.Minute))
+	if len(released) != 1 || released[0] != target {
+		t.Errorf("released = %v", released)
+	}
+	if _, ok := capper.quota(target); ok {
+		t.Error("still capped after Tick past expiry")
+	}
+}
+
+func TestManagerTaskExitedClearsState(t *testing.T) {
+	m, _ := managerFixture(t)
+	feed(m, "search", 0, 0, 1.2, 1.0)
+	task := model.TaskID{Job: "search", Index: 0}
+	if m.CPISeries(task) == nil || m.UsageSeries(task) == nil {
+		t.Fatal("series not recorded")
+	}
+	m.TaskExited(task)
+	if m.CPISeries(task) != nil || m.UsageSeries(task) != nil {
+		t.Error("series not cleared")
+	}
+	if m.Detector().TrackedTasks() != 0 {
+		t.Error("detector state not cleared")
+	}
+}
+
+func TestManagerUnknownVictimJobDefaultsProtected(t *testing.T) {
+	// A victim whose job metadata never arrived is treated as
+	// latency-sensitive (fail-safe: protecting is cheaper than paging).
+	p := DefaultParams()
+	capper := newFakeCapper()
+	m := NewManager("m", p, capper)
+	m.RegisterJob(model.Job{Name: "mapreduce", Class: model.ClassBatch, Priority: model.PriorityBatch})
+	m.UpdateSpec(model.Spec{
+		Job: "mystery", Platform: model.PlatformA,
+		NumSamples: 100000, NumTasks: 300, CPIMean: 1.0, CPIStddev: 0.1,
+	})
+	for min := 0; min < 8; min++ {
+		feed(m, "mapreduce", 0, min, 4.0, 1.5)
+		feed(m, "mystery", 0, min, 1.2, 3.0)
+	}
+	if len(capper.caps) == 0 {
+		t.Error("unknown victim job was not protected")
+	}
+}
+
+func TestManagerIncidentLogBounded(t *testing.T) {
+	m, _ := managerFixture(t)
+	m.maxIncidents = 3
+	for min := 0; min < 20; min++ {
+		feed(m, "mapreduce", 0, min, 4.0, 1.5)
+		feed(m, "search", 0, min, 1.2, 3.0)
+	}
+	if got := len(m.Incidents()); got > 3 {
+		t.Errorf("incident log grew to %d", got)
+	}
+}

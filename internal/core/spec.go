@@ -1,0 +1,211 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/model"
+	"repro/internal/stats"
+)
+
+// SpecBuilder is the data-aggregation component of CPI² (Figure 6's
+// "CPI sample-aggregator"): it folds per-task CPI samples into per
+// job×platform CPI specs, periodically recomputing them and blending
+// in history with age-weighting (the paper multiplies the previous
+// day's contribution by ≈0.9 before averaging it with fresh data).
+//
+// SpecBuilder is safe for concurrent use: the pipeline collector feeds
+// samples from many machines while the push component reads specs.
+type SpecBuilder struct {
+	params Params
+
+	mu            sync.Mutex
+	pending       map[model.SpecKey]*pendingAgg
+	history       map[model.SpecKey]*specHistory
+	specs         map[model.SpecKey]model.Spec
+	lastRecompute time.Time
+}
+
+// pendingAgg accumulates the current (not yet recomputed) interval.
+type pendingAgg struct {
+	cpi      stats.Moments
+	cpuUsage stats.Moments
+	tasks    map[model.TaskID]int64 // samples per task
+}
+
+// specHistory is the age-weighted carry-over from prior intervals.
+type specHistory struct {
+	weight    float64 // effective sample count after decay
+	mean      float64
+	variance  float64
+	usageMean float64
+	tasks     int
+}
+
+// NewSpecBuilder returns a builder using p (sanitized).
+func NewSpecBuilder(p Params) *SpecBuilder {
+	return &SpecBuilder{
+		params:  p.Sanitize(),
+		pending: make(map[model.SpecKey]*pendingAgg),
+		history: make(map[model.SpecKey]*specHistory),
+		specs:   make(map[model.SpecKey]model.Spec),
+	}
+}
+
+// AddSample folds one sample into the pending aggregation. Invalid
+// samples are rejected. Samples from tasks using almost no CPU are
+// still aggregated — the spec describes the job's whole population —
+// but near-zero-CPI garbage (no instructions retired) is dropped.
+func (b *SpecBuilder) AddSample(s model.Sample) error {
+	if err := s.Validate(); err != nil {
+		return err
+	}
+	if s.CPI == 0 {
+		return fmt.Errorf("core: sample with zero CPI for %v", s.Task)
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	key := model.SpecKey{Job: s.Job, Platform: s.Platform}
+	agg, ok := b.pending[key]
+	if !ok {
+		agg = &pendingAgg{tasks: make(map[model.TaskID]int64)}
+		b.pending[key] = agg
+	}
+	agg.cpi.Add(s.CPI)
+	agg.cpuUsage.Add(s.CPUUsage)
+	agg.tasks[s.Task]++
+	return nil
+}
+
+// PendingSamples returns how many samples are queued for key in the
+// current interval, for tests and introspection.
+func (b *SpecBuilder) PendingSamples(key model.SpecKey) int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if agg, ok := b.pending[key]; ok {
+		return agg.cpi.N()
+	}
+	return 0
+}
+
+// Recompute folds the pending interval into history with
+// age-weighting and regenerates all specs, stamped with now. It
+// returns the specs that pass the robustness gates (≥ MinTasks tasks,
+// ≥ MinSamplesPerTask samples per task), which are the ones the
+// pipeline pushes to machines.
+func (b *SpecBuilder) Recompute(now time.Time) []model.Spec {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.lastRecompute = now
+
+	for key, agg := range b.pending {
+		h := b.history[key]
+		if h == nil {
+			h = &specHistory{}
+			b.history[key] = h
+		}
+		n := float64(agg.cpi.N())
+		if n == 0 {
+			continue
+		}
+		// Age-weight the carried history, then merge the fresh interval
+		// as a weighted combination of two populations.
+		w := h.weight * b.params.AgeWeight
+		freshMean := agg.cpi.Mean()
+		freshVar := agg.cpi.Variance()
+		tot := w + n
+		delta := freshMean - h.mean
+		mean := h.mean + delta*n/tot
+		// Combine variances about the new mean (parallel-variance form).
+		variance := (w*(h.variance+(mean-h.mean)*(mean-h.mean)) +
+			n*(freshVar+(mean-freshMean)*(mean-freshMean))) / tot
+		h.mean = mean
+		h.variance = variance
+		h.weight = tot
+		h.usageMean = (w*h.usageMean + n*agg.cpuUsage.Mean()) / tot
+		h.tasks = len(agg.tasks)
+	}
+	// Decay history for keys with no fresh samples too, so an idle
+	// job's stale spec loses influence over time.
+	for key, h := range b.history {
+		if _, fresh := b.pending[key]; !fresh {
+			h.weight *= b.params.AgeWeight
+			if h.weight < 1 {
+				delete(b.history, key)
+				delete(b.specs, key)
+			}
+		}
+	}
+	b.pending = make(map[model.SpecKey]*pendingAgg)
+
+	var out []model.Spec
+	for key, h := range b.history {
+		spec := model.Spec{
+			Job:          key.Job,
+			Platform:     key.Platform,
+			NumSamples:   int64(h.weight + 0.5),
+			NumTasks:     h.tasks,
+			CPUUsageMean: h.usageMean,
+			CPIMean:      h.mean,
+			CPIStddev:    sqrt(h.variance),
+			UpdatedAt:    now,
+		}
+		b.specs[key] = spec
+		if spec.Robust(b.params.MinTasks, b.params.MinSamplesPerTask) {
+			out = append(out, spec)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Job != out[j].Job {
+			return out[i].Job < out[j].Job
+		}
+		return out[i].Platform < out[j].Platform
+	})
+	return out
+}
+
+func sqrt(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return math.Sqrt(x)
+}
+
+// Spec returns the latest computed spec for key (robust or not).
+func (b *SpecBuilder) Spec(key model.SpecKey) (model.Spec, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	s, ok := b.specs[key]
+	return s, ok
+}
+
+// Specs returns all computed specs, sorted by key.
+func (b *SpecBuilder) Specs() []model.Spec {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make([]model.Spec, 0, len(b.specs))
+	for _, s := range b.specs {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Job != out[j].Job {
+			return out[i].Job < out[j].Job
+		}
+		return out[i].Platform < out[j].Platform
+	})
+	return out
+}
+
+// Due reports whether a recompute is due at now, given the configured
+// SpecRecomputeInterval.
+func (b *SpecBuilder) Due(now time.Time) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.lastRecompute.IsZero() {
+		return true
+	}
+	return now.Sub(b.lastRecompute) >= b.params.SpecRecomputeInterval
+}

@@ -1,0 +1,300 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/interference"
+	"repro/internal/model"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// Ablations: each experiment removes or varies one CPI² design choice
+// and measures what breaks, justifying the Table 2 defaults.
+
+func init() {
+	register("ablation-filter", ablationFilter)
+	register("ablation-detector", ablationDetector)
+	register("ablation-window", ablationWindow)
+	register("ablation-feedback", ablationFeedback)
+	register("ablation-ageweight", ablationAgeWeight)
+}
+
+// ablationFilter: the ≥0.25 CPU-sec/sec filter exists because of
+// Case 3's self-inflicted pattern. Turn it off and the bimodal
+// front-end floods the system with false incidents.
+func ablationFilter(o Options) (*Report, error) {
+	run := func(minUsage float64) (incidents, caps int) {
+		p := core.DefaultParams()
+		p.MinCPUUsage = minUsage
+		r := newCaseRig(o.Seed, p)
+		victim := model.TaskID{Job: "front-end", Index: 0}
+		r.add(victim, lsJob("front-end"), workload.CaseThreeProfile(), workload.NewBimodal())
+		victimSpec(r, "front-end", 3.0, 0.4)
+		quietTenants(r, 20, o.Seed)
+		r.run(60 * time.Minute)
+		for _, inc := range r.inc {
+			incidents++
+			if inc.Decision.Action == core.ActionCap {
+				caps++
+			}
+		}
+		return incidents, caps
+	}
+	// MinCPUUsage can't be zero (Sanitize treats 0 as unset), so "off"
+	// is a value below any real usage.
+	offIncidents, offCaps := run(0.001)
+	onIncidents, onCaps := run(0.25)
+
+	rep := &Report{
+		ID:    "ablation-filter",
+		Title: "ablation: the minimum-CPU-usage filter (Case 3 defence)",
+		PaperClaim: "CPI sometimes increases significantly when CPU usage drops " +
+			"toward zero; the ≥0.25 CPU-sec/sec filter was developed to suppress " +
+			"this class of false alarm",
+	}
+	rep.AddMetric("false incidents, filter off", float64(offIncidents), 0, "1h of one bimodal task")
+	rep.AddMetric("innocent caps, filter off", float64(offCaps), 0, "")
+	rep.AddMetric("false incidents, filter on", float64(onIncidents), 0, "")
+	rep.AddMetric("innocent caps, filter on", float64(onCaps), 0, "")
+	return rep, nil
+}
+
+// detectorTrial runs one victim/antagonist machine with given detector
+// parameters and reports (minutes to first cap, false incidents during
+// a healthy hour).
+func detectorTrial(seed int64, sigma float64, violations int) (detectMinutes float64, falseIncidents int) {
+	p := core.DefaultParams()
+	p.OutlierSigma = sigma
+	p.ViolationsRequired = violations
+	r := newCaseRig(seed, p)
+	victim := model.TaskID{Job: "svc", Index: 0}
+	vprof := &interference.Profile{
+		DefaultCPI: 1.0, CacheFootprint: 1.2, MemBandwidth: 0.6,
+		Sensitivity: 1.2, BaseL3MPKI: 2, NoiseSigma: 0.12,
+	}
+	r.add(victim, lsJob("svc"), vprof, &workload.Steady{CPU: 1.2, Threads: 12})
+	victimSpec(r, "svc", 1.02, 0.1)
+	quietTenants(r, 15, seed)
+
+	// Healthy hour: any incident is a false alarm (noise-triggered).
+	r.run(60 * time.Minute)
+	falseIncidents = len(r.inc)
+
+	// Antagonist lands; time to the first cap.
+	antag := model.TaskID{Job: "hog", Index: 0}
+	r.add(antag, batchJob("hog", model.PriorityBatch),
+		&interference.Profile{
+			DefaultCPI: 1.5, CacheFootprint: 6, MemBandwidth: 5,
+			Sensitivity: 0.1, BaseL3MPKI: 10, NoiseSigma: 0.05,
+		}, &workload.Steady{CPU: 5, Threads: 16})
+	landed := r.now
+	detectMinutes = -1
+	for i := 0; i < 30; i++ {
+		r.run(time.Minute)
+		for _, inc := range r.inc[falseIncidents:] {
+			if inc.Decision.Action == core.ActionCap {
+				detectMinutes = inc.Time.Sub(landed).Minutes()
+				return detectMinutes, falseIncidents
+			}
+		}
+	}
+	return detectMinutes, falseIncidents
+}
+
+// ablationDetector: sweep the outlier σ and the 3-in-5 rule, measuring
+// the false-alarm/detection-latency trade-off that motivates 2σ + 3.
+func ablationDetector(o Options) (*Report, error) {
+	rep := &Report{
+		ID:    "ablation-detector",
+		Title: "ablation: outlier threshold and violation count",
+		PaperClaim: "2σ flags ≈5% of samples; requiring 3 violations in 5 minutes " +
+			"suppresses noise-induced false alarms at the cost of ~3 minutes of " +
+			"detection latency",
+	}
+	body := "  sigma  violations  false-alarms/h  minutes-to-cap\n"
+	type cfg struct {
+		sigma      float64
+		violations int
+	}
+	for _, c := range []cfg{
+		{1, 1}, {2, 1}, {2, 3}, {3, 3},
+	} {
+		detect, falseAlarms := detectorTrial(o.Seed, c.sigma, c.violations)
+		body += fmt.Sprintf("  %5.0f  %10d  %14d  %14.1f\n", c.sigma, c.violations, falseAlarms, detect)
+		switch {
+		case c.sigma == 1 && c.violations == 1:
+			rep.AddMetric("false alarms/h @1σ,1 violation", float64(falseAlarms), 0, "hair trigger")
+		case c.sigma == 2 && c.violations == 3:
+			rep.AddMetric("false alarms/h @2σ,3 violations", float64(falseAlarms), 0, "the paper's setting")
+			rep.AddMetric("minutes to cap @2σ,3 violations", detect, 0, "")
+		case c.sigma == 3 && c.violations == 3:
+			rep.AddMetric("minutes to cap @3σ,3 violations", detect, 0, "slower but stricter")
+		}
+	}
+	rep.Body = body
+	return rep, nil
+}
+
+// ablationWindow: the 10-minute correlation window balances evidence
+// against staleness for a pulsed antagonist.
+func ablationWindow(o Options) (*Report, error) {
+	run := func(window time.Duration) (rightPicks, caps int) {
+		p := core.DefaultParams()
+		p.CorrelationWindow = window
+		r := newCaseRig(o.Seed, p)
+		victim := model.TaskID{Job: "svc", Index: 0}
+		vprof := &interference.Profile{
+			DefaultCPI: 1.0, CacheFootprint: 1.2, MemBandwidth: 0.6,
+			Sensitivity: 1.2, BaseL3MPKI: 2, NoiseSigma: 0.06,
+		}
+		r.add(victim, lsJob("svc"), vprof, &workload.Steady{CPU: 1.2, Threads: 12})
+		victimSpec(r, "svc", 1.02, 0.1)
+		quietTenants(r, 15, o.Seed)
+		// A bursty decoy that was hot before the antagonist arrived.
+		decoy := model.TaskID{Job: "decoy", Index: 0}
+		r.add(decoy, batchJob("decoy", model.PriorityBatch),
+			&interference.Profile{DefaultCPI: 1.1, CacheFootprint: 0.2, MemBandwidth: 0.1, Sensitivity: 0.2, BaseL3MPKI: 1},
+			&workload.Pulse{OnCPU: 4, OffCPU: 0.2, OnFor: 5 * time.Minute, OffFor: 5 * time.Minute, Threads: 8})
+		r.run(20 * time.Minute)
+		antag := model.TaskID{Job: "hog", Index: 0}
+		r.add(antag, batchJob("hog", model.PriorityBatch),
+			&interference.Profile{
+				DefaultCPI: 1.5, CacheFootprint: 6, MemBandwidth: 5,
+				Sensitivity: 0.1, BaseL3MPKI: 10, NoiseSigma: 0.05,
+			},
+			&workload.Pulse{OnCPU: 5, OffCPU: 0.3, OnFor: 3 * time.Minute, OffFor: 2 * time.Minute, Threads: 16})
+		r.run(30 * time.Minute)
+		for _, inc := range r.inc {
+			if inc.Decision.Action != core.ActionCap {
+				continue
+			}
+			caps++
+			if inc.Decision.Target == antag {
+				rightPicks++
+			}
+		}
+		return rightPicks, caps
+	}
+	rep := &Report{
+		ID:    "ablation-window",
+		Title: "ablation: correlation window length",
+		PaperClaim: "the paper uses a 10-minute window: long enough to accumulate " +
+			"evidence across antagonist bursts, short enough that stale activity " +
+			"doesn't implicate bygones",
+	}
+	body := "  window  right-picks  caps  accuracy\n"
+	for _, w := range []time.Duration{2 * time.Minute, 10 * time.Minute, 30 * time.Minute} {
+		right, caps := run(w)
+		acc := 0.0
+		if caps > 0 {
+			acc = float64(right) / float64(caps)
+		}
+		body += fmt.Sprintf("  %6s  %11d  %4d  %7.0f%%\n", w, right, caps, acc*100)
+		if w == 10*time.Minute {
+			rep.AddMetric("accuracy @10min window", acc, 0, "fraction of caps hitting the true antagonist")
+		}
+		if w == 2*time.Minute {
+			rep.AddMetric("accuracy @2min window", acc, 0, "")
+		}
+	}
+	rep.Body = body
+	return rep, nil
+}
+
+// ablationFeedback: fixed 0.1 caps versus §9 feedback throttling
+// against an antagonist that keeps coming back.
+func ablationFeedback(o Options) (*Report, error) {
+	run := func(feedback bool) (victimMeanCPI float64, antagWork float64) {
+		p := core.DefaultParams()
+		p.FeedbackThrottling = feedback
+		r := newCaseRig(o.Seed, p)
+		victim := model.TaskID{Job: "svc", Index: 0}
+		vprof := &interference.Profile{
+			DefaultCPI: 1.0, CacheFootprint: 1.2, MemBandwidth: 0.6,
+			Sensitivity: 1.2, BaseL3MPKI: 2, NoiseSigma: 0.05,
+		}
+		r.add(victim, lsJob("svc"), vprof, &workload.Steady{CPU: 1.2, Threads: 12})
+		victimSpec(r, "svc", 1.02, 0.1)
+		quietTenants(r, 10, o.Seed)
+		mr := workload.NewMapReduce(5.0, workload.ReactTolerate)
+		antag := model.TaskID{Job: "hog", Index: 0}
+		r.add(antag, batchJob("hog", model.PriorityBatch),
+			&interference.Profile{
+				DefaultCPI: 1.5, CacheFootprint: 6, MemBandwidth: 5,
+				Sensitivity: 0.1, BaseL3MPKI: 10, NoiseSigma: 0.05,
+			}, mr)
+		r.run(2 * time.Hour)
+		cpis := r.a.Manager().CPISeries(victim)
+		victimMeanCPI = stats.Mean(cpis.Values())
+		return victimMeanCPI, mr.Work()
+	}
+	fixedCPI, fixedWork := run(false)
+	fbCPI, fbWork := run(true)
+	rep := &Report{
+		ID:    "ablation-feedback",
+		Title: "ablation: fixed vs feedback-driven throttling (§9)",
+		PaperClaim: "fixed hard-capping limits are crude; a feedback policy should " +
+			"keep victim degradation just below threshold while costing repeat " +
+			"offenders more each round",
+	}
+	rep.AddMetric("victim mean CPI, fixed quota", fixedCPI, 0, "2h with a recurring antagonist")
+	rep.AddMetric("victim mean CPI, feedback", fbCPI, 0, "")
+	rep.AddMetric("antagonist work, fixed quota", fixedWork, 0, "CPU-sec completed")
+	rep.AddMetric("antagonist work, feedback", fbWork, 0, "repeat offences cost more")
+	return rep, nil
+}
+
+// ablationAgeWeight: after a job changes behaviour (new binary), the
+// ×0.9/day age weighting converges the spec; without it, history
+// pins the spec to the old behaviour.
+func ablationAgeWeight(o Options) (*Report, error) {
+	day0 := time.Date(2011, 11, 1, 0, 0, 0, 0, time.UTC)
+	run := func(ageWeight float64) (daysToConverge int, finalMean float64) {
+		p := core.DefaultParams()
+		p.AgeWeight = ageWeight
+		b := core.NewSpecBuilder(p)
+		feed := func(day int, mean float64) {
+			for task := 0; task < 10; task++ {
+				for i := 0; i < 100; i++ {
+					_ = b.AddSample(model.Sample{
+						Job: "j", Task: model.TaskID{Job: "j", Index: task},
+						Platform:  model.PlatformA,
+						Timestamp: day0.Add(time.Duration(day*1440+i) * time.Minute),
+						CPUUsage:  1, CPI: mean,
+					})
+				}
+			}
+			b.Recompute(day0.Add(time.Duration(day+1) * 24 * time.Hour))
+		}
+		// 30 days at CPI 1.0, then the job's new release runs at 2.0.
+		for day := 0; day < 30; day++ {
+			feed(day, 1.0)
+		}
+		daysToConverge = -1
+		for day := 30; day < 90; day++ {
+			feed(day, 2.0)
+			s, _ := b.Spec(model.SpecKey{Job: "j", Platform: model.PlatformA})
+			finalMean = s.CPIMean
+			if daysToConverge < 0 && s.CPIMean > 1.9 {
+				daysToConverge = day - 30 + 1
+			}
+		}
+		return daysToConverge, finalMean
+	}
+	fastDays, fastMean := run(0.9)
+	slowDays, slowMean := run(0.999) // effectively frozen history
+	rep := &Report{
+		ID:    "ablation-ageweight",
+		Title: "ablation: spec age-weighting (×0.9/day)",
+		PaperClaim: "historical data is age-weighted by ≈0.9/day so specs adapt " +
+			"when a job's behaviour changes",
+	}
+	rep.AddMetric("days to adapt, weight 0.9", float64(fastDays), 0, "-1 = never within 60 days")
+	rep.AddMetric("final spec mean, weight 0.9", fastMean, 2.0, "")
+	rep.AddMetric("days to adapt, weight 0.999", float64(slowDays), 0, "")
+	rep.AddMetric("final spec mean, weight 0.999", slowMean, 0, "stuck between old and new")
+	return rep, nil
+}

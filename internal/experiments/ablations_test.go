@@ -1,0 +1,126 @@
+package experiments
+
+import "testing"
+
+func TestAblationFilter(t *testing.T) {
+	rep := mustRun(t, "ablation-filter")
+	off := metric(t, rep, "false incidents, filter off")
+	on := metric(t, rep, "false incidents, filter on")
+	if off < 5 {
+		t.Errorf("filter-off false incidents = %v, want many", off)
+	}
+	if on != 0 {
+		t.Errorf("filter-on false incidents = %v, want 0", on)
+	}
+}
+
+func TestAblationDetector(t *testing.T) {
+	rep := mustRun(t, "ablation-detector")
+	hair := metric(t, rep, "false alarms/h @1σ,1 violation")
+	paper := metric(t, rep, "false alarms/h @2σ,3 violations")
+	if hair < 5 {
+		t.Errorf("1σ/1-violation false alarms = %v, want many", hair)
+	}
+	if paper > 2 {
+		t.Errorf("2σ/3-violation false alarms = %v, want ≈0", paper)
+	}
+	lat := metric(t, rep, "minutes to cap @2σ,3 violations")
+	if lat < 1 || lat > 10 {
+		t.Errorf("detection latency = %v min, want a few minutes", lat)
+	}
+}
+
+func TestAblationWindow(t *testing.T) {
+	rep := mustRun(t, "ablation-window")
+	acc10 := metric(t, rep, "accuracy @10min window")
+	if acc10 <= 0 {
+		t.Errorf("accuracy @10min = %v, want > 0", acc10)
+	}
+}
+
+func TestAblationFeedback(t *testing.T) {
+	rep := mustRun(t, "ablation-feedback")
+	fixed := metric(t, rep, "victim mean CPI, fixed quota")
+	fb := metric(t, rep, "victim mean CPI, feedback")
+	if fixed <= 0 || fb <= 0 {
+		t.Fatal("missing CPI metrics")
+	}
+	// Feedback must not make the victim worse.
+	if fb > fixed*1.05 {
+		t.Errorf("feedback victim CPI %v worse than fixed %v", fb, fixed)
+	}
+	// Repeat offences cost the antagonist throughput.
+	if w := metric(t, rep, "antagonist work, feedback"); w > metric(t, rep, "antagonist work, fixed quota") {
+		t.Errorf("feedback antagonist work %v exceeds fixed", w)
+	}
+}
+
+func TestExtGroup(t *testing.T) {
+	rep := mustRun(t, "ext-group")
+	if best := metric(t, rep, "best individual correlation"); best >= 0.35 {
+		t.Errorf("best individual corr = %v; scenario should stay under threshold", best)
+	}
+	if off := metric(t, rep, "caps without group detection"); off != 0 {
+		t.Errorf("stock CPI² capped %v tasks; scenario should evade it", off)
+	}
+	if on := metric(t, rep, "caps with group detection"); on < 2 {
+		t.Errorf("group detection capped only %v tasks", on)
+	}
+	if size := metric(t, rep, "detected group size"); size != 3 {
+		t.Errorf("group size = %v, want 3", size)
+	}
+	if r := metric(t, rep, "group correlation (Pearson)"); r < 0.8 {
+		t.Errorf("group correlation = %v, want strong", r)
+	}
+}
+
+func TestExtNUMA(t *testing.T) {
+	rep := mustRun(t, "ext-numa")
+	if caps := metric(t, rep, "caps, shared socket"); caps == 0 {
+		t.Error("no caps on the shared-socket machine")
+	}
+	if cpi := metric(t, rep, "victim CPI, shared socket"); cpi < 1.5 {
+		t.Errorf("shared-socket victim CPI = %v, want inflated", cpi)
+	}
+	if cpi := metric(t, rep, "victim CPI, cross socket"); cpi > 1.2 {
+		t.Errorf("cross-socket victim CPI = %v, want ≈1", cpi)
+	}
+	if incs := metric(t, rep, "incidents, cross socket"); incs != 0 {
+		t.Errorf("cross-socket incidents = %v, want 0", incs)
+	}
+}
+
+func TestExtStraggler(t *testing.T) {
+	rep := mustRun(t, "ext-straggler")
+	unprot := metric(t, rep, "victim mean CPI, no enforcement")
+	prot := metric(t, rep, "victim mean CPI, CPI² enforcing")
+	if prot >= unprot {
+		t.Errorf("enforcement did not help the victim: %v vs %v", prot, unprot)
+	}
+	if caps := metric(t, rep, "caps applied"); caps == 0 {
+		t.Fatal("no caps applied")
+	}
+	if b := metric(t, rep, "backup shards launched"); b == 0 {
+		t.Error("no backups — straggler handling never engaged")
+	}
+	// The §2 claim: completion grows modestly, not by the ~10× a
+	// stalled shard would cost without backups.
+	if ratio := metric(t, rep, "completion ratio"); ratio > 2.5 {
+		t.Errorf("completion ratio = %v, want modest", ratio)
+	}
+}
+
+func TestAblationAgeWeight(t *testing.T) {
+	rep := mustRun(t, "ablation-ageweight")
+	fast := metric(t, rep, "days to adapt, weight 0.9")
+	slow := metric(t, rep, "days to adapt, weight 0.999")
+	if fast <= 0 || fast > 40 {
+		t.Errorf("0.9 weight adapted in %v days, want within weeks", fast)
+	}
+	if slow != -1 {
+		t.Errorf("0.999 weight adapted in %v days, want never (within 60)", slow)
+	}
+	if m := metric(t, rep, "final spec mean, weight 0.9"); m < 1.9 {
+		t.Errorf("0.9-weight final mean = %v, want ≈2.0", m)
+	}
+}

@@ -1,0 +1,200 @@
+// Package experiments regenerates every table and figure of the
+// paper's evaluation from the simulated cluster. Each experiment is a
+// named function returning a Report: the measured metrics, the
+// paper's corresponding claim, and a rendered text representation
+// (tables, CDFs, time series) comparable against the paper's plots.
+//
+// Experiments accept an Options with a Scale knob: 1.0 approximates
+// the paper's population sizes (thousands of tasks, multi-day runs);
+// the default bench/test scale is much smaller but preserves every
+// qualitative shape (who wins, where the crossovers are).
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Options configures an experiment run.
+type Options struct {
+	// Seed roots all randomness (default 1).
+	Seed int64
+	// Scale multiplies population sizes and durations; 1.0 is
+	// paper-scale, 0.05–0.2 is the quick default. Values ≤ 0 mean 0.1.
+	Scale float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.Scale <= 0 {
+		o.Scale = 0.1
+	}
+	return o
+}
+
+// scaleInt scales n by o.Scale with a floor.
+func (o Options) scaleInt(n, min int) int {
+	v := int(float64(n) * o.Scale)
+	if v < min {
+		v = min
+	}
+	return v
+}
+
+// Metric is one named measured value, optionally paired with the
+// paper's value for the same quantity.
+type Metric struct {
+	Name     string
+	Measured float64
+	Paper    float64 // 0 if the paper gives no single number
+	Note     string
+}
+
+// Report is an experiment's output.
+type Report struct {
+	ID         string
+	Title      string
+	PaperClaim string
+	Metrics    []Metric
+	// Body is preformatted detail (tables, ASCII plots).
+	Body string
+}
+
+// Metric returns the named metric (zero Metric if absent).
+func (r *Report) Metric(name string) Metric {
+	for _, m := range r.Metrics {
+		if m.Name == name {
+			return m
+		}
+	}
+	return Metric{}
+}
+
+// AddMetric appends a metric.
+func (r *Report) AddMetric(name string, measured, paper float64, note string) {
+	r.Metrics = append(r.Metrics, Metric{Name: name, Measured: measured, Paper: paper, Note: note})
+}
+
+// String renders the report.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", r.ID, r.Title)
+	fmt.Fprintf(&b, "paper: %s\n", r.PaperClaim)
+	if len(r.Metrics) > 0 {
+		w := 0
+		for _, m := range r.Metrics {
+			if len(m.Name) > w {
+				w = len(m.Name)
+			}
+		}
+		for _, m := range r.Metrics {
+			fmt.Fprintf(&b, "  %-*s  measured %10.4g", w, m.Name, m.Measured)
+			if m.Paper != 0 {
+				fmt.Fprintf(&b, "   paper %10.4g", m.Paper)
+			}
+			if m.Note != "" {
+				fmt.Fprintf(&b, "   (%s)", m.Note)
+			}
+			b.WriteByte('\n')
+		}
+	}
+	if r.Body != "" {
+		b.WriteString(r.Body)
+		if !strings.HasSuffix(r.Body, "\n") {
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}
+
+// CSV renders the report's metrics as comma-separated rows
+// (experiment, metric, measured, paper, note), one per metric, with a
+// header when header is true. Quotes in notes are stripped rather than
+// escaped — notes are prose, not data.
+func (r *Report) CSV(header bool) string {
+	var b strings.Builder
+	if header {
+		b.WriteString("experiment,metric,measured,paper,note\n")
+	}
+	clean := func(s string) string {
+		s = strings.ReplaceAll(s, `"`, "")
+		s = strings.ReplaceAll(s, ",", ";")
+		return s
+	}
+	for _, m := range r.Metrics {
+		fmt.Fprintf(&b, "%s,%s,%g,%g,%s\n", r.ID, clean(m.Name), m.Measured, m.Paper, clean(m.Note))
+	}
+	return b.String()
+}
+
+// Func is an experiment entry point.
+type Func func(Options) (*Report, error)
+
+// registry of experiments by ID.
+var registry = map[string]Func{}
+var registryOrder []string
+
+func register(id string, f Func) {
+	if _, dup := registry[id]; dup {
+		panic("experiments: duplicate id " + id)
+	}
+	registry[id] = f
+	registryOrder = append(registryOrder, id)
+}
+
+// Run executes the experiment with the given ID.
+func Run(id string, opts Options) (*Report, error) {
+	f, ok := registry[id]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown experiment %q (have: %s)",
+			id, strings.Join(IDs(), ", "))
+	}
+	return f(opts.withDefaults())
+}
+
+// IDs lists the registered experiments in registration order.
+func IDs() []string {
+	out := make([]string, len(registryOrder))
+	copy(out, registryOrder)
+	return out
+}
+
+// renderCDF renders an ASCII CDF of xs: `points` rows of
+// "value  cumulative%".
+func renderCDF(title string, xs []float64, points int) string {
+	if len(xs) == 0 {
+		return title + ": (no data)\n"
+	}
+	s := make([]float64, len(xs))
+	copy(s, xs)
+	sort.Float64s(s)
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s (n=%d)\n", title, len(xs))
+	for i := 0; i <= points; i++ {
+		q := float64(i) / float64(points)
+		idx := int(q * float64(len(s)-1))
+		fmt.Fprintf(&b, "  %6.0f%%  %10.4g\n", q*100, s[idx])
+	}
+	return b.String()
+}
+
+// renderSeries renders two aligned series as a compact table.
+func renderSeries(title string, labelA, labelB string, a, b []float64, maxRows int) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s\n  %12s  %12s\n", title, labelA, labelB)
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	step := 1
+	if maxRows > 0 && n > maxRows {
+		step = n / maxRows
+	}
+	for i := 0; i < n; i += step {
+		fmt.Fprintf(&sb, "  %12.4g  %12.4g\n", a[i], b[i])
+	}
+	return sb.String()
+}

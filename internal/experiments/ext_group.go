@@ -1,0 +1,87 @@
+package experiments
+
+import (
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/interference"
+	"repro/internal/model"
+	"repro/internal/workload"
+)
+
+func init() {
+	register("ext-group", extGroup)
+}
+
+// extGroup demonstrates the §4.2/§9 group-antagonist extension: three
+// batch tasks take turns hammering the cache, with quiet gaps between
+// rounds. Each individual's correlation with the victim's CPI stays
+// below the 0.35 threshold, so stock CPI² reports nothing actionable;
+// with GroupDetection on, the greedy group search finds the trio and
+// caps all three.
+func extGroup(o Options) (*Report, error) {
+	run := func(groupDetection bool) (caps int, groupSize int, groupCorr, bestIndividual float64) {
+		p := core.DefaultParams()
+		p.GroupDetection = groupDetection
+		r := newCaseRig(o.Seed, p)
+
+		victim := model.TaskID{Job: "svc", Index: 0}
+		vprof := &interference.Profile{
+			DefaultCPI: 1.0, CacheFootprint: 1.0, MemBandwidth: 0.5,
+			Sensitivity: 0.5, BaseL3MPKI: 2, NoiseSigma: 0.03,
+		}
+		r.add(victim, lsJob("svc"), vprof, &workload.Steady{CPU: 1.0, Threads: 8})
+		victimSpec(r, "svc", 1.02, 0.08) // threshold ≈ 1.18
+		quietTenants(r, 10, o.Seed)
+
+		// Three rotators: 3 minutes each, one quiet minute per round —
+		// mild per-minute pain (CPI ≈ 1.4) that no individual explains.
+		period := 12 * time.Minute
+		for i := 0; i < 3; i++ {
+			r.add(model.TaskID{Job: "rotator", Index: i},
+				batchJob("rotator", model.PriorityBatch),
+				&interference.Profile{
+					DefaultCPI: 1.3, CacheFootprint: 3.2, MemBandwidth: 2.5,
+					Sensitivity: 0.1, BaseL3MPKI: 7, NoiseSigma: 0.03,
+				},
+				&workload.Pulse{
+					OnCPU: 3.0, OffCPU: 0.05,
+					OnFor: 3 * time.Minute, OffFor: period - 3*time.Minute,
+					Phase:   time.Duration(i) * 4 * time.Minute,
+					Threads: 10,
+				})
+		}
+		r.run(40 * time.Minute)
+		for _, inc := range r.inc {
+			if len(inc.Suspects) > 0 && inc.Suspects[0].Correlation > bestIndividual {
+				bestIndividual = inc.Suspects[0].Correlation
+			}
+			if inc.Decision.Action == core.ActionCap {
+				caps++
+			}
+			if inc.Group != nil && len(inc.Group.Members) > groupSize {
+				groupSize = len(inc.Group.Members)
+				groupCorr = inc.Group.Correlation
+			}
+		}
+		return caps, groupSize, groupCorr, bestIndividual
+	}
+
+	capsOff, _, _, bestIndividual := run(false)
+	capsOn, groupSize, groupCorr, _ := run(true)
+
+	rep := &Report{
+		ID:    "ext-group",
+		Title: "extension: group-antagonist detection (take-turns cache fillers)",
+		PaperClaim: "§4.2: the simple algorithm \"would fare less well if faced with a " +
+			"group of antagonists that together cause significant interference, but " +
+			"which individually did not have much effect (e.g., a set of tasks that " +
+			"took turns filling the cache)\"; §9 proposes looking at groups as a unit",
+	}
+	rep.AddMetric("best individual correlation", bestIndividual, 0, "below the 0.35 bar")
+	rep.AddMetric("caps without group detection", float64(capsOff), 0, "stock CPI² is blind here")
+	rep.AddMetric("caps with group detection", float64(capsOn), 0, "")
+	rep.AddMetric("detected group size", float64(groupSize), 3, "")
+	rep.AddMetric("group correlation (Pearson)", groupCorr, 0, "the summed usage tracks the pain")
+	return rep, nil
+}

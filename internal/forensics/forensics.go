@@ -1,0 +1,216 @@
+// Package forensics is the offline-analysis substrate of §5: CPI²
+// logs data about CPIs and suspected antagonists, and job owners and
+// administrators issue SQL-like queries against it (the paper uses
+// Dremel) to conduct performance forensics — e.g. find the most
+// aggressive antagonists for a job in a particular time window, then
+// feed those pairs to the scheduler as anti-affinity constraints.
+//
+// The package provides an append-only incident store and a small
+// query engine over it supporting:
+//
+//	SELECT col[, col…] | agg(col)[, …]
+//	FROM incidents
+//	[WHERE predicate]
+//	[GROUP BY col]
+//	[ORDER BY col|agg [DESC]]
+//	[LIMIT n]
+//
+// with aggregates COUNT(*), COUNT(col), SUM, AVG, MIN, MAX, operators
+// = != > >= < <=, and boolean predicates combining comparisons with
+// AND, OR and parentheses (AND binds tighter). Strings are
+// single-quoted; timestamps are stored as RFC3339 UTC strings, which
+// order lexicographically. Stores serialize to JSON with Save/Load
+// so incident logs survive restarts and can be shipped for offline
+// analysis.
+package forensics
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/model"
+)
+
+// Columns of the incidents table, in schema order.
+var Columns = []string{
+	"time",        // RFC3339 UTC
+	"machine",     // machine name
+	"victim_job",  // victim's job
+	"victim_task", // victim task id string
+	"victim_cpi",  // CPI that triggered analysis
+	"threshold",   // victim's outlier threshold
+	"suspect_job", // top suspect's job ("" if none)
+	"suspect_task",
+	"correlation", // top suspect's correlation
+	"action",      // none | report | cap
+	"quota",       // applied cap quota (0 unless capped)
+}
+
+// Store is an append-only incident log with a fixed schema.
+type Store struct {
+	mu   sync.RWMutex
+	rows [][]interface{}
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store { return &Store{} }
+
+// Add logs one incident. The suspect columns record the actionable
+// antagonist: the task the decision targeted when there is one
+// (capping or reporting), otherwise the top-ranked suspect. Top-ranked
+// alone would be misleading: in a fully anomalous window every steady
+// co-tenant ties at the same correlation, and the policy layer is what
+// singles out the throttleable culprit.
+func (s *Store) Add(inc core.Incident) {
+	var suspectJob, suspectTask string
+	var correlation float64
+	if len(inc.Suspects) > 0 {
+		pick := inc.Suspects[0]
+		if inc.Decision.Target != (model.TaskID{}) {
+			for _, cand := range inc.Suspects {
+				if cand.Task == inc.Decision.Target {
+					pick = cand
+					break
+				}
+			}
+		}
+		suspectJob = string(pick.Job)
+		suspectTask = pick.Task.String()
+		correlation = pick.Correlation
+	}
+	row := []interface{}{
+		inc.Time.UTC().Format(time.RFC3339),
+		inc.Machine,
+		string(inc.VictimJob),
+		inc.Victim.String(),
+		inc.VictimCPI,
+		inc.Threshold,
+		suspectJob,
+		suspectTask,
+		correlation,
+		inc.Decision.Action.String(),
+		inc.Decision.Quota,
+	}
+	s.mu.Lock()
+	s.rows = append(s.rows, row)
+	s.mu.Unlock()
+}
+
+// AddAll logs a batch of incidents.
+func (s *Store) AddAll(incs []core.Incident) {
+	for _, inc := range incs {
+		s.Add(inc)
+	}
+}
+
+// Len returns the number of logged incidents.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.rows)
+}
+
+// Result is a query result: column headers plus rows.
+type Result struct {
+	Columns []string
+	Rows    [][]interface{}
+}
+
+// String renders the result as an aligned text table.
+func (r Result) String() string {
+	widths := make([]int, len(r.Columns))
+	cells := make([][]string, 0, len(r.Rows)+1)
+	header := make([]string, len(r.Columns))
+	for i, c := range r.Columns {
+		header[i] = c
+		widths[i] = len(c)
+	}
+	cells = append(cells, header)
+	for _, row := range r.Rows {
+		line := make([]string, len(row))
+		for i, v := range row {
+			line[i] = formatValue(v)
+			if len(line[i]) > widths[i] {
+				widths[i] = len(line[i])
+			}
+		}
+		cells = append(cells, line)
+	}
+	out := ""
+	for _, line := range cells {
+		for i, cell := range line {
+			out += fmt.Sprintf("%-*s", widths[i]+2, cell)
+		}
+		out += "\n"
+	}
+	return out
+}
+
+func formatValue(v interface{}) string {
+	switch x := v.(type) {
+	case float64:
+		return fmt.Sprintf("%.4g", x)
+	case int64:
+		return fmt.Sprintf("%d", x)
+	default:
+		return fmt.Sprintf("%v", x)
+	}
+}
+
+// storeSnapshot is the JSON wire form of a store.
+type storeSnapshot struct {
+	Columns []string        `json:"columns"`
+	Rows    [][]interface{} `json:"rows"`
+}
+
+// Save serializes the store as JSON.
+func (s *Store) Save(w io.Writer) error {
+	s.mu.RLock()
+	snap := storeSnapshot{Columns: Columns, Rows: s.rows}
+	defer s.mu.RUnlock()
+	enc := json.NewEncoder(w)
+	return enc.Encode(snap)
+}
+
+// Load replaces the store's contents with a snapshot written by Save.
+// Numeric cells arrive as float64 (JSON numbers); the schema must
+// match this build's Columns.
+func (s *Store) Load(r io.Reader) error {
+	var snap storeSnapshot
+	if err := json.NewDecoder(r).Decode(&snap); err != nil {
+		return fmt.Errorf("forensics: load: %w", err)
+	}
+	if len(snap.Columns) != len(Columns) {
+		return fmt.Errorf("forensics: load: snapshot has %d columns, want %d", len(snap.Columns), len(Columns))
+	}
+	for i, c := range snap.Columns {
+		if c != Columns[i] {
+			return fmt.Errorf("forensics: load: column %d is %q, want %q", i, c, Columns[i])
+		}
+	}
+	for i, row := range snap.Rows {
+		if len(row) != len(Columns) {
+			return fmt.Errorf("forensics: load: row %d has %d cells", i, len(row))
+		}
+	}
+	s.mu.Lock()
+	s.rows = snap.Rows
+	s.mu.Unlock()
+	return nil
+}
+
+// Query parses and executes q against the store.
+func (s *Store) Query(q string) (Result, error) {
+	stmt, err := parse(q)
+	if err != nil {
+		return Result{}, err
+	}
+	s.mu.RLock()
+	rows := s.rows
+	s.mu.RUnlock()
+	return stmt.run(rows)
+}

@@ -1,0 +1,62 @@
+package forensics
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/model"
+)
+
+// FuzzQuery feeds arbitrary strings to the query engine over a
+// populated store: the engine must return an error or a result, never
+// panic, for any input an operator could mistype.
+func FuzzQuery(f *testing.F) {
+	s := NewStore()
+	s.Add(core.Incident{
+		Time:      time.Date(2011, 11, 1, 2, 0, 0, 0, time.UTC),
+		Machine:   "m1",
+		Victim:    model.TaskID{Job: "search", Index: 3},
+		VictimJob: "search",
+		VictimCPI: 5.0,
+		Threshold: 2.0,
+		Suspects: []core.Suspect{{
+			Task: model.TaskID{Job: "video", Index: 0}, Job: "video", Correlation: 0.46,
+		}},
+		Decision: core.Decision{Action: core.ActionCap, Target: model.TaskID{Job: "video", Index: 0}, Quota: 0.1},
+	})
+
+	seeds := []string{
+		"SELECT machine FROM incidents",
+		"SELECT suspect_job, count(*) FROM incidents GROUP BY suspect_job ORDER BY count(*) DESC LIMIT 5",
+		"SELECT avg(correlation) FROM incidents WHERE victim_job = 'search' AND correlation >= 0.35",
+		"SELECT time FROM incidents WHERE time >= '2011-11-01T00:00:00Z'",
+		"select Machine from INCIDENTS limit 1",
+		"SELECT count(*) FROM incidents WHERE quota != 0.1",
+		"",
+		"SELECT",
+		"SELECT ' FROM incidents",
+		"SELECT machine FROM incidents WHERE machine = 'm1' AND",
+		"SELECT max(victim_cpi), min(victim_cpi) FROM incidents",
+		"((((",
+		"SELECT machine FROM incidents ORDER BY",
+		"SELECT machine FROM incidents LIMIT -3",
+		"SELECT machine,, FROM incidents",
+	}
+	for _, seed := range seeds {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, q string) {
+		res, err := s.Query(q)
+		if err != nil {
+			return
+		}
+		// Any successful result must be renderable and well-formed.
+		_ = res.String()
+		for _, row := range res.Rows {
+			if len(row) != len(res.Columns) {
+				t.Fatalf("row width %d != columns %d for query %q", len(row), len(res.Columns), q)
+			}
+		}
+	})
+}

@@ -1,0 +1,586 @@
+package forensics
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// selectItem is one projected column or aggregate.
+type selectItem struct {
+	agg string // "", "count", "sum", "avg", "min", "max"
+	col string // column name, or "*" for COUNT(*)
+}
+
+func (it selectItem) label() string {
+	if it.agg == "" {
+		return it.col
+	}
+	return fmt.Sprintf("%s(%s)", it.agg, it.col)
+}
+
+// condition is one comparison predicate.
+type condition struct {
+	col string
+	op  string
+	val interface{} // string or float64
+}
+
+// predicate is a boolean expression tree over conditions:
+// AND binds tighter than OR; parentheses group.
+type predicate struct {
+	// exactly one of the following is set:
+	cond *condition
+	and  []*predicate
+	or   []*predicate
+}
+
+func (p *predicate) eval(row []interface{}) (bool, error) {
+	switch {
+	case p.cond != nil:
+		return evalCondition(row, *p.cond)
+	case p.and != nil:
+		for _, sub := range p.and {
+			ok, err := sub.eval(row)
+			if err != nil || !ok {
+				return false, err
+			}
+		}
+		return true, nil
+	case p.or != nil:
+		for _, sub := range p.or {
+			ok, err := sub.eval(row)
+			if err != nil {
+				return false, err
+			}
+			if ok {
+				return true, nil
+			}
+		}
+		return false, nil
+	default:
+		return true, nil
+	}
+}
+
+// statement is a parsed query.
+type statement struct {
+	items     []selectItem
+	where     *predicate // nil = no WHERE
+	groupBy   string
+	orderBy   string
+	orderDesc bool
+	limit     int // 0 = no limit
+}
+
+// tokenize splits the query into tokens, treating single-quoted
+// strings as single tokens and splitting on punctuation we care about.
+func tokenize(q string) ([]string, error) {
+	var toks []string
+	i := 0
+	for i < len(q) {
+		c := q[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '\'':
+			j := strings.IndexByte(q[i+1:], '\'')
+			if j < 0 {
+				return nil, fmt.Errorf("forensics: unterminated string literal")
+			}
+			toks = append(toks, q[i:i+j+2])
+			i += j + 2
+		case c == ',' || c == '(' || c == ')':
+			toks = append(toks, string(c))
+			i++
+		case strings.HasPrefix(q[i:], ">=") || strings.HasPrefix(q[i:], "<=") || strings.HasPrefix(q[i:], "!="):
+			toks = append(toks, q[i:i+2])
+			i += 2
+		case c == '=' || c == '>' || c == '<':
+			toks = append(toks, string(c))
+			i++
+		default:
+			j := i
+			for j < len(q) && !strings.ContainsRune(" \t\n\r,()=><!'", rune(q[j])) {
+				j++
+			}
+			if j == i {
+				return nil, fmt.Errorf("forensics: unexpected character %q", c)
+			}
+			toks = append(toks, q[i:j])
+			i = j
+		}
+	}
+	return toks, nil
+}
+
+// parser is a simple cursor over tokens.
+type parser struct {
+	toks []string
+	pos  int
+}
+
+func (p *parser) peek() string {
+	if p.pos < len(p.toks) {
+		return p.toks[p.pos]
+	}
+	return ""
+}
+
+func (p *parser) next() string {
+	t := p.peek()
+	p.pos++
+	return t
+}
+
+func (p *parser) expect(word string) error {
+	if !strings.EqualFold(p.peek(), word) {
+		return fmt.Errorf("forensics: expected %q, got %q", word, p.peek())
+	}
+	p.pos++
+	return nil
+}
+
+func isAggName(s string) bool {
+	switch strings.ToLower(s) {
+	case "count", "sum", "avg", "min", "max":
+		return true
+	}
+	return false
+}
+
+var columnIndex = func() map[string]int {
+	m := make(map[string]int, len(Columns))
+	for i, c := range Columns {
+		m[c] = i
+	}
+	return m
+}()
+
+func parse(q string) (*statement, error) {
+	toks, err := tokenize(q)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	st := &statement{}
+	if err := p.expect("select"); err != nil {
+		return nil, err
+	}
+	// Select list.
+	for {
+		tok := p.next()
+		if tok == "" {
+			return nil, fmt.Errorf("forensics: unexpected end of query in select list")
+		}
+		if isAggName(tok) && p.peek() == "(" {
+			p.next() // (
+			col := p.next()
+			if col != "*" {
+				if _, ok := columnIndex[col]; !ok {
+					return nil, fmt.Errorf("forensics: unknown column %q", col)
+				}
+			} else if !strings.EqualFold(tok, "count") {
+				return nil, fmt.Errorf("forensics: %s(*) is only valid for COUNT", tok)
+			}
+			if p.next() != ")" {
+				return nil, fmt.Errorf("forensics: expected ) after %s(", tok)
+			}
+			st.items = append(st.items, selectItem{agg: strings.ToLower(tok), col: col})
+		} else {
+			if _, ok := columnIndex[tok]; !ok {
+				return nil, fmt.Errorf("forensics: unknown column %q", tok)
+			}
+			st.items = append(st.items, selectItem{col: tok})
+		}
+		if p.peek() == "," {
+			p.next()
+			continue
+		}
+		break
+	}
+	if err := p.expect("from"); err != nil {
+		return nil, err
+	}
+	if table := p.next(); !strings.EqualFold(table, "incidents") {
+		return nil, fmt.Errorf("forensics: unknown table %q", table)
+	}
+	// Optional clauses.
+	for p.peek() != "" {
+		switch strings.ToLower(p.peek()) {
+		case "where":
+			p.next()
+			pred, err := parseOr(p)
+			if err != nil {
+				return nil, err
+			}
+			st.where = pred
+		case "group":
+			p.next()
+			if err := p.expect("by"); err != nil {
+				return nil, err
+			}
+			col := p.next()
+			if _, ok := columnIndex[col]; !ok {
+				return nil, fmt.Errorf("forensics: unknown group-by column %q", col)
+			}
+			st.groupBy = col
+		case "order":
+			p.next()
+			if err := p.expect("by"); err != nil {
+				return nil, err
+			}
+			st.orderBy = p.next()
+			if st.orderBy == "" {
+				return nil, fmt.Errorf("forensics: missing order-by column")
+			}
+			// Aggregates may be referenced as agg(col).
+			if isAggName(st.orderBy) && p.peek() == "(" {
+				p.next()
+				col := p.next()
+				if p.next() != ")" {
+					return nil, fmt.Errorf("forensics: expected ) in order by")
+				}
+				st.orderBy = fmt.Sprintf("%s(%s)", strings.ToLower(st.orderBy), col)
+			}
+			if strings.EqualFold(p.peek(), "desc") {
+				p.next()
+				st.orderDesc = true
+			} else if strings.EqualFold(p.peek(), "asc") {
+				p.next()
+			}
+		case "limit":
+			p.next()
+			n, err := strconv.Atoi(p.next())
+			if err != nil || n < 0 {
+				return nil, fmt.Errorf("forensics: bad limit")
+			}
+			st.limit = n
+		default:
+			return nil, fmt.Errorf("forensics: unexpected token %q", p.peek())
+		}
+	}
+	// Validation: mixing aggregates and plain columns needs GROUP BY on
+	// those plain columns.
+	hasAgg := false
+	for _, it := range st.items {
+		if it.agg != "" {
+			hasAgg = true
+		}
+	}
+	if hasAgg {
+		for _, it := range st.items {
+			if it.agg == "" && it.col != st.groupBy {
+				return nil, fmt.Errorf("forensics: column %q must appear in GROUP BY", it.col)
+			}
+		}
+	}
+	return st, nil
+}
+
+// parseOr parses an OR-chain of AND-chains (OR binds loosest).
+func parseOr(p *parser) (*predicate, error) {
+	left, err := parseAnd(p)
+	if err != nil {
+		return nil, err
+	}
+	if !strings.EqualFold(p.peek(), "or") {
+		return left, nil
+	}
+	node := &predicate{or: []*predicate{left}}
+	for strings.EqualFold(p.peek(), "or") {
+		p.next()
+		right, err := parseAnd(p)
+		if err != nil {
+			return nil, err
+		}
+		node.or = append(node.or, right)
+	}
+	return node, nil
+}
+
+// parseAnd parses an AND-chain of primaries.
+func parseAnd(p *parser) (*predicate, error) {
+	left, err := parsePrimary(p)
+	if err != nil {
+		return nil, err
+	}
+	if !strings.EqualFold(p.peek(), "and") {
+		return left, nil
+	}
+	node := &predicate{and: []*predicate{left}}
+	for strings.EqualFold(p.peek(), "and") {
+		p.next()
+		right, err := parsePrimary(p)
+		if err != nil {
+			return nil, err
+		}
+		node.and = append(node.and, right)
+	}
+	return node, nil
+}
+
+// parsePrimary parses a parenthesized predicate or a single condition.
+func parsePrimary(p *parser) (*predicate, error) {
+	if p.peek() == "(" {
+		p.next()
+		inner, err := parseOr(p)
+		if err != nil {
+			return nil, err
+		}
+		if p.next() != ")" {
+			return nil, fmt.Errorf("forensics: missing ) in WHERE")
+		}
+		return inner, nil
+	}
+	cond, err := parseCondition(p)
+	if err != nil {
+		return nil, err
+	}
+	return &predicate{cond: &cond}, nil
+}
+
+func parseCondition(p *parser) (condition, error) {
+	col := p.next()
+	if _, ok := columnIndex[col]; !ok {
+		return condition{}, fmt.Errorf("forensics: unknown column %q in WHERE", col)
+	}
+	op := p.next()
+	switch op {
+	case "=", "!=", ">", ">=", "<", "<=":
+	default:
+		return condition{}, fmt.Errorf("forensics: bad operator %q", op)
+	}
+	lit := p.next()
+	if lit == "" {
+		return condition{}, fmt.Errorf("forensics: missing literal in WHERE")
+	}
+	var val interface{}
+	if strings.HasPrefix(lit, "'") {
+		val = strings.Trim(lit, "'")
+	} else {
+		f, err := strconv.ParseFloat(lit, 64)
+		if err != nil {
+			return condition{}, fmt.Errorf("forensics: bad literal %q", lit)
+		}
+		val = f
+	}
+	return condition{col: col, op: op, val: val}, nil
+}
+
+// run executes the statement over the raw rows.
+func (st *statement) run(rows [][]interface{}) (Result, error) {
+	// Filter.
+	var filtered [][]interface{}
+	for _, row := range rows {
+		ok := true
+		if st.where != nil {
+			var err error
+			ok, err = st.where.eval(row)
+			if err != nil {
+				return Result{}, err
+			}
+		}
+		if ok {
+			filtered = append(filtered, row)
+		}
+	}
+
+	var out Result
+	for _, it := range st.items {
+		out.Columns = append(out.Columns, it.label())
+	}
+
+	hasAgg := false
+	for _, it := range st.items {
+		if it.agg != "" {
+			hasAgg = true
+		}
+	}
+
+	switch {
+	case hasAgg && st.groupBy == "":
+		row, err := aggregateRows(st.items, filtered)
+		if err != nil {
+			return Result{}, err
+		}
+		out.Rows = [][]interface{}{row}
+	case hasAgg:
+		gi := columnIndex[st.groupBy]
+		groups := make(map[interface{}][][]interface{})
+		var keys []interface{}
+		for _, row := range filtered {
+			k := row[gi]
+			if _, ok := groups[k]; !ok {
+				keys = append(keys, k)
+			}
+			groups[k] = append(groups[k], row)
+		}
+		for _, k := range keys {
+			row, err := aggregateRows(st.items, groups[k])
+			if err != nil {
+				return Result{}, err
+			}
+			out.Rows = append(out.Rows, row)
+		}
+	default:
+		for _, row := range filtered {
+			proj := make([]interface{}, len(st.items))
+			for i, it := range st.items {
+				proj[i] = row[columnIndex[it.col]]
+			}
+			out.Rows = append(out.Rows, proj)
+		}
+	}
+
+	if st.orderBy != "" {
+		oi := -1
+		for i, c := range out.Columns {
+			if c == st.orderBy {
+				oi = i
+				break
+			}
+		}
+		if oi < 0 {
+			return Result{}, fmt.Errorf("forensics: ORDER BY %q is not in the select list", st.orderBy)
+		}
+		sort.SliceStable(out.Rows, func(a, b int) bool {
+			less := compareValues(out.Rows[a][oi], out.Rows[b][oi]) < 0
+			if st.orderDesc {
+				return !less && compareValues(out.Rows[a][oi], out.Rows[b][oi]) != 0
+			}
+			return less
+		})
+	}
+	if st.limit > 0 && len(out.Rows) > st.limit {
+		out.Rows = out.Rows[:st.limit]
+	}
+	return out, nil
+}
+
+func aggregateRows(items []selectItem, rows [][]interface{}) ([]interface{}, error) {
+	out := make([]interface{}, len(items))
+	for i, it := range items {
+		switch it.agg {
+		case "":
+			// GROUP BY column: all rows share the value.
+			if len(rows) > 0 {
+				out[i] = rows[0][columnIndex[it.col]]
+			}
+		case "count":
+			if it.col == "*" {
+				out[i] = int64(len(rows))
+			} else {
+				n := int64(0)
+				ci := columnIndex[it.col]
+				for _, r := range rows {
+					if r[ci] != nil && r[ci] != "" {
+						n++
+					}
+				}
+				out[i] = n
+			}
+		default:
+			ci := columnIndex[it.col]
+			var sum float64
+			var minV, maxV float64
+			n := 0
+			for _, r := range rows {
+				f, ok := r[ci].(float64)
+				if !ok {
+					return nil, fmt.Errorf("forensics: %s over non-numeric column %q", it.agg, it.col)
+				}
+				if n == 0 {
+					minV, maxV = f, f
+				} else {
+					if f < minV {
+						minV = f
+					}
+					if f > maxV {
+						maxV = f
+					}
+				}
+				sum += f
+				n++
+			}
+			switch it.agg {
+			case "sum":
+				out[i] = sum
+			case "avg":
+				if n == 0 {
+					out[i] = 0.0
+				} else {
+					out[i] = sum / float64(n)
+				}
+			case "min":
+				out[i] = minV
+			case "max":
+				out[i] = maxV
+			}
+		}
+	}
+	return out, nil
+}
+
+func evalCondition(row []interface{}, c condition) (bool, error) {
+	v := row[columnIndex[c.col]]
+	cmp := compareValues(v, c.val)
+	if cmp == incomparable {
+		return false, fmt.Errorf("forensics: cannot compare column %q with literal %v", c.col, c.val)
+	}
+	switch c.op {
+	case "=":
+		return cmp == 0, nil
+	case "!=":
+		return cmp != 0, nil
+	case ">":
+		return cmp > 0, nil
+	case ">=":
+		return cmp >= 0, nil
+	case "<":
+		return cmp < 0, nil
+	case "<=":
+		return cmp <= 0, nil
+	}
+	return false, fmt.Errorf("forensics: bad operator %q", c.op)
+}
+
+const incomparable = -2
+
+// compareValues compares two values of matching dynamic type,
+// returning -1/0/1, or incomparable on type mismatch.
+func compareValues(a, b interface{}) int {
+	switch x := a.(type) {
+	case float64:
+		switch y := b.(type) {
+		case float64:
+			return cmpF(x, y)
+		case int64:
+			return cmpF(x, float64(y))
+		}
+	case int64:
+		switch y := b.(type) {
+		case float64:
+			return cmpF(float64(x), y)
+		case int64:
+			return cmpF(float64(x), float64(y))
+		}
+	case string:
+		if y, ok := b.(string); ok {
+			return strings.Compare(x, y)
+		}
+	}
+	return incomparable
+}
+
+func cmpF(a, b float64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}

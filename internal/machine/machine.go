@@ -1,0 +1,298 @@
+// Package machine simulates one multi-tenant machine: tasks live in
+// cgroups, a CFS-like proportional-share allocator divides the CPUs
+// every tick (honoring bandwidth caps), the interference model turns
+// co-location into CPI/L3 effects, and per-cgroup performance counters
+// accumulate the results for the sampler to read.
+//
+// The machine is the mechanism substrate CPI² runs on: the node agent
+// reads its counters and caps its cgroups, exactly as the real system
+// reads perf events and writes cfs_quota_us.
+package machine
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"repro/internal/cgroup"
+	"repro/internal/interference"
+	"repro/internal/model"
+	"repro/internal/perfcnt"
+)
+
+// Workload drives a task's CPU demand and reacts to what it receives.
+// Implementations live in package workload; the interface is defined
+// here so the machine does not depend on specific workload types.
+type Workload interface {
+	// Demand returns the CPU the task wants right now (CPU-sec/sec)
+	// and the number of runnable threads backing that demand.
+	Demand(now time.Time) (cpu float64, threads int)
+	// Deliver reports the outcome of one tick: the CPU rate actually
+	// granted over dt and the modelled microarchitectural result. The
+	// workload uses this to advance progress, adapt (lame-duck mode),
+	// or decide to exit.
+	Deliver(now time.Time, granted float64, dt time.Duration, res interference.Result)
+	// Done reports whether the task has exited (finished its work or
+	// terminated itself, like the Case 6 MapReduce worker).
+	Done() bool
+}
+
+// Task is one task instance placed on the machine.
+type Task struct {
+	ID       model.TaskID
+	Job      model.Job
+	Profile  *interference.Profile
+	Workload Workload
+
+	group  *cgroup.Group
+	skew   float64 // per-task base-CPI multiplier, drawn at placement
+	socket int     // NUMA domain, assigned at placement
+	last   TaskTick
+}
+
+// Socket returns the task's NUMA domain.
+func (t *Task) Socket() int { return t.socket }
+
+// TaskTick is the per-task outcome of one simulation tick.
+type TaskTick struct {
+	ID      model.TaskID
+	Usage   float64 // granted CPU-sec/sec
+	Demand  float64 // wanted CPU-sec/sec
+	CPI     float64
+	L3MPKI  float64
+	Threads int
+	Capped  bool
+}
+
+// Machine is one simulated machine.
+type Machine struct {
+	name  string
+	hw    interference.Machine
+	ncpus int
+	hier  *cgroup.Hierarchy
+	tasks map[model.TaskID]*Task
+	order []model.TaskID // deterministic iteration order
+	rng   *rand.Rand
+
+	counters map[string]perfcnt.Counters
+	now      time.Time
+}
+
+// New creates a machine with ncpus CPUs of the given hardware model.
+// rng supplies measurement noise; it may be nil for deterministic
+// behaviour.
+func New(name string, hw interference.Machine, ncpus int, rng *rand.Rand) *Machine {
+	if ncpus < 1 {
+		ncpus = 1
+	}
+	return &Machine{
+		name:     name,
+		hw:       hw,
+		ncpus:    ncpus,
+		hier:     cgroup.NewHierarchy(),
+		tasks:    make(map[model.TaskID]*Task),
+		rng:      rng,
+		counters: make(map[string]perfcnt.Counters),
+	}
+}
+
+// Name returns the machine's name.
+func (m *Machine) Name() string { return m.name }
+
+// Platform returns the machine's CPU type.
+func (m *Machine) Platform() model.Platform { return m.hw.Platform }
+
+// NumCPUs returns the machine's CPU count.
+func (m *Machine) NumCPUs() int { return m.ncpus }
+
+// NumTasks returns the number of resident tasks.
+func (m *Machine) NumTasks() int { return len(m.tasks) }
+
+// Tasks returns the resident task IDs in deterministic order.
+func (m *Machine) Tasks() []model.TaskID {
+	out := make([]model.TaskID, len(m.order))
+	copy(out, m.order)
+	return out
+}
+
+// Task returns the resident task with the given ID, or nil.
+func (m *Machine) Task(id model.TaskID) *Task {
+	return m.tasks[id]
+}
+
+// AddTask places a task on the machine, creating its cgroup.
+func (m *Machine) AddTask(id model.TaskID, job model.Job, profile *interference.Profile, w Workload) error {
+	if _, ok := m.tasks[id]; ok {
+		return fmt.Errorf("machine %s: task %v already placed", m.name, id)
+	}
+	g, err := m.hier.NewGroup(id.String(), nil)
+	if err != nil {
+		return fmt.Errorf("machine %s: %w", m.name, err)
+	}
+	m.tasks[id] = &Task{
+		ID: id, Job: job, Profile: profile, Workload: w, group: g,
+		skew:   profile.DrawSkew(m.rng),
+		socket: m.pickSocket(),
+	}
+	m.order = append(m.order, id)
+	m.counters[id.String()] = perfcnt.Counters{}
+	return nil
+}
+
+// RemoveTask evicts a task (exit, preemption, or migration).
+func (m *Machine) RemoveTask(id model.TaskID) error {
+	if _, ok := m.tasks[id]; !ok {
+		return fmt.Errorf("machine %s: no task %v", m.name, id)
+	}
+	delete(m.tasks, id)
+	for i, t := range m.order {
+		if t == id {
+			m.order = append(m.order[:i], m.order[i+1:]...)
+			break
+		}
+	}
+	delete(m.counters, id.String())
+	return m.hier.Remove(id.String())
+}
+
+// pickSocket assigns a NUMA domain to a new task: the socket with the
+// fewest resident tasks (a kernel-sched-like balance).
+func (m *Machine) pickSocket() int {
+	if m.hw.Sockets <= 1 {
+		return 0
+	}
+	counts := make([]int, m.hw.Sockets)
+	for _, id := range m.order {
+		counts[m.tasks[id].socket]++
+	}
+	best := 0
+	for s := 1; s < len(counts); s++ {
+		if counts[s] < counts[best] {
+			best = s
+		}
+	}
+	return best
+}
+
+// Cap applies a CFS bandwidth cap to a task's cgroup (implements
+// core.Capper).
+func (m *Machine) Cap(id model.TaskID, quota float64) error {
+	t, ok := m.tasks[id]
+	if !ok {
+		return fmt.Errorf("machine %s: cap: no task %v", m.name, id)
+	}
+	t.group.SetLimit(cgroup.LimitFromRate(quota))
+	return nil
+}
+
+// Uncap removes a task's bandwidth cap (implements core.Capper).
+func (m *Machine) Uncap(id model.TaskID) error {
+	t, ok := m.tasks[id]
+	if !ok {
+		return fmt.Errorf("machine %s: uncap: no task %v", m.name, id)
+	}
+	t.group.ClearLimit()
+	return nil
+}
+
+// IsCapped reports whether a task currently has a bandwidth limit.
+func (m *Machine) IsCapped(id model.TaskID) bool {
+	t, ok := m.tasks[id]
+	return ok && t.group.Limit().IsLimited()
+}
+
+// Utilization returns the machine CPU utilization of the last tick
+// (granted CPU / capacity), in [0, 1].
+func (m *Machine) Utilization() float64 {
+	var used float64
+	for _, id := range m.order {
+		used += m.tasks[id].last.Usage
+	}
+	return used / float64(m.ncpus)
+}
+
+// ThreadCount returns the total runnable threads of the last tick —
+// the quantity behind Figure 1(b).
+func (m *Machine) ThreadCount() int {
+	n := 0
+	for _, id := range m.order {
+		n += m.tasks[id].last.Threads
+	}
+	return n
+}
+
+// Counters returns a copy of the cumulative per-cgroup counters, in
+// the shape the perfcnt sampler reads.
+func (m *Machine) Counters() map[string]perfcnt.Counters {
+	out := make(map[string]perfcnt.Counters, len(m.counters))
+	for k, v := range m.counters {
+		out[k] = v
+	}
+	return out
+}
+
+// Tick advances the machine by dt ending at now: collects demands,
+// allocates CPU under shares and caps, evaluates interference, charges
+// counters, informs workloads, and reaps tasks whose workloads
+// finished. It returns per-task results in deterministic order,
+// followed by the IDs of tasks that exited this tick.
+func (m *Machine) Tick(now time.Time, dt time.Duration) ([]TaskTick, []model.TaskID) {
+	m.now = now
+	n := len(m.order)
+	if n == 0 {
+		return nil, nil
+	}
+	demands := make([]cgroup.Demand, n)
+	threads := make([]int, n)
+	for i, id := range m.order {
+		t := m.tasks[id]
+		cpu, th := t.Workload.Demand(now)
+		if cpu < 0 {
+			cpu = 0
+		}
+		demands[i] = cgroup.Demand{Group: t.group, Want: cpu}
+		threads[i] = th
+	}
+	grants := cgroup.Allocate(float64(m.ncpus), dt, demands)
+
+	loads := make([]interference.Load, n)
+	for i, id := range m.order {
+		t := m.tasks[id]
+		loads[i] = interference.Load{Profile: t.Profile, Usage: grants[i], Skew: t.skew, Socket: t.socket}
+	}
+
+	out := make([]TaskTick, n)
+	var exited []model.TaskID
+	for i, id := range m.order {
+		t := m.tasks[id]
+		res := m.hw.Evaluate(loads, i, now, m.rng)
+		tt := TaskTick{
+			ID:      id,
+			Usage:   grants[i],
+			Demand:  demands[i].Want,
+			CPI:     res.CPI,
+			L3MPKI:  res.L3MPKI,
+			Threads: threads[i],
+			Capped:  t.group.Limit().IsLimited(),
+		}
+		t.last = tt
+		out[i] = tt
+
+		c := m.counters[id.String()]
+		c.Accumulate(grants[i]*dt.Seconds(), res.CPI, res.L3MPKI, m.hw.ClockGHz)
+		// Context switches scale with threads timesharing the cpus.
+		c.ContextSwitches += int64(threads[i]) * int64(dt/(10*time.Millisecond))
+		m.counters[id.String()] = c
+
+		t.Workload.Deliver(now, grants[i], dt, res)
+		if t.Workload.Done() {
+			exited = append(exited, id)
+		}
+	}
+	for _, id := range exited {
+		_ = m.RemoveTask(id)
+	}
+	sort.Slice(exited, func(i, j int) bool { return exited[i].String() < exited[j].String() })
+	return out, exited
+}

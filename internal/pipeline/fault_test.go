@@ -1,0 +1,71 @@
+package pipeline
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/model"
+)
+
+// lossySink drops a fraction of sample batches before forwarding —
+// the monitoring pipeline's at-most-once delivery under load shedding.
+type lossySink struct {
+	next     SampleSink
+	dropRate float64
+	rng      *rand.Rand
+	dropped  int
+}
+
+func (l *lossySink) Publish(samples []model.Sample) error {
+	if l.rng.Float64() < l.dropRate {
+		l.dropped++
+		return nil
+	}
+	return l.next.Publish(samples)
+}
+
+// TestSpecRobustToSampleLoss: CPI specs are statistical, so losing
+// half of all sample batches must not move the learned spec by more
+// than noise. This is the design property that lets the pipeline be
+// at-most-once.
+func TestSpecRobustToSampleLoss(t *testing.T) {
+	makeSpec := func(dropRate float64, seed int64) model.Spec {
+		bus := NewBus(core.NewSpecBuilder(core.DefaultParams()))
+		sink := &lossySink{next: bus, dropRate: dropRate, rng: rand.New(rand.NewSource(seed))}
+		rng := rand.New(rand.NewSource(seed + 100))
+		for task := 0; task < 20; task++ {
+			for i := 0; i < 300; i++ {
+				_ = sink.Publish([]model.Sample{{
+					Job:       "j",
+					Task:      model.TaskID{Job: "j", Index: task},
+					Platform:  model.PlatformA,
+					Timestamp: day0.Add(time.Duration(i) * time.Minute),
+					CPUUsage:  1,
+					CPI:       1.5 + 0.15*rng.NormFloat64(),
+				}})
+			}
+		}
+		specs := bus.Recompute(day0)
+		if len(specs) != 1 {
+			t.Fatalf("specs = %d at drop rate %v", len(specs), dropRate)
+		}
+		return specs[0]
+	}
+	full := makeSpec(0, 1)
+	lossy := makeSpec(0.5, 1)
+	if lossy.NumSamples > full.NumSamples*3/4 {
+		t.Fatalf("loss not injected: %d vs %d samples", lossy.NumSamples, full.NumSamples)
+	}
+	if d := lossy.CPIMean - full.CPIMean; d > 0.02 || d < -0.02 {
+		t.Errorf("spec mean moved by %v under 50%% loss", d)
+	}
+	if d := lossy.CPIStddev - full.CPIStddev; d > 0.02 || d < -0.02 {
+		t.Errorf("spec stddev moved by %v under 50%% loss", d)
+	}
+	// Robustness gates still pass with half the data.
+	if !lossy.Robust(5, 100) {
+		t.Error("lossy spec fell below the robustness gates")
+	}
+}

@@ -1,0 +1,175 @@
+// Package pipeline implements the CPI² data pipeline of Figure 6: CPI
+// samples flow from every machine's agent to a per-cluster collector,
+// which feeds the spec aggregator; smoothed, averaged CPI specs flow
+// back to every machine running tasks of each job.
+//
+// Two transports are provided over the same aggregation code:
+//
+//   - In-process (Bus): the cluster simulator's fast path.
+//   - TCP (Server/Client): newline-delimited JSON over real sockets,
+//     used by cmd/cpi2agent and cmd/cpi2aggregator, so the distributed
+//     path is exercised honestly — batching, reconnects, and partial
+//     failure included.
+//
+// Delivery is at-most-once, like the real system's monitoring pipe:
+// losing a CPI sample is harmless (the spec is statistical, and local
+// detection sees every local sample regardless).
+package pipeline
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/model"
+)
+
+// SampleSink consumes CPI samples (machine → aggregator direction).
+type SampleSink interface {
+	Publish(samples []model.Sample) error
+}
+
+// SpecWatcher consumes spec updates (aggregator → machine direction).
+// Implementations must not block: the bus fans specs out inline.
+type SpecWatcher interface {
+	// WantSpec filters which job×platform specs the watcher cares
+	// about (a machine only needs specs for jobs it runs).
+	WantSpec(key model.SpecKey) bool
+	// DeliverSpec hands over one updated spec.
+	DeliverSpec(spec model.Spec)
+}
+
+// Bus is the in-process pipeline: a SampleSink feeding a SpecBuilder,
+// fanning recomputed specs out to registered watchers.
+type Bus struct {
+	builder *core.SpecBuilder
+
+	mu       sync.Mutex
+	watchers []SpecWatcher
+	received int64
+	dropped  int64
+}
+
+// NewBus creates a pipeline around the given spec builder.
+func NewBus(builder *core.SpecBuilder) *Bus {
+	return &Bus{builder: builder}
+}
+
+// Publish implements SampleSink: invalid samples are counted and
+// dropped, valid ones are folded into the builder.
+func (b *Bus) Publish(samples []model.Sample) error {
+	var received, dropped int64
+	for _, s := range samples {
+		if err := b.builder.AddSample(s); err != nil {
+			dropped++
+			continue
+		}
+		received++
+	}
+	b.mu.Lock()
+	b.received += received
+	b.dropped += dropped
+	b.mu.Unlock()
+	return nil
+}
+
+// Watch registers a spec watcher (e.g. one machine agent).
+func (b *Bus) Watch(w SpecWatcher) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.watchers = append(b.watchers, w)
+}
+
+// Recompute triggers spec recomputation and pushes every robust spec
+// to interested watchers. It returns the published specs.
+func (b *Bus) Recompute(now time.Time) []model.Spec {
+	specs := b.builder.Recompute(now)
+	b.mu.Lock()
+	watchers := make([]SpecWatcher, len(b.watchers))
+	copy(watchers, b.watchers)
+	b.mu.Unlock()
+	for _, spec := range specs {
+		for _, w := range watchers {
+			if w.WantSpec(spec.Key()) {
+				w.DeliverSpec(spec)
+			}
+		}
+	}
+	return specs
+}
+
+// MaybeRecompute runs Recompute if the builder's interval has elapsed.
+func (b *Bus) MaybeRecompute(now time.Time) []model.Spec {
+	if !b.builder.Due(now) {
+		return nil
+	}
+	return b.Recompute(now)
+}
+
+// Stats returns (samples accepted, samples dropped).
+func (b *Bus) Stats() (received, dropped int64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.received, b.dropped
+}
+
+// Builder returns the underlying spec builder.
+func (b *Bus) Builder() *core.SpecBuilder { return b.builder }
+
+// SpecTable is a SpecWatcher that simply stores the latest spec per
+// key — the client-side cache a machine agent keeps.
+type SpecTable struct {
+	mu    sync.Mutex
+	specs map[model.SpecKey]model.Spec
+	want  func(model.SpecKey) bool
+}
+
+// NewSpecTable creates a table; want may be nil to accept everything.
+func NewSpecTable(want func(model.SpecKey) bool) *SpecTable {
+	return &SpecTable{specs: make(map[model.SpecKey]model.Spec), want: want}
+}
+
+// WantSpec implements SpecWatcher.
+func (t *SpecTable) WantSpec(key model.SpecKey) bool {
+	if t.want == nil {
+		return true
+	}
+	return t.want(key)
+}
+
+// DeliverSpec implements SpecWatcher.
+func (t *SpecTable) DeliverSpec(spec model.Spec) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.specs[spec.Key()] = spec
+}
+
+// Get returns the cached spec for key.
+func (t *SpecTable) Get(key model.SpecKey) (model.Spec, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s, ok := t.specs[key]
+	return s, ok
+}
+
+// Len returns the number of cached specs.
+func (t *SpecTable) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.specs)
+}
+
+// All returns the cached specs sorted by key.
+func (t *SpecTable) All() []model.Spec {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]model.Spec, 0, len(t.specs))
+	for _, s := range t.specs {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return out[i].Key().String() < out[j].Key().String()
+	})
+	return out
+}

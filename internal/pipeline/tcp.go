@@ -1,0 +1,261 @@
+package pipeline
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/model"
+)
+
+// Wire protocol: newline-delimited JSON messages, symmetric envelope.
+//
+//	agent → aggregator:  {"type":"samples", "samples":[…]}
+//	agent → aggregator:  {"type":"subscribe", "jobs":[…]} (empty = all)
+//	aggregator → agent:  {"type":"spec", "spec":{…}}
+type wireMsg struct {
+	Type    string          `json:"type"`
+	Samples []model.Sample  `json:"samples,omitempty"`
+	Jobs    []model.SpecKey `json:"jobs,omitempty"`
+	Spec    *model.Spec     `json:"spec,omitempty"`
+}
+
+const (
+	msgSamples   = "samples"
+	msgSubscribe = "subscribe"
+	msgSpec      = "spec"
+)
+
+// Server is the TCP face of the aggregation service: it accepts agent
+// connections, feeds published samples into the Bus, and pushes spec
+// updates to subscribed agents.
+type Server struct {
+	bus *Bus
+
+	mu     sync.Mutex
+	ln     net.Listener
+	conns  map[*serverConn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// NewServer creates a server around bus.
+func NewServer(bus *Bus) *Server {
+	return &Server{bus: bus, conns: make(map[*serverConn]struct{})}
+}
+
+// Serve starts accepting on addr ("host:port", port 0 for ephemeral)
+// and returns the bound address. It does not block; Close stops it.
+func (s *Server) Serve(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("pipeline: listen: %w", err)
+	}
+	s.mu.Lock()
+	s.ln = ln
+	s.mu.Unlock()
+	s.wg.Add(1)
+	go s.acceptLoop(ln)
+	return ln.Addr().String(), nil
+}
+
+func (s *Server) acceptLoop(ln net.Listener) {
+	defer s.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		sc := &serverConn{srv: s, conn: conn, enc: json.NewEncoder(conn)}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[sc] = struct{}{}
+		s.mu.Unlock()
+		s.bus.Watch(sc)
+		s.wg.Add(1)
+		go sc.readLoop()
+	}
+}
+
+// Close stops the listener and all connections.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	ln := s.ln
+	conns := make([]*serverConn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	var err error
+	if ln != nil {
+		err = ln.Close()
+	}
+	for _, c := range conns {
+		c.conn.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+// serverConn is one agent connection; it is a SpecWatcher.
+type serverConn struct {
+	srv  *Server
+	conn net.Conn
+
+	writeMu sync.Mutex
+	enc     *json.Encoder
+
+	subMu      sync.Mutex
+	subAll     bool
+	subscribed map[model.SpecKey]bool
+	dead       bool
+}
+
+func (c *serverConn) readLoop() {
+	defer c.srv.wg.Done()
+	defer func() {
+		c.subMu.Lock()
+		c.dead = true
+		c.subMu.Unlock()
+		c.conn.Close()
+		c.srv.mu.Lock()
+		delete(c.srv.conns, c)
+		c.srv.mu.Unlock()
+	}()
+	dec := json.NewDecoder(bufio.NewReader(c.conn))
+	for {
+		var msg wireMsg
+		if err := dec.Decode(&msg); err != nil {
+			return // EOF, close, or garbage: drop the connection
+		}
+		switch msg.Type {
+		case msgSamples:
+			_ = c.srv.bus.Publish(msg.Samples)
+		case msgSubscribe:
+			c.subMu.Lock()
+			if len(msg.Jobs) == 0 {
+				c.subAll = true
+			} else {
+				if c.subscribed == nil {
+					c.subscribed = make(map[model.SpecKey]bool)
+				}
+				for _, k := range msg.Jobs {
+					c.subscribed[k] = true
+				}
+			}
+			c.subMu.Unlock()
+		default:
+			// Unknown message types are ignored for forward
+			// compatibility.
+		}
+	}
+}
+
+// WantSpec implements SpecWatcher.
+func (c *serverConn) WantSpec(key model.SpecKey) bool {
+	c.subMu.Lock()
+	defer c.subMu.Unlock()
+	if c.dead {
+		return false
+	}
+	return c.subAll || c.subscribed[key]
+}
+
+// DeliverSpec implements SpecWatcher.
+func (c *serverConn) DeliverSpec(spec model.Spec) {
+	c.writeMu.Lock()
+	defer c.writeMu.Unlock()
+	_ = c.conn.SetWriteDeadline(time.Now().Add(5 * time.Second))
+	if err := c.enc.Encode(wireMsg{Type: msgSpec, Spec: &spec}); err != nil {
+		c.conn.Close() // readLoop will clean up
+	}
+}
+
+// Client is the agent-side pipeline endpoint: it publishes sample
+// batches and receives spec pushes.
+type Client struct {
+	conn net.Conn
+
+	writeMu sync.Mutex
+	enc     *json.Encoder
+
+	onSpec func(model.Spec)
+	done   chan struct{}
+}
+
+// Dial connects to an aggregation server. onSpec is invoked (on the
+// client's read goroutine) for every spec push; it may be nil.
+func Dial(ctx context.Context, addr string, onSpec func(model.Spec)) (*Client, error) {
+	var d net.Dialer
+	conn, err := d.DialContext(ctx, "tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("pipeline: dial %s: %w", addr, err)
+	}
+	c := &Client{
+		conn:   conn,
+		enc:    json.NewEncoder(conn),
+		onSpec: onSpec,
+		done:   make(chan struct{}),
+	}
+	go c.readLoop()
+	return c, nil
+}
+
+func (c *Client) readLoop() {
+	defer close(c.done)
+	dec := json.NewDecoder(bufio.NewReader(c.conn))
+	for {
+		var msg wireMsg
+		if err := dec.Decode(&msg); err != nil {
+			return
+		}
+		if msg.Type == msgSpec && msg.Spec != nil && c.onSpec != nil {
+			c.onSpec(*msg.Spec)
+		}
+	}
+}
+
+// Publish sends one batch of samples (implements SampleSink).
+func (c *Client) Publish(samples []model.Sample) error {
+	if len(samples) == 0 {
+		return nil
+	}
+	return c.send(wireMsg{Type: msgSamples, Samples: samples})
+}
+
+// Subscribe asks for spec pushes for the given keys; with no keys, it
+// subscribes to all specs.
+func (c *Client) Subscribe(keys ...model.SpecKey) error {
+	return c.send(wireMsg{Type: msgSubscribe, Jobs: keys})
+}
+
+func (c *Client) send(msg wireMsg) error {
+	c.writeMu.Lock()
+	defer c.writeMu.Unlock()
+	_ = c.conn.SetWriteDeadline(time.Now().Add(5 * time.Second))
+	if err := c.enc.Encode(msg); err != nil {
+		return fmt.Errorf("pipeline: send: %w", err)
+	}
+	return nil
+}
+
+// Close tears down the connection and waits for the read loop to end.
+func (c *Client) Close() error {
+	err := c.conn.Close()
+	<-c.done
+	if err != nil && !errors.Is(err, io.ErrClosedPipe) {
+		return err
+	}
+	return nil
+}

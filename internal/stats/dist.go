@@ -1,0 +1,415 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Distribution is a continuous univariate probability distribution.
+// The paper fits the measured CPI distribution against normal,
+// log-normal, gamma and generalized extreme value candidates (§4.1,
+// Figure 7); all four are implemented here behind this interface.
+type Distribution interface {
+	// PDF returns the probability density at x.
+	PDF(x float64) float64
+	// CDF returns P(X ≤ x).
+	CDF(x float64) float64
+	// Quantile returns the inverse CDF at p ∈ (0,1).
+	Quantile(p float64) float64
+	// Mean returns the distribution mean (may be +Inf).
+	Mean() float64
+	// StdDev returns the distribution standard deviation (may be +Inf).
+	StdDev() float64
+	// Rand draws one variate using rng.
+	Rand(rng *rand.Rand) float64
+	// Name returns a short identifier ("normal", "gev", ...).
+	Name() string
+}
+
+// Normal is the Gaussian distribution N(Mu, Sigma²).
+type Normal struct {
+	Mu    float64
+	Sigma float64
+}
+
+// Name implements Distribution.
+func (Normal) Name() string { return "normal" }
+
+// PDF implements Distribution.
+func (n Normal) PDF(x float64) float64 {
+	z := (x - n.Mu) / n.Sigma
+	return math.Exp(-0.5*z*z) / (n.Sigma * math.Sqrt(2*math.Pi))
+}
+
+// CDF implements Distribution.
+func (n Normal) CDF(x float64) float64 {
+	return 0.5 * math.Erfc(-(x-n.Mu)/(n.Sigma*math.Sqrt2))
+}
+
+// Quantile implements Distribution using the Acklam rational
+// approximation of the probit function (relative error < 1.15e-9).
+func (n Normal) Quantile(p float64) float64 {
+	return n.Mu + n.Sigma*probit(p)
+}
+
+// Mean implements Distribution.
+func (n Normal) Mean() float64 { return n.Mu }
+
+// StdDev implements Distribution.
+func (n Normal) StdDev() float64 { return n.Sigma }
+
+// Rand implements Distribution.
+func (n Normal) Rand(rng *rand.Rand) float64 {
+	return n.Mu + n.Sigma*rng.NormFloat64()
+}
+
+// probit is the standard normal quantile function (Acklam's algorithm).
+func probit(p float64) float64 {
+	if p <= 0 {
+		return math.Inf(-1)
+	}
+	if p >= 1 {
+		return math.Inf(1)
+	}
+	// Coefficients for the central and tail rational approximations.
+	a := [6]float64{-3.969683028665376e+01, 2.209460984245205e+02,
+		-2.759285104469687e+02, 1.383577518672690e+02,
+		-3.066479806614716e+01, 2.506628277459239e+00}
+	b := [5]float64{-5.447609879822406e+01, 1.615858368580409e+02,
+		-1.556989798598866e+02, 6.680131188771972e+01,
+		-1.328068155288572e+01}
+	c := [6]float64{-7.784894002430293e-03, -3.223964580411365e-01,
+		-2.400758277161838e+00, -2.549732539343734e+00,
+		4.374664141464968e+00, 2.938163982698783e+00}
+	d := [4]float64{7.784695709041462e-03, 3.224671290700398e-01,
+		2.445134137142996e+00, 3.754408661907416e+00}
+	const pLow = 0.02425
+	var x float64
+	switch {
+	case p < pLow:
+		q := math.Sqrt(-2 * math.Log(p))
+		x = (((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	case p <= 1-pLow:
+		q := p - 0.5
+		r := q * q
+		x = (((((a[0]*r+a[1])*r+a[2])*r+a[3])*r+a[4])*r + a[5]) * q /
+			(((((b[0]*r+b[1])*r+b[2])*r+b[3])*r+b[4])*r + 1)
+	default:
+		q := math.Sqrt(-2 * math.Log(1-p))
+		x = -(((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	}
+	return x
+}
+
+// LogNormal is the distribution of exp(N(Mu, Sigma²)).
+type LogNormal struct {
+	Mu    float64 // mean of log(X)
+	Sigma float64 // stddev of log(X)
+}
+
+// Name implements Distribution.
+func (LogNormal) Name() string { return "lognormal" }
+
+// PDF implements Distribution.
+func (l LogNormal) PDF(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	z := (math.Log(x) - l.Mu) / l.Sigma
+	return math.Exp(-0.5*z*z) / (x * l.Sigma * math.Sqrt(2*math.Pi))
+}
+
+// CDF implements Distribution.
+func (l LogNormal) CDF(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return Normal{Mu: l.Mu, Sigma: l.Sigma}.CDF(math.Log(x))
+}
+
+// Quantile implements Distribution.
+func (l LogNormal) Quantile(p float64) float64 {
+	return math.Exp(l.Mu + l.Sigma*probit(p))
+}
+
+// Mean implements Distribution.
+func (l LogNormal) Mean() float64 {
+	return math.Exp(l.Mu + l.Sigma*l.Sigma/2)
+}
+
+// StdDev implements Distribution.
+func (l LogNormal) StdDev() float64 {
+	s2 := l.Sigma * l.Sigma
+	return math.Sqrt((math.Exp(s2) - 1)) * l.Mean()
+}
+
+// Rand implements Distribution.
+func (l LogNormal) Rand(rng *rand.Rand) float64 {
+	return math.Exp(l.Mu + l.Sigma*rng.NormFloat64())
+}
+
+// Gamma is the gamma distribution with shape K and scale Theta.
+type Gamma struct {
+	K     float64 // shape
+	Theta float64 // scale
+}
+
+// Name implements Distribution.
+func (Gamma) Name() string { return "gamma" }
+
+// PDF implements Distribution.
+func (g Gamma) PDF(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x == 0 {
+		if g.K < 1 {
+			return math.Inf(1)
+		}
+		if g.K == 1 {
+			return 1 / g.Theta
+		}
+		return 0
+	}
+	lg, _ := math.Lgamma(g.K)
+	return math.Exp((g.K-1)*math.Log(x) - x/g.Theta - lg - g.K*math.Log(g.Theta))
+}
+
+// CDF implements Distribution via the regularized lower incomplete
+// gamma function P(k, x/θ).
+func (g Gamma) CDF(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return regIncGammaLower(g.K, x/g.Theta)
+}
+
+// Quantile implements Distribution by bisection on the CDF.
+func (g Gamma) Quantile(p float64) float64 {
+	return quantileByBisection(g, p, 0, g.Mean()+20*g.StdDev()+10)
+}
+
+// Mean implements Distribution.
+func (g Gamma) Mean() float64 { return g.K * g.Theta }
+
+// StdDev implements Distribution.
+func (g Gamma) StdDev() float64 { return math.Sqrt(g.K) * g.Theta }
+
+// Rand implements Distribution using Marsaglia–Tsang for k ≥ 1 and
+// boosting for k < 1.
+func (g Gamma) Rand(rng *rand.Rand) float64 {
+	k := g.K
+	if k < 1 {
+		// Boost: Gamma(k) = Gamma(k+1) * U^(1/k).
+		u := rng.Float64()
+		return Gamma{K: k + 1, Theta: g.Theta}.Rand(rng) * math.Pow(u, 1/k)
+	}
+	d := k - 1.0/3.0
+	c := 1 / math.Sqrt(9*d)
+	for {
+		var x, v float64
+		for {
+			x = rng.NormFloat64()
+			v = 1 + c*x
+			if v > 0 {
+				break
+			}
+		}
+		v = v * v * v
+		u := rng.Float64()
+		if u < 1-0.0331*x*x*x*x {
+			return d * v * g.Theta
+		}
+		if math.Log(u) < 0.5*x*x+d*(1-v+math.Log(v)) {
+			return d * v * g.Theta
+		}
+	}
+}
+
+// regIncGammaLower computes the regularized lower incomplete gamma
+// function P(a, x) using the series expansion for x < a+1 and the
+// continued fraction for x ≥ a+1 (Numerical Recipes §6.2).
+func regIncGammaLower(a, x float64) float64 {
+	if x < 0 || a <= 0 {
+		return math.NaN()
+	}
+	if x == 0 {
+		return 0
+	}
+	lg, _ := math.Lgamma(a)
+	if x < a+1 {
+		// Series representation.
+		ap := a
+		sum := 1 / a
+		del := sum
+		for i := 0; i < 500; i++ {
+			ap++
+			del *= x / ap
+			sum += del
+			if math.Abs(del) < math.Abs(sum)*1e-15 {
+				break
+			}
+		}
+		return sum * math.Exp(-x+a*math.Log(x)-lg)
+	}
+	// Continued fraction for Q(a,x), then P = 1-Q.
+	const tiny = 1e-300
+	b := x + 1 - a
+	c := 1 / tiny
+	d := 1 / b
+	h := d
+	for i := 1; i < 500; i++ {
+		an := -float64(i) * (float64(i) - a)
+		b += 2
+		d = an*d + b
+		if math.Abs(d) < tiny {
+			d = tiny
+		}
+		c = b + an/c
+		if math.Abs(c) < tiny {
+			c = tiny
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < 1e-15 {
+			break
+		}
+	}
+	q := math.Exp(-x+a*math.Log(x)-lg) * h
+	return 1 - q
+}
+
+// quantileByBisection inverts d.CDF on [lo, hi] to 1e-10 tolerance.
+func quantileByBisection(d Distribution, p, lo, hi float64) float64 {
+	if p <= 0 {
+		return lo
+	}
+	if p >= 1 {
+		return hi
+	}
+	for hi-lo > 1e-10*(1+math.Abs(hi)) {
+		mid := (lo + hi) / 2
+		if d.CDF(mid) < p {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2
+}
+
+// GEV is the generalized extreme value distribution with location Mu,
+// scale Sigma (> 0) and shape Xi. The paper's Figure 7 reports
+// GEV(1.73, 0.133, −0.0534) as the best fit for a web-search job's CPI
+// distribution; we use GEV both to model CPI noise in the interference
+// simulator and to reproduce that fit.
+type GEV struct {
+	Mu    float64 // location
+	Sigma float64 // scale
+	Xi    float64 // shape (ξ); ξ→0 is the Gumbel limit
+}
+
+// Name implements Distribution.
+func (GEV) Name() string { return "gev" }
+
+// support returns the standardized variable t(x) = (x−µ)/σ and whether
+// x lies in the distribution's support.
+func (g GEV) t(x float64) (float64, bool) {
+	s := (x - g.Mu) / g.Sigma
+	if math.Abs(g.Xi) < 1e-12 {
+		return s, true
+	}
+	arg := 1 + g.Xi*s
+	if arg <= 0 {
+		return 0, false
+	}
+	return s, true
+}
+
+// PDF implements Distribution.
+func (g GEV) PDF(x float64) float64 {
+	s, ok := g.t(x)
+	if !ok {
+		return 0
+	}
+	if math.Abs(g.Xi) < 1e-12 {
+		// Gumbel limit.
+		e := math.Exp(-s)
+		return e * math.Exp(-e) / g.Sigma
+	}
+	arg := 1 + g.Xi*s
+	tx := math.Pow(arg, -1/g.Xi)
+	return math.Pow(arg, -1/g.Xi-1) * math.Exp(-tx) / g.Sigma
+}
+
+// CDF implements Distribution.
+func (g GEV) CDF(x float64) float64 {
+	s := (x - g.Mu) / g.Sigma
+	if math.Abs(g.Xi) < 1e-12 {
+		return math.Exp(-math.Exp(-s))
+	}
+	arg := 1 + g.Xi*s
+	if arg <= 0 {
+		if g.Xi > 0 {
+			return 0 // below lower bound
+		}
+		return 1 // above upper bound (ξ<0 has bounded right tail)
+	}
+	return math.Exp(-math.Pow(arg, -1/g.Xi))
+}
+
+// Quantile implements Distribution in closed form.
+func (g GEV) Quantile(p float64) float64 {
+	if p <= 0 {
+		p = math.SmallestNonzeroFloat64
+	}
+	if p >= 1 {
+		p = 1 - 1e-16
+	}
+	ln := -math.Log(p)
+	if math.Abs(g.Xi) < 1e-12 {
+		return g.Mu - g.Sigma*math.Log(ln)
+	}
+	return g.Mu + g.Sigma*(math.Pow(ln, -g.Xi)-1)/g.Xi
+}
+
+// Mean implements Distribution. It is finite only for ξ < 1.
+func (g GEV) Mean() float64 {
+	const gammaEuler = 0.5772156649015329
+	if math.Abs(g.Xi) < 1e-12 {
+		return g.Mu + g.Sigma*gammaEuler
+	}
+	if g.Xi >= 1 {
+		return math.Inf(1)
+	}
+	g1 := math.Gamma(1 - g.Xi)
+	return g.Mu + g.Sigma*(g1-1)/g.Xi
+}
+
+// StdDev implements Distribution. It is finite only for ξ < 1/2.
+func (g GEV) StdDev() float64 {
+	if math.Abs(g.Xi) < 1e-12 {
+		return g.Sigma * math.Pi / math.Sqrt(6)
+	}
+	if g.Xi >= 0.5 {
+		return math.Inf(1)
+	}
+	g1 := math.Gamma(1 - g.Xi)
+	g2 := math.Gamma(1 - 2*g.Xi)
+	v := g.Sigma * g.Sigma * (g2 - g1*g1) / (g.Xi * g.Xi)
+	return math.Sqrt(v)
+}
+
+// Rand implements Distribution by inverse-transform sampling.
+func (g GEV) Rand(rng *rand.Rand) float64 {
+	return g.Quantile(rng.Float64())
+}
+
+// String renders the GEV in the paper's notation GEV(µ, σ, ξ).
+func (g GEV) String() string {
+	return fmt.Sprintf("GEV(%.4g,%.4g,%.4g)", g.Mu, g.Sigma, g.Xi)
+}

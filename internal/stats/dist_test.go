@@ -1,0 +1,204 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// distributions under test, with parameters typical of CPI data.
+func testDists() []Distribution {
+	return []Distribution{
+		Normal{Mu: 1.8, Sigma: 0.16},
+		LogNormal{Mu: 0.5, Sigma: 0.3},
+		Gamma{K: 4, Theta: 0.5},
+		Gamma{K: 0.7, Theta: 1.2}, // shape < 1 path
+		GEV{Mu: 1.73, Sigma: 0.133, Xi: -0.0534},
+		GEV{Mu: 0, Sigma: 1, Xi: 0},     // Gumbel limit
+		GEV{Mu: 2, Sigma: 0.2, Xi: 0.1}, // heavy right tail
+	}
+}
+
+func TestCDFMonotoneAndBounded(t *testing.T) {
+	for _, d := range testDists() {
+		lo := d.Quantile(0.001)
+		hi := d.Quantile(0.999)
+		prev := -1.0
+		for i := 0; i <= 100; i++ {
+			x := lo + (hi-lo)*float64(i)/100
+			c := d.CDF(x)
+			if c < 0 || c > 1 {
+				t.Errorf("%s: CDF(%v) = %v out of [0,1]", d.Name(), x, c)
+			}
+			if c < prev-1e-12 {
+				t.Errorf("%s: CDF not monotone at %v", d.Name(), x)
+			}
+			prev = c
+		}
+	}
+}
+
+func TestQuantileInvertsCDF(t *testing.T) {
+	for _, d := range testDists() {
+		for _, p := range []float64{0.01, 0.1, 0.5, 0.9, 0.99} {
+			x := d.Quantile(p)
+			got := d.CDF(x)
+			if !almostEqual(got, p, 1e-6) {
+				t.Errorf("%s: CDF(Quantile(%v)) = %v", d.Name(), p, got)
+			}
+		}
+	}
+}
+
+func TestPDFIntegratesToCDF(t *testing.T) {
+	// Trapezoidal integration of the PDF over [q(0.001), q(0.999)]
+	// should approximate CDF(hi) − CDF(lo).
+	for _, d := range testDists() {
+		lo := d.Quantile(0.001)
+		hi := d.Quantile(0.999)
+		const steps = 20000
+		h := (hi - lo) / steps
+		sum := (d.PDF(lo) + d.PDF(hi)) / 2
+		for i := 1; i < steps; i++ {
+			sum += d.PDF(lo + float64(i)*h)
+		}
+		integral := sum * h
+		want := d.CDF(hi) - d.CDF(lo)
+		if !almostEqual(integral, want, 5e-3) {
+			t.Errorf("%s: ∫PDF = %v, CDF diff = %v", d.Name(), integral, want)
+		}
+	}
+}
+
+func TestRandMatchesMoments(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, d := range testDists() {
+		if math.IsInf(d.StdDev(), 1) {
+			continue
+		}
+		var m Moments
+		for i := 0; i < 200000; i++ {
+			m.Add(d.Rand(rng))
+		}
+		if !almostEqual(m.Mean(), d.Mean(), 0.02*math.Max(1, math.Abs(d.Mean()))) {
+			t.Errorf("%s: sample mean %v vs dist mean %v", d.Name(), m.Mean(), d.Mean())
+		}
+		if !almostEqual(m.StdDev(), d.StdDev(), 0.05*math.Max(0.1, d.StdDev())) {
+			t.Errorf("%s: sample sd %v vs dist sd %v", d.Name(), m.StdDev(), d.StdDev())
+		}
+	}
+}
+
+func TestNormalKnownValues(t *testing.T) {
+	n := Normal{Mu: 0, Sigma: 1}
+	if !almostEqual(n.CDF(0), 0.5, 1e-12) {
+		t.Error("Φ(0) != 0.5")
+	}
+	if !almostEqual(n.CDF(1.959963985), 0.975, 1e-6) {
+		t.Error("Φ(1.96) != 0.975")
+	}
+	if !almostEqual(n.Quantile(0.975), 1.959963985, 1e-6) {
+		t.Error("probit(0.975) != 1.96")
+	}
+	if !almostEqual(n.PDF(0), 1/math.Sqrt(2*math.Pi), 1e-12) {
+		t.Error("φ(0) wrong")
+	}
+	if !math.IsInf(n.Quantile(0), -1) || !math.IsInf(n.Quantile(1), 1) {
+		t.Error("extreme quantiles should be ±Inf")
+	}
+}
+
+func TestGEVKnownShape(t *testing.T) {
+	// The paper's fitted GEV(1.73, 0.133, −0.0534): mean ≈ 1.81, and a
+	// right-skewed shape with a bounded upper tail (ξ<0).
+	g := GEV{Mu: 1.73, Sigma: 0.133, Xi: -0.0534}
+	if !almostEqual(g.Mean(), 1.81, 0.02) {
+		t.Errorf("GEV mean = %v, want ≈1.81", g.Mean())
+	}
+	if !almostEqual(g.StdDev(), 0.16, 0.03) {
+		t.Errorf("GEV sd = %v, want ≈0.16", g.StdDev())
+	}
+	// Right-skewed: median < mean.
+	if med := g.Quantile(0.5); med >= g.Mean() {
+		t.Errorf("GEV median %v not below mean %v", med, g.Mean())
+	}
+	// Support bound for ξ<0: CDF is 1 beyond µ − σ/ξ.
+	bound := g.Mu - g.Sigma/g.Xi
+	if got := g.CDF(bound + 1); got != 1 {
+		t.Errorf("CDF above support bound = %v, want 1", got)
+	}
+	if got := g.PDF(bound + 1); got != 0 {
+		t.Errorf("PDF above support bound = %v, want 0", got)
+	}
+}
+
+func TestGEVSupportLowerBound(t *testing.T) {
+	g := GEV{Mu: 2, Sigma: 0.2, Xi: 0.1} // ξ>0: bounded below
+	bound := g.Mu - g.Sigma/g.Xi
+	if got := g.CDF(bound - 1); got != 0 {
+		t.Errorf("CDF below support = %v, want 0", got)
+	}
+	if got := g.PDF(bound - 1); got != 0 {
+		t.Errorf("PDF below support = %v, want 0", got)
+	}
+}
+
+func TestGammaCDFKnownValues(t *testing.T) {
+	// Gamma(k=1, θ=1) is Exp(1): CDF(x) = 1 − e^{−x}.
+	g := Gamma{K: 1, Theta: 1}
+	for _, x := range []float64{0.1, 0.5, 1, 2, 5} {
+		want := 1 - math.Exp(-x)
+		if got := g.CDF(x); !almostEqual(got, want, 1e-10) {
+			t.Errorf("Exp CDF(%v) = %v, want %v", x, got, want)
+		}
+	}
+	// Gamma CDF at the mean of a large-k gamma approaches 0.5.
+	big := Gamma{K: 400, Theta: 0.01}
+	if got := big.CDF(big.Mean()); !almostEqual(got, 0.5, 0.02) {
+		t.Errorf("large-k CDF(mean) = %v", got)
+	}
+	if g.CDF(-1) != 0 {
+		t.Error("gamma CDF negative should be 0")
+	}
+}
+
+func TestGammaPDFEdges(t *testing.T) {
+	if got := (Gamma{K: 1, Theta: 2}).PDF(0); !almostEqual(got, 0.5, 1e-12) {
+		t.Errorf("k=1 PDF(0) = %v, want 0.5", got)
+	}
+	if got := (Gamma{K: 2, Theta: 1}).PDF(0); got != 0 {
+		t.Errorf("k=2 PDF(0) = %v, want 0", got)
+	}
+	if !math.IsInf((Gamma{K: 0.5, Theta: 1}).PDF(0), 1) {
+		t.Error("k<1 PDF(0) should be +Inf")
+	}
+	if (Gamma{K: 2, Theta: 1}).PDF(-1) != 0 {
+		t.Error("PDF negative should be 0")
+	}
+}
+
+func TestLogNormalPositiveSupport(t *testing.T) {
+	l := LogNormal{Mu: 0, Sigma: 1}
+	if l.PDF(-1) != 0 || l.CDF(-1) != 0 || l.CDF(0) != 0 {
+		t.Error("lognormal must have zero mass at x ≤ 0")
+	}
+	if !almostEqual(l.CDF(1), 0.5, 1e-12) {
+		t.Error("lognormal CDF(e^µ) != 0.5")
+	}
+}
+
+func TestQuantileCDFRoundTripProperty(t *testing.T) {
+	f := func(pRaw uint16) bool {
+		p := (float64(pRaw) + 1) / (math.MaxUint16 + 2) // p in (0,1)
+		for _, d := range testDists() {
+			if !almostEqual(d.CDF(d.Quantile(p)), p, 1e-5) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,233 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// FitNormal estimates a Normal distribution from xs by the method of
+// moments (which is also the MLE for the Gaussian).
+func FitNormal(xs []float64) (Normal, error) {
+	if len(xs) < 2 {
+		return Normal{}, ErrInsufficientData
+	}
+	m, s := MeanStdDev(xs)
+	if s == 0 {
+		s = 1e-12
+	}
+	return Normal{Mu: m, Sigma: s}, nil
+}
+
+// FitLogNormal estimates a LogNormal from xs (all positive) by fitting
+// a Gaussian to the logs. Non-positive samples cause an error.
+func FitLogNormal(xs []float64) (LogNormal, error) {
+	if len(xs) < 2 {
+		return LogNormal{}, ErrInsufficientData
+	}
+	logs := make([]float64, len(xs))
+	for i, x := range xs {
+		if x <= 0 {
+			return LogNormal{}, ErrInsufficientData
+		}
+		logs[i] = math.Log(x)
+	}
+	n, err := FitNormal(logs)
+	if err != nil {
+		return LogNormal{}, err
+	}
+	return LogNormal{Mu: n.Mu, Sigma: n.Sigma}, nil
+}
+
+// FitGamma estimates a Gamma from xs by the method of moments:
+// k = (µ/σ)², θ = σ²/µ. All samples must be positive.
+func FitGamma(xs []float64) (Gamma, error) {
+	if len(xs) < 2 {
+		return Gamma{}, ErrInsufficientData
+	}
+	m, s := MeanStdDev(xs)
+	if m <= 0 || s == 0 {
+		return Gamma{}, ErrInsufficientData
+	}
+	k := (m / s) * (m / s)
+	theta := s * s / m
+	return Gamma{K: k, Theta: theta}, nil
+}
+
+// FitGEV estimates a GEV from xs using Hosking's L-moment estimator,
+// the standard robust approach for extreme-value fitting. This is how
+// the repo reproduces the paper's Figure 7 fit
+// GEV(1.73, 0.133, −0.0534).
+func FitGEV(xs []float64) (GEV, error) {
+	if len(xs) < 3 {
+		return GEV{}, ErrInsufficientData
+	}
+	l1, l2, t3, err := lMoments(xs)
+	if err != nil {
+		return GEV{}, err
+	}
+	if l2 <= 0 {
+		return GEV{}, ErrInsufficientData
+	}
+	// Hosking (1985) approximation. In Hosking's convention the shape is
+	// κ = −ξ; positive κ means a bounded right tail.
+	c := 2/(3+t3) - math.Ln2/math.Log(3)
+	kappa := 7.8590*c + 2.9554*c*c
+	var mu, sigma, xi float64
+	if math.Abs(kappa) < 1e-9 {
+		// Gumbel limit.
+		const gammaEuler = 0.5772156649015329
+		sigma = l2 / math.Ln2
+		mu = l1 - sigma*gammaEuler
+		xi = 0
+	} else {
+		gk := math.Gamma(1 + kappa)
+		sigma = l2 * kappa / ((1 - math.Pow(2, -kappa)) * gk)
+		mu = l1 - sigma*(1-gk)/kappa
+		xi = -kappa
+	}
+	if sigma <= 0 || math.IsNaN(sigma) || math.IsNaN(mu) || math.IsNaN(xi) {
+		return GEV{}, ErrInsufficientData
+	}
+	return GEV{Mu: mu, Sigma: sigma, Xi: xi}, nil
+}
+
+// lMoments returns the first two sample L-moments and the L-skewness
+// τ3 = λ3/λ2, computed from unbiased probability-weighted moments.
+func lMoments(xs []float64) (l1, l2, t3 float64, err error) {
+	n := len(xs)
+	if n < 3 {
+		return 0, 0, 0, ErrInsufficientData
+	}
+	sorted := make([]float64, n)
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	var b0, b1, b2 float64
+	fn := float64(n)
+	for i, x := range sorted {
+		fi := float64(i) // zero-based rank
+		b0 += x
+		b1 += fi * x
+		b2 += fi * (fi - 1) * x
+	}
+	b0 /= fn
+	b1 /= fn * (fn - 1)
+	b2 /= fn * (fn - 1) * (fn - 2)
+	l1 = b0
+	l2 = 2*b1 - b0
+	l3 := 6*b2 - 6*b1 + b0
+	if l2 == 0 {
+		return 0, 0, 0, ErrInsufficientData
+	}
+	return l1, l2, l3 / l2, nil
+}
+
+// KolmogorovSmirnov returns the one-sample K-S statistic
+// D = sup |F_empirical(x) − F(x)| between xs and d. Smaller is a
+// better fit; Figure 7's model comparison selects the candidate with
+// the smallest D.
+func KolmogorovSmirnov(xs []float64, d Distribution) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrInsufficientData
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	n := float64(len(sorted))
+	var maxD float64
+	for i, x := range sorted {
+		f := d.CDF(x)
+		dPlus := float64(i+1)/n - f
+		dMinus := f - float64(i)/n
+		if dPlus > maxD {
+			maxD = dPlus
+		}
+		if dMinus > maxD {
+			maxD = dMinus
+		}
+	}
+	return maxD, nil
+}
+
+// AndersonDarling returns the one-sample Anderson–Darling statistic
+// A² between xs and d. Like K-S it measures distance between the
+// empirical and model CDFs, but it weights the tails more heavily —
+// useful for distinguishing GEV from log-normal/gamma, whose centers
+// look alike while their tails differ.
+func AndersonDarling(xs []float64, d Distribution) (float64, error) {
+	n := len(xs)
+	if n == 0 {
+		return 0, ErrInsufficientData
+	}
+	sorted := make([]float64, n)
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	const eps = 1e-300
+	var sum float64
+	for i := 0; i < n; i++ {
+		fi := d.CDF(sorted[i])
+		fj := d.CDF(sorted[n-1-i])
+		if fi < eps {
+			fi = eps
+		}
+		if fi > 1-1e-16 {
+			fi = 1 - 1e-16
+		}
+		if fj < eps {
+			fj = eps
+		}
+		if fj > 1-1e-16 {
+			fj = 1 - 1e-16
+		}
+		sum += float64(2*i+1) * (math.Log(fi) + math.Log(1-fj))
+	}
+	return -float64(n) - sum/float64(n), nil
+}
+
+// FitResult pairs a fitted candidate distribution with its
+// goodness-of-fit statistics against the data it was fitted to.
+type FitResult struct {
+	Dist Distribution
+	KS   float64
+	// AD is the Anderson–Darling statistic (tail-weighted).
+	AD float64
+}
+
+// FitAll fits all four candidate families the paper considered to xs
+// and returns the results ordered best (smallest K-S statistic) first.
+// Families that cannot be fitted (e.g. log-normal with non-positive
+// samples) are omitted.
+func FitAll(xs []float64) ([]FitResult, error) {
+	if len(xs) < 3 {
+		return nil, ErrInsufficientData
+	}
+	var out []FitResult
+	if d, err := FitNormal(xs); err == nil {
+		out = appendFit(out, xs, d)
+	}
+	if d, err := FitLogNormal(xs); err == nil {
+		out = appendFit(out, xs, d)
+	}
+	if d, err := FitGamma(xs); err == nil {
+		out = appendFit(out, xs, d)
+	}
+	if d, err := FitGEV(xs); err == nil {
+		out = appendFit(out, xs, d)
+	}
+	if len(out) == 0 {
+		return nil, ErrInsufficientData
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].KS < out[j].KS })
+	return out, nil
+}
+
+func appendFit(out []FitResult, xs []float64, d Distribution) []FitResult {
+	ks, err := KolmogorovSmirnov(xs, d)
+	if err != nil {
+		return out
+	}
+	ad, err := AndersonDarling(xs, d)
+	if err != nil {
+		return out
+	}
+	return append(out, FitResult{Dist: d, KS: ks, AD: ad})
+}

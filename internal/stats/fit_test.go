@@ -1,0 +1,245 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func sample(d Distribution, n int, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = d.Rand(rng)
+	}
+	return xs
+}
+
+func TestFitNormalRecoversParameters(t *testing.T) {
+	truth := Normal{Mu: 1.8, Sigma: 0.16}
+	got, err := FitNormal(sample(truth, 50000, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(got.Mu, truth.Mu, 0.01) || !almostEqual(got.Sigma, truth.Sigma, 0.01) {
+		t.Errorf("FitNormal = %+v, want %+v", got, truth)
+	}
+}
+
+func TestFitLogNormalRecoversParameters(t *testing.T) {
+	truth := LogNormal{Mu: 0.5, Sigma: 0.25}
+	got, err := FitLogNormal(sample(truth, 50000, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(got.Mu, truth.Mu, 0.01) || !almostEqual(got.Sigma, truth.Sigma, 0.01) {
+		t.Errorf("FitLogNormal = %+v, want %+v", got, truth)
+	}
+	if _, err := FitLogNormal([]float64{1, -1, 2}); err == nil {
+		t.Error("non-positive data must fail")
+	}
+}
+
+func TestFitGammaRecoversParameters(t *testing.T) {
+	truth := Gamma{K: 4, Theta: 0.45}
+	got, err := FitGamma(sample(truth, 80000, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(got.K, truth.K, 0.15) || !almostEqual(got.Theta, truth.Theta, 0.03) {
+		t.Errorf("FitGamma = %+v, want %+v", got, truth)
+	}
+}
+
+func TestFitGEVRecoversParameters(t *testing.T) {
+	// The paper's Figure 7 parameters.
+	truth := GEV{Mu: 1.73, Sigma: 0.133, Xi: -0.0534}
+	got, err := FitGEV(sample(truth, 200000, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(got.Mu, truth.Mu, 0.01) {
+		t.Errorf("GEV µ = %v, want %v", got.Mu, truth.Mu)
+	}
+	if !almostEqual(got.Sigma, truth.Sigma, 0.01) {
+		t.Errorf("GEV σ = %v, want %v", got.Sigma, truth.Sigma)
+	}
+	if !almostEqual(got.Xi, truth.Xi, 0.02) {
+		t.Errorf("GEV ξ = %v, want %v", got.Xi, truth.Xi)
+	}
+}
+
+func TestFitGEVGumbelData(t *testing.T) {
+	truth := GEV{Mu: 5, Sigma: 2, Xi: 0}
+	got, err := FitGEV(sample(truth, 100000, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(got.Mu, 5, 0.1) || !almostEqual(got.Sigma, 2, 0.1) || !almostEqual(got.Xi, 0, 0.03) {
+		t.Errorf("Gumbel fit = %+v", got)
+	}
+}
+
+func TestKolmogorovSmirnov(t *testing.T) {
+	truth := Normal{Mu: 0, Sigma: 1}
+	xs := sample(truth, 20000, 6)
+	dGood, err := KolmogorovSmirnov(xs, truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dBad, err := KolmogorovSmirnov(xs, Normal{Mu: 3, Sigma: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dGood > 0.02 {
+		t.Errorf("K-S of true model = %v, want small", dGood)
+	}
+	if dBad < 0.5 {
+		t.Errorf("K-S of wrong model = %v, want large", dBad)
+	}
+	if _, err := KolmogorovSmirnov(nil, truth); err == nil {
+		t.Error("empty K-S should fail")
+	}
+}
+
+func TestAndersonDarling(t *testing.T) {
+	truth := Normal{Mu: 0, Sigma: 1}
+	xs := sample(truth, 20000, 16)
+	adGood, err := AndersonDarling(xs, truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	adBad, err := AndersonDarling(xs, Normal{Mu: 1, Sigma: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// For the true model, A² concentrates near ~1; a unit mean shift
+	// blows it up by orders of magnitude.
+	if adGood > 4 {
+		t.Errorf("A² of true model = %v, want small", adGood)
+	}
+	if adBad < 100*adGood {
+		t.Errorf("A² of wrong model = %v vs %v, want far larger", adBad, adGood)
+	}
+	if _, err := AndersonDarling(nil, truth); err == nil {
+		t.Error("empty AD should fail")
+	}
+	// Samples outside the model's support must not produce NaN/Inf
+	// (log guards): evaluate GEV with a bounded tail.
+	g := GEV{Mu: 0, Sigma: 1, Xi: -0.5} // support bounded above at 2
+	mixed := []float64{-1, 0, 1, 5, 9}  // 5 and 9 beyond the upper bound
+	ad, err := AndersonDarling(mixed, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsNaN(ad) || math.IsInf(ad, 0) {
+		t.Errorf("A² with out-of-support samples = %v", ad)
+	}
+}
+
+func TestFitAllReportsAD(t *testing.T) {
+	truth := GEV{Mu: 1.73, Sigma: 0.133, Xi: -0.0534}
+	xs := sample(truth, 50000, 17)
+	results, err := FitAll(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var gevAD, normalAD float64
+	for _, r := range results {
+		switch r.Dist.Name() {
+		case "gev":
+			gevAD = r.AD
+		case "normal":
+			normalAD = r.AD
+		}
+	}
+	if gevAD <= 0 || normalAD <= 0 {
+		t.Fatalf("AD not populated: gev=%v normal=%v", gevAD, normalAD)
+	}
+	if gevAD >= normalAD {
+		t.Errorf("AD ranks normal (%v) over gev (%v) on GEV data", normalAD, gevAD)
+	}
+}
+
+func TestFitAllPrefersGEVOnGEVData(t *testing.T) {
+	// The headline claim behind Figure 7: on skewed CPI-like data, the
+	// GEV fits better than normal, log-normal and gamma.
+	truth := GEV{Mu: 1.73, Sigma: 0.133, Xi: -0.0534}
+	xs := sample(truth, 100000, 7)
+	results, err := FitAll(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 4 {
+		t.Fatalf("expected 4 candidates, got %d", len(results))
+	}
+	if results[0].Dist.Name() != "gev" {
+		for _, r := range results {
+			t.Logf("%-10s KS=%.5f", r.Dist.Name(), r.KS)
+		}
+		t.Errorf("best fit = %s, want gev", results[0].Dist.Name())
+	}
+	// Results must be sorted ascending by KS.
+	for i := 1; i < len(results); i++ {
+		if results[i].KS < results[i-1].KS {
+			t.Error("FitAll results not sorted")
+		}
+	}
+}
+
+func TestFitAllPrefersNormalOnNormalData(t *testing.T) {
+	truth := Normal{Mu: 10, Sigma: 2}
+	xs := sample(truth, 100000, 8)
+	results, err := FitAll(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// GEV with ξ fit may tie closely; normal must at least beat gamma's
+	// and lognormal's asymmetry. Accept normal or gev as winner but
+	// require normal's KS to be small.
+	var normalKS float64 = math.Inf(1)
+	for _, r := range results {
+		if r.Dist.Name() == "normal" {
+			normalKS = r.KS
+		}
+	}
+	if normalKS > 0.01 {
+		t.Errorf("normal KS on normal data = %v", normalKS)
+	}
+}
+
+func TestFitInsufficientData(t *testing.T) {
+	if _, err := FitNormal([]float64{1}); err == nil {
+		t.Error("FitNormal(1 sample) should fail")
+	}
+	if _, err := FitGamma([]float64{0, 0, 0}); err == nil {
+		t.Error("FitGamma of zeros should fail")
+	}
+	if _, err := FitGEV([]float64{1, 2}); err == nil {
+		t.Error("FitGEV(2 samples) should fail")
+	}
+	if _, err := FitAll([]float64{1, 1}); err == nil {
+		t.Error("FitAll(2 samples) should fail")
+	}
+	if _, err := FitGEV([]float64{3, 3, 3, 3}); err == nil {
+		t.Error("FitGEV of constants should fail")
+	}
+}
+
+func TestLMoments(t *testing.T) {
+	// For a symmetric sample, τ3 should be ~0 and λ1 the mean.
+	xs := []float64{1, 2, 3, 4, 5}
+	l1, l2, t3, err := lMoments(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l1 != 3 {
+		t.Errorf("λ1 = %v, want 3", l1)
+	}
+	if l2 <= 0 {
+		t.Errorf("λ2 = %v, want > 0", l2)
+	}
+	if !almostEqual(t3, 0, 1e-12) {
+		t.Errorf("τ3 = %v, want 0", t3)
+	}
+}

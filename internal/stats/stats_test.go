@@ -1,0 +1,250 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol
+}
+
+func TestMean(t *testing.T) {
+	cases := []struct {
+		name string
+		xs   []float64
+		want float64
+	}{
+		{"empty", nil, 0},
+		{"single", []float64{3.5}, 3.5},
+		{"simple", []float64{1, 2, 3, 4}, 2.5},
+		{"negative", []float64{-2, 2}, 0},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if got := Mean(c.xs); got != c.want {
+				t.Errorf("Mean(%v) = %v, want %v", c.xs, got, c.want)
+			}
+		})
+	}
+}
+
+func TestWeightedMean(t *testing.T) {
+	xs := []float64{1, 2, 3}
+	ws := []float64{1, 0, 1}
+	if got := WeightedMean(xs, ws); got != 2 {
+		t.Errorf("WeightedMean = %v, want 2", got)
+	}
+	if got := WeightedMean(xs, []float64{0, 0, 0}); got != 0 {
+		t.Errorf("zero weights: got %v, want 0", got)
+	}
+	if got := WeightedMean(xs, []float64{1, 1}); got != 0 {
+		t.Errorf("mismatched lengths: got %v, want 0", got)
+	}
+	// Negative weights are ignored.
+	if got := WeightedMean(xs, []float64{-5, 1, 1}); got != 2.5 {
+		t.Errorf("negative weight not ignored: got %v, want 2.5", got)
+	}
+}
+
+func TestVarianceAndStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	v, err := Variance(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sample variance of this classic dataset is 32/7.
+	if !almostEqual(v, 32.0/7.0, 1e-12) {
+		t.Errorf("Variance = %v, want %v", v, 32.0/7.0)
+	}
+	if _, err := Variance([]float64{1}); err == nil {
+		t.Error("Variance of 1 sample should fail")
+	}
+	s, err := StdDev(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(s, math.Sqrt(32.0/7.0), 1e-12) {
+		t.Errorf("StdDev = %v", s)
+	}
+}
+
+func TestMeanStdDevDegenerate(t *testing.T) {
+	m, s := MeanStdDev([]float64{5})
+	if m != 5 || s != 0 {
+		t.Errorf("MeanStdDev single sample = %v,%v; want 5,0", m, s)
+	}
+}
+
+func TestCoefficientOfVariation(t *testing.T) {
+	// Constant data has CV 0.
+	if cv := CoefficientOfVariation([]float64{2, 2, 2}); cv != 0 {
+		t.Errorf("CV of constants = %v, want 0", cv)
+	}
+	// Zero mean is guarded.
+	if cv := CoefficientOfVariation([]float64{-1, 1}); cv != 0 {
+		t.Errorf("CV at zero mean = %v, want 0", cv)
+	}
+	cv := CoefficientOfVariation([]float64{9, 10, 11})
+	if cv <= 0 || cv > 0.2 {
+		t.Errorf("CV = %v out of expected range", cv)
+	}
+}
+
+func TestMinMaxSum(t *testing.T) {
+	xs := []float64{3, -1, 7, 2}
+	if Min(xs) != -1 || Max(xs) != 7 || Sum(xs) != 11 {
+		t.Errorf("Min/Max/Sum wrong: %v %v %v", Min(xs), Max(xs), Sum(xs))
+	}
+	if !math.IsInf(Min(nil), 1) || !math.IsInf(Max(nil), -1) {
+		t.Error("empty Min/Max should be ±Inf")
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	xs := []float64{1, 3}
+	if !Normalize(xs) {
+		t.Fatal("Normalize returned false")
+	}
+	if !almostEqual(xs[0], 0.25, 1e-15) || !almostEqual(xs[1], 0.75, 1e-15) {
+		t.Errorf("Normalize = %v", xs)
+	}
+	zs := []float64{0, 0}
+	if Normalize(zs) {
+		t.Error("Normalize of zeros should return false")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{15, 20, 35, 40, 50}
+	q, err := Quantile(xs, 0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(q, 29, 1e-12) { // type-7: 20 + 0.6*(35-20)
+		t.Errorf("Quantile(0.4) = %v, want 29", q)
+	}
+	if _, err := Quantile(nil, 0.5); err == nil {
+		t.Error("empty quantile should fail")
+	}
+	if _, err := Quantile(xs, 1.5); err == nil {
+		t.Error("out-of-range q should fail")
+	}
+	med, _ := Median(xs)
+	if med != 35 {
+		t.Errorf("Median = %v, want 35", med)
+	}
+}
+
+func TestMomentsMatchesBatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	xs := make([]float64, 1000)
+	var m Moments
+	for i := range xs {
+		xs[i] = rng.NormFloat64()*3 + 7
+		m.Add(xs[i])
+	}
+	wantMean, wantSD := MeanStdDev(xs)
+	if !almostEqual(m.Mean(), wantMean, 1e-9) {
+		t.Errorf("streaming mean %v != batch %v", m.Mean(), wantMean)
+	}
+	if !almostEqual(m.StdDev(), wantSD, 1e-9) {
+		t.Errorf("streaming sd %v != batch %v", m.StdDev(), wantSD)
+	}
+	if m.Min() != Min(xs) || m.Max() != Max(xs) {
+		t.Error("streaming min/max mismatch")
+	}
+	if m.N() != 1000 {
+		t.Errorf("N = %d", m.N())
+	}
+}
+
+func TestMomentsMerge(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	var all, a, b Moments
+	for i := 0; i < 500; i++ {
+		x := rng.ExpFloat64()
+		all.Add(x)
+		if i%2 == 0 {
+			a.Add(x)
+		} else {
+			b.Add(x)
+		}
+	}
+	a.Merge(b)
+	if !almostEqual(a.Mean(), all.Mean(), 1e-9) || !almostEqual(a.Variance(), all.Variance(), 1e-9) {
+		t.Errorf("merged (%v,%v) != combined (%v,%v)", a.Mean(), a.Variance(), all.Mean(), all.Variance())
+	}
+	// Merging into empty adopts the other side.
+	var empty Moments
+	empty.Merge(all)
+	if empty.N() != all.N() || empty.Mean() != all.Mean() {
+		t.Error("merge into empty failed")
+	}
+	// Merging empty is a no-op.
+	n := all.N()
+	all.Merge(Moments{})
+	if all.N() != n {
+		t.Error("merge of empty changed state")
+	}
+}
+
+func TestMomentsMergeProperty(t *testing.T) {
+	// Property: splitting any sample at any point and merging gives the
+	// same moments as folding the whole sample.
+	f := func(raw []float64, splitRaw uint8) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e9 {
+				continue
+			}
+			xs = append(xs, x)
+		}
+		if len(xs) < 2 {
+			return true
+		}
+		split := int(splitRaw) % len(xs)
+		var whole, left, right Moments
+		for i, x := range xs {
+			whole.Add(x)
+			if i < split {
+				left.Add(x)
+			} else {
+				right.Add(x)
+			}
+		}
+		left.Merge(right)
+		scale := math.Max(1, math.Abs(whole.Variance()))
+		return left.N() == whole.N() &&
+			almostEqual(left.Mean(), whole.Mean(), 1e-6*math.Max(1, math.Abs(whole.Mean()))) &&
+			almostEqual(left.Variance(), whole.Variance(), 1e-6*scale)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSkewness(t *testing.T) {
+	// Right-skewed data has positive skewness.
+	rng := rand.New(rand.NewSource(3))
+	xs := make([]float64, 5000)
+	for i := range xs {
+		xs[i] = rng.ExpFloat64()
+	}
+	sk, err := Skewness(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sk < 1 || sk > 3 { // exponential skewness is 2
+		t.Errorf("exp skewness = %v, want ≈2", sk)
+	}
+	if _, err := Skewness([]float64{1, 2}); err == nil {
+		t.Error("too-short skewness should fail")
+	}
+	sym, _ := Skewness([]float64{1, 2, 3})
+	if !almostEqual(sym, 0, 1e-12) {
+		t.Errorf("symmetric skewness = %v", sym)
+	}
+}

@@ -1,0 +1,78 @@
+package workload
+
+import (
+	"time"
+
+	"repro/internal/interference"
+)
+
+// Bimodal is the Case 3 workload: a front-end service whose CPU usage
+// alternates between a busy level and a near-idle level on a fixed
+// period. Paired with an interference.Profile carrying
+// LowUsageInflation, its CPI swings inversely with its own usage —
+// high CPI at low usage — with no antagonist involved. CPI² must not
+// blame a neighbour for it; the MinCPUUsage filter exists exactly for
+// this pattern.
+type Bimodal struct {
+	// HighCPU and LowCPU are the two demand levels (CPU-sec/sec).
+	HighCPU float64
+	LowCPU  float64
+	// Period is the duration of each phase (default 10 minutes).
+	Period time.Duration
+	// Threads is the constant serving-thread count.
+	Threads int
+
+	epoch    time.Time
+	hasEpoch bool
+	stopped  bool
+}
+
+// NewBimodal returns the Case 3 shape: 0.3 CPU busy phases against
+// 0.05 CPU quiet phases, 10 minutes each.
+func NewBimodal() *Bimodal {
+	return &Bimodal{HighCPU: 0.3, LowCPU: 0.05, Period: 10 * time.Minute, Threads: 6}
+}
+
+// Demand implements machine.Workload.
+func (b *Bimodal) Demand(now time.Time) (float64, int) {
+	if b.stopped {
+		return 0, 0
+	}
+	if !b.hasEpoch {
+		b.epoch = now
+		b.hasEpoch = true
+	}
+	period := b.Period
+	if period <= 0 {
+		period = 10 * time.Minute
+	}
+	phase := now.Sub(b.epoch) / period
+	if phase%2 == 0 {
+		return b.HighCPU, b.Threads
+	}
+	return b.LowCPU, b.Threads
+}
+
+// Deliver implements machine.Workload.
+func (b *Bimodal) Deliver(time.Time, float64, time.Duration, interference.Result) {}
+
+// Done implements machine.Workload.
+func (b *Bimodal) Done() bool { return b.stopped }
+
+// Stop makes the workload exit at the next tick.
+func (b *Bimodal) Stop() { b.stopped = true }
+
+// CaseThreeProfile returns an interference profile matching Case 3's
+// observed behaviour: CPI ≈ 3 while busy, rising toward ≈ 10 as usage
+// approaches zero.
+func CaseThreeProfile() *interference.Profile {
+	return &interference.Profile{
+		DefaultCPI:        3.0,
+		CacheFootprint:    1.5,
+		MemBandwidth:      0.8,
+		Sensitivity:       0.4,
+		BaseL3MPKI:        4,
+		LowUsageInflation: 2.4,
+		LowUsageThreshold: 0.28,
+	}
+}

@@ -1,0 +1,88 @@
+// Package workload implements the applications that run on the
+// simulated cluster and produce the application-level signals the
+// paper correlates CPI against:
+//
+//   - websearch.go: a three-tier web-search serving tree (leaf,
+//     intermediate, root) reporting per-task request latency under a
+//     diurnal query load (Figures 3–5).
+//   - batch.go: throughput batch jobs reporting transactions/second,
+//     whose TPS tracks IPS (Figure 2), plus a Steady workload for
+//     tests and padding tenants.
+//   - mapreduce.go: MapReduce-style workers with the cap reactions the
+//     case studies document — tolerating caps, lame-duck mode with a
+//     thread-count burst (Case 5), and self-termination under repeated
+//     capping (Case 6).
+//   - bimodal.go: the Case 3 service whose CPI swings are self-
+//     inflicted by bimodal CPU usage.
+//
+// All types implement machine.Workload.
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"time"
+)
+
+// LoadCurve maps wall time to a load level in [0, 1].
+type LoadCurve interface {
+	Level(t time.Time) float64
+}
+
+// ConstantLoad is a flat load curve.
+type ConstantLoad float64
+
+// Level implements LoadCurve.
+func (c ConstantLoad) Level(time.Time) float64 { return clamp01(float64(c)) }
+
+// DiurnalLoad is the canonical serving-load shape: a sinusoid between
+// Trough and Peak over 24 hours, peaking at PeakHour local time, with
+// optional multiplicative jitter.
+type DiurnalLoad struct {
+	Trough   float64 // load level at the quietest hour
+	Peak     float64 // load level at the busiest hour
+	PeakHour float64 // hour of day of the peak (e.g. 18)
+	// Jitter is the relative amplitude of uniform noise (0 disables);
+	// RNG must be non-nil when Jitter > 0.
+	Jitter float64
+	RNG    *rand.Rand
+}
+
+// Level implements LoadCurve.
+func (d DiurnalLoad) Level(t time.Time) float64 {
+	hour := float64(t.Hour()) + float64(t.Minute())/60 + float64(t.Second())/3600
+	mid := (d.Peak + d.Trough) / 2
+	amp := (d.Peak - d.Trough) / 2
+	level := mid + amp*math.Cos((hour-d.PeakHour)/24*2*math.Pi)
+	if d.Jitter > 0 && d.RNG != nil {
+		level *= 1 + d.Jitter*(2*d.RNG.Float64()-1)
+	}
+	return clamp01(level)
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}
+
+// windowStat accumulates a mean over a reporting window.
+type windowStat struct {
+	sum float64
+	n   int
+}
+
+func (w *windowStat) add(x float64) { w.sum += x; w.n++ }
+
+func (w *windowStat) mean() float64 {
+	if w.n == 0 {
+		return 0
+	}
+	return w.sum / float64(w.n)
+}
+
+func (w *windowStat) reset() { w.sum, w.n = 0, 0 }

@@ -1,0 +1,280 @@
+package workload
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/interference"
+)
+
+// This file implements the MapReduce *master* the paper's §2 leans on:
+// batch frameworks "have built-in mechanisms to handle stragglers, so
+// they are already designed to handle" hard-capping. The master owns a
+// set of shards, hands them to workers, watches per-shard progress,
+// and — like the speculative-execution literature it cites (Dean &
+// Ghemawat backups, LATE, Mantri) — starts a backup copy of a shard
+// whose progress rate falls far behind the median. The job finishes
+// when every shard has been completed by some copy.
+//
+// This is what makes CPI²'s policy safe: capping one worker slows its
+// shards, the master routes around it, and the job's completion time
+// barely moves.
+
+// Shard states.
+type shardState int
+
+const (
+	shardPending shardState = iota
+	shardRunning
+	shardDone
+)
+
+// shard is one unit of work, measured in CPU-seconds. Copies make
+// progress independently (a backup re-does the work from scratch);
+// the shard completes when the first copy finishes.
+type shard struct {
+	id       int
+	need     float64 // CPU-seconds of work per copy
+	progress map[*ShardWorker]float64
+	state    shardState
+	copies   []*ShardWorker // running copies
+	finished time.Time
+}
+
+// MRMaster coordinates shards across workers.
+type MRMaster struct {
+	mu sync.Mutex
+
+	shards  []*shard
+	workers []*ShardWorker
+
+	// BackupThreshold: a running shard gets a backup copy when its
+	// progress rate is below this fraction of the median shard rate
+	// (default 0.4, roughly Mantri's laggard bar).
+	BackupThreshold float64
+	// MaxCopies bounds copies per shard (default 2).
+	MaxCopies int
+
+	backups int
+	doneAt  time.Time
+}
+
+// NewMRMaster creates a master with nShards shards of workSec
+// CPU-seconds each.
+func NewMRMaster(nShards int, workSec float64) *MRMaster {
+	m := &MRMaster{BackupThreshold: 0.4, MaxCopies: 2}
+	for i := 0; i < nShards; i++ {
+		m.shards = append(m.shards, &shard{
+			id: i, need: workSec,
+			progress: make(map[*ShardWorker]float64),
+		})
+	}
+	return m
+}
+
+// NewWorker creates a worker owned by this master. Place the returned
+// workload on a machine; it pulls shards from the master as capacity
+// allows.
+func (m *MRMaster) NewWorker(cpu float64) *ShardWorker {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	w := &ShardWorker{master: m, cpu: cpu, threads: 8}
+	m.workers = append(m.workers, w)
+	return w
+}
+
+// assign hands the worker a shard to run, preferring pending shards,
+// then backups of laggards. Returns nil when nothing needs running.
+// Caller holds m.mu.
+func (m *MRMaster) assign(w *ShardWorker) *shard {
+	for _, s := range m.shards {
+		if s.state == shardPending {
+			s.state = shardRunning
+			s.copies = append(s.copies, w)
+			return s
+		}
+	}
+	// Backup candidates: running shards with a laggard copy.
+	med := m.medianRateLocked()
+	if med <= 0 {
+		return nil
+	}
+	var cands []*shard
+	for _, s := range m.shards {
+		if s.state != shardRunning || len(s.copies) >= m.MaxCopies {
+			continue
+		}
+		rate := 0.0
+		for _, c := range s.copies {
+			if r := c.rate(); r > rate {
+				rate = r
+			}
+		}
+		if rate < m.BackupThreshold*med {
+			cands = append(cands, s)
+		}
+	}
+	if len(cands) == 0 {
+		return nil
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].id < cands[j].id })
+	s := cands[0]
+	s.copies = append(s.copies, w)
+	m.backups++
+	return s
+}
+
+// medianRateLocked returns the median recent progress rate across
+// workers that have run recently — including ones between shards, so
+// a lone starved worker cannot define its own baseline. Caller holds
+// m.mu.
+func (m *MRMaster) medianRateLocked() float64 {
+	var rates []float64
+	for _, w := range m.workers {
+		if w.cur != nil || w.recentSec >= 5 {
+			rates = append(rates, w.rate())
+		}
+	}
+	if len(rates) == 0 {
+		return 0
+	}
+	sort.Float64s(rates)
+	return rates[len(rates)/2]
+}
+
+// progress reports work done on a shard by one copy; marks completion
+// when that copy finishes. Caller holds m.mu.
+func (m *MRMaster) progress(s *shard, w *ShardWorker, did float64, now time.Time) {
+	if s.state == shardDone {
+		return
+	}
+	s.progress[w] += did
+	if s.progress[w] >= s.need {
+		s.state = shardDone
+		s.finished = now
+		for _, c := range s.copies {
+			if c.cur == s {
+				c.cur = nil // all copies stop; the shard is done
+			}
+		}
+		s.copies = nil
+		allDone := true
+		for _, sh := range m.shards {
+			if sh.state != shardDone {
+				allDone = false
+				break
+			}
+		}
+		if allDone {
+			m.doneAt = now
+		}
+	}
+}
+
+// Done reports whether every shard has completed.
+func (m *MRMaster) Done() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return !m.doneAt.IsZero()
+}
+
+// FinishedAt returns when the last shard completed (zero if running).
+func (m *MRMaster) FinishedAt() time.Time {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.doneAt
+}
+
+// Backups returns how many backup copies were launched.
+func (m *MRMaster) Backups() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.backups
+}
+
+// Stats returns (done, total) shard counts.
+func (m *MRMaster) Stats() (done, total int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, s := range m.shards {
+		if s.state == shardDone {
+			done++
+		}
+	}
+	return done, len(m.shards)
+}
+
+// String summarizes progress.
+func (m *MRMaster) String() string {
+	done, total := m.Stats()
+	return fmt.Sprintf("mrjob: %d/%d shards, %d backups", done, total, m.Backups())
+}
+
+// ShardWorker is one worker task; it implements machine.Workload.
+type ShardWorker struct {
+	master  *MRMaster
+	cpu     float64
+	threads int
+
+	cur        *shard
+	recentWork float64 // CPU-sec over the rate window
+	recentSec  float64 // wall seconds in the rate window
+}
+
+// rate returns the worker's recent progress rate (CPU-sec per wall
+// second). Caller holds master.mu.
+func (w *ShardWorker) rate() float64 {
+	if w.recentSec < 5 {
+		return w.cpu // optimistic until measured
+	}
+	return w.recentWork / w.recentSec
+}
+
+// Demand implements machine.Workload.
+func (w *ShardWorker) Demand(time.Time) (float64, int) {
+	m := w.master
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if !m.doneAt.IsZero() {
+		return 0, 0
+	}
+	if w.cur == nil {
+		w.cur = m.assign(w)
+	}
+	if w.cur == nil {
+		return 0.05, 1 // idle heartbeat awaiting stragglers
+	}
+	return w.cpu, w.threads
+}
+
+// Deliver implements machine.Workload.
+func (w *ShardWorker) Deliver(now time.Time, granted float64, dt time.Duration, _ interference.Result) {
+	m := w.master
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	sec := dt.Seconds()
+	// Exponential-ish rate window of ~30s.
+	const window = 30.0
+	if w.recentSec >= window {
+		decay := (window - sec) / window
+		if decay < 0 {
+			decay = 0
+		}
+		w.recentWork *= decay
+		w.recentSec *= decay
+	}
+	w.recentSec += sec
+	if w.cur == nil {
+		return
+	}
+	did := granted * sec
+	w.recentWork += did
+	m.progress(w.cur, w, did, now)
+}
+
+// Done implements machine.Workload: workers exit when the job is done.
+func (w *ShardWorker) Done() bool {
+	return w.master.Done()
+}

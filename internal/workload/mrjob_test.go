@@ -1,0 +1,135 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/interference"
+)
+
+// driveWorkers delivers granted CPU to each worker once per second.
+// grants maps worker index → CPU rate (missing = full demand).
+func driveWorkers(m *MRMaster, workers []*ShardWorker, seconds int, grants map[int]float64) time.Time {
+	now := time.Date(2011, 11, 1, 0, 0, 0, 0, time.UTC)
+	for s := 0; s < seconds && !m.Done(); s++ {
+		for i, w := range workers {
+			demand, _ := w.Demand(now)
+			g := demand
+			if v, ok := grants[i]; ok && v < demand {
+				g = v
+			}
+			w.Deliver(now, g, time.Second, interference.Result{CPI: 1.5})
+		}
+		now = now.Add(time.Second)
+	}
+	return now
+}
+
+func TestMRJobCompletesAllShards(t *testing.T) {
+	m := NewMRMaster(8, 60) // 8 shards × 60 CPU-sec
+	var workers []*ShardWorker
+	for i := 0; i < 4; i++ {
+		workers = append(workers, m.NewWorker(2.0))
+	}
+	driveWorkers(m, workers, 600, nil)
+	if !m.Done() {
+		t.Fatal("job never finished")
+	}
+	done, total := m.Stats()
+	if done != total || total != 8 {
+		t.Errorf("shards = %d/%d", done, total)
+	}
+	// 8 shards × 60 CPU-sec / (4 workers × 2 CPU) = 60s ideal; two
+	// waves of assignment → ~120s.
+	if m.Backups() != 0 {
+		t.Errorf("backups = %d on a healthy run", m.Backups())
+	}
+	for _, w := range workers {
+		if !w.Done() {
+			t.Error("worker not done after job completion")
+		}
+		if cpu, th := w.Demand(time.Now()); cpu != 0 || th != 0 {
+			t.Error("finished worker still demanding")
+		}
+	}
+	if !strings.Contains(m.String(), "8/8") {
+		t.Errorf("String = %q", m.String())
+	}
+}
+
+func TestMRJobBackupsCoverCappedWorker(t *testing.T) {
+	// The §2 argument: one worker is starved (hard-capped); the master
+	// launches backups and the job still finishes in reasonable time.
+	run := func(capWorker bool) (finish float64, backups int) {
+		m := NewMRMaster(8, 60)
+		var workers []*ShardWorker
+		for i := 0; i < 4; i++ {
+			workers = append(workers, m.NewWorker(2.0))
+		}
+		grants := map[int]float64{}
+		if capWorker {
+			grants[0] = 0.02 // hard-capped at ~1% of demand
+		}
+		start := time.Date(2011, 11, 1, 0, 0, 0, 0, time.UTC)
+		end := driveWorkers(m, workers, 3600, grants)
+		return end.Sub(start).Seconds(), m.Backups()
+	}
+	healthyTime, healthyBackups := run(false)
+	cappedTime, cappedBackups := run(true)
+	if healthyBackups != 0 {
+		t.Errorf("healthy backups = %d", healthyBackups)
+	}
+	if cappedBackups == 0 {
+		t.Fatal("no backups despite a starved worker")
+	}
+	// Without backups the capped worker's shards would take
+	// 60/0.02 = 3000s; with them the job must finish in a small
+	// multiple of the healthy time.
+	if cappedTime > 3*healthyTime {
+		t.Errorf("capped job took %.0fs vs healthy %.0fs — stragglers not covered", cappedTime, healthyTime)
+	}
+	if cappedTime >= 2900 {
+		t.Errorf("capped job took %.0fs — looks like it waited for the capped copy", cappedTime)
+	}
+}
+
+func TestMRJobIdleWorkersHeartbeat(t *testing.T) {
+	m := NewMRMaster(1, 30)
+	w1 := m.NewWorker(2.0)
+	w2 := m.NewWorker(2.0)
+	now := time.Date(2011, 11, 1, 0, 0, 0, 0, time.UTC)
+	// First demand assigns the only shard to w1; w2 idles.
+	if cpu, _ := w1.Demand(now); cpu != 2.0 {
+		t.Fatalf("w1 demand = %v", cpu)
+	}
+	cpu, threads := w2.Demand(now)
+	if cpu != 0.05 || threads != 1 {
+		t.Errorf("idle worker demand = %v/%d, want heartbeat", cpu, threads)
+	}
+}
+
+func TestMRJobBackupPathReassignsLaggardShard(t *testing.T) {
+	m := NewMRMaster(2, 60)
+	slow := m.NewWorker(2.0)
+	fast := m.NewWorker(2.0)
+	now := time.Date(2011, 11, 1, 0, 0, 0, 0, time.UTC)
+	// Assign both shards.
+	slow.Demand(now)
+	fast.Demand(now)
+	// Starve slow long enough for its rate to collapse; fast finishes
+	// its shard and should pick up a backup of slow's.
+	for s := 0; s < 120 && !m.Done(); s++ {
+		slow.Deliver(now, 0.01, time.Second, interference.Result{CPI: 1.5})
+		d, _ := fast.Demand(now)
+		fast.Deliver(now, d, time.Second, interference.Result{CPI: 1.5})
+		now = now.Add(time.Second)
+	}
+	if m.Backups() == 0 {
+		t.Fatal("fast worker never backed up the laggard's shard")
+	}
+	if !m.Done() {
+		// Fast at 2 CPU: shard 1 in 30s, backup of shard 0 in 30s more.
+		t.Fatal("job unfinished despite the backup")
+	}
+}
