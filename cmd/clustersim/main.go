@@ -5,11 +5,16 @@
 //
 // Usage:
 //
-//	clustersim [-machines 50] [-duration 1h] [-seed 1]
+//	clustersim [-machines 50] [-duration 1h] [-seed 1] [-metrics-addr :7425]
 //	           [-report-only] [-feedback] [-query "SELECT …"]
+//
+// Every component shares one metric registry; -metrics-addr exposes
+// it live at /metrics during the run, and a one-line JSON summary of
+// the run's key counters is printed on exit.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -18,6 +23,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/workload"
 )
 
@@ -28,8 +34,11 @@ func main() {
 	reportOnly := flag.Bool("report-only", false, "disable automatic capping")
 	feedback := flag.Bool("feedback", false, "enable §9 feedback-driven adaptive throttling")
 	query := flag.String("query", "", "extra forensics query to run at the end")
+	metricsAddr := flag.String("metrics-addr", "", "admin HTTP address for live /metrics during the run (empty: disabled)")
 	flag.Parse()
 
+	reg := obs.NewRegistry()
+	events := obs.NewEventLog(4096, nil)
 	c := cluster.New(cluster.Config{
 		Seed:              *seed,
 		Machines:          *machines,
@@ -40,7 +49,23 @@ func main() {
 			ReportOnly:         *reportOnly,
 			FeedbackThrottling: *feedback,
 		},
+		Registry: reg,
+		Events:   events,
 	})
+
+	if *metricsAddr != "" {
+		// The registry and event log are concurrency-safe, so they can
+		// be scraped mid-run; incidents are served from the event log
+		// (/debug/events?type=incident) rather than cluster state, which
+		// the simulation loop mutates without locking.
+		admin := obs.NewAdminServer(reg, events)
+		addr, err := admin.Serve(*metricsAddr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer admin.Close()
+		fmt.Printf("metrics: http://%s/metrics\n", addr)
+	}
 
 	// Fleet mix: a search tree, two services, plain batch, MapReduce,
 	// and heavy antagonists on a quarter of the machines.
@@ -105,4 +130,24 @@ func main() {
 		fmt.Println(*query)
 		fmt.Println(res.String())
 	}
+
+	// One-line machine-readable run summary from the shared registry
+	// (NewMetrics is idempotent: these are the same series every agent
+	// wrote to).
+	mm := core.NewMetrics(reg)
+	summary := map[string]any{
+		"incidents":               len(incs),
+		"caps_applied":            mm.CapsApplied.Value(),
+		"caps_expired":            mm.CapsExpired.Value(),
+		"analyses":                mm.AnalysesRun.Value(),
+		"analyses_rate_limited":   mm.AnalysesRateLimited.Value(),
+		"samples_observed":        mm.SamplesObserved.Value(),
+		"correlation_p50_seconds": mm.CorrelationSeconds.Quantile(0.5),
+		"correlation_p99_seconds": mm.CorrelationSeconds.Quantile(0.99),
+	}
+	b, err := json.Marshal(summary)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nsummary: %s\n", b)
 }

@@ -13,15 +13,21 @@
 //
 // Usage:
 //
-//	cpi2agent [-aggregator host:7421] [-control :7422] [-name machine-01]
+//	cpi2agent [-aggregator host:7421] [-control :7422] [-metrics-addr :7423]
+//	          [-incident-log incidents.jsonl] [-name machine-01]
 //	          [-cpus 16] [-tenants 20] [-antagonist-after 2m] [-speed 60]
+//
+// The admin HTTP server on -metrics-addr serves /metrics (Prometheus
+// text format), /healthz, /debug/incidents, /debug/specs, and
+// /debug/events; -incident-log appends every structured event as one
+// JSON line.
 package main
 
 import (
-	"context"
 	"flag"
 	"fmt"
 	"log"
+	"net/url"
 	"os"
 	"os/signal"
 	"sync"
@@ -33,6 +39,7 @@ import (
 	"repro/internal/interference"
 	"repro/internal/machine"
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/pipeline"
 	"repro/internal/stats"
 	"repro/internal/workload"
@@ -41,6 +48,8 @@ import (
 func main() {
 	aggregator := flag.String("aggregator", "", "cpi2aggregator address (empty: local detection only)")
 	control := flag.String("control", ":7422", "operator control address (empty: disabled)")
+	metricsAddr := flag.String("metrics-addr", ":7423", "admin HTTP address for /metrics and /debug (empty: disabled)")
+	incidentLog := flag.String("incident-log", "", "append structured events as JSON lines to this file (empty: in-memory only)")
 	name := flag.String("name", "machine-01", "machine name")
 	cpus := flag.Int("cpus", 16, "machine CPU count")
 	tenants := flag.Int("tenants", 20, "number of quiet co-tenant tasks")
@@ -58,30 +67,63 @@ func main() {
 	hw := interference.DefaultMachine(model.PlatformA)
 	m := machine.New(*name, hw, *cpus, rng.Stream("noise"))
 
+	reg := obs.NewRegistry()
+	var eventOut *os.File
+	if *incidentLog != "" {
+		f, err := os.OpenFile(*incidentLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			log.Fatalf("cpi2agent: incident log: %v", err)
+		}
+		eventOut = f
+		defer f.Close()
+	}
+	var events *obs.EventLog
+	if eventOut != nil {
+		events = obs.NewEventLog(4096, eventOut)
+	} else {
+		events = obs.NewEventLog(4096, nil)
+	}
+
 	var sink pipeline.SampleSink
-	var specClient *pipeline.Client
 	params := core.Params{ReportOnly: *reportOnly, MinSamplesPerTask: 5}
 	var a *agent.Agent
 
 	if *aggregator != "" {
-		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
-		client, err := pipeline.Dial(ctx, *aggregator, func(s model.Spec) {
+		// The redialer survives aggregator restarts: it re-dials with
+		// backoff and replays the subscription.
+		rd := pipeline.NewRedialer(*aggregator, func(s model.Spec) {
 			a.DeliverSpec(s)
 			log.Printf("spec push: %s CPI %.3f ± %.3f", s.Key(), s.CPIMean, s.CPIStddev)
 		})
-		cancel()
-		if err != nil {
-			log.Fatalf("cpi2agent: %v", err)
+		rd.SetMetrics(pipeline.NewMetrics(reg))
+		if err := rd.Subscribe(); err != nil {
+			log.Printf("cpi2agent: subscribe: %v", err)
 		}
-		if err := client.Subscribe(); err != nil {
-			log.Fatalf("cpi2agent: subscribe: %v", err)
-		}
-		specClient = client
-		sink = client
-		defer client.Close()
+		sink = rd
+		defer rd.Close()
 	}
 	a = agent.New(m, params, sink)
-	_ = specClient
+	a.Instrument(reg, events)
+
+	if *metricsAddr != "" {
+		admin := obs.NewAdminServer(reg, events)
+		admin.HandleJSON("/debug/incidents", func(q url.Values) (any, error) {
+			recs := core.IncidentRecords(a.Manager().Incidents())
+			if n := obs.IntParam(q, "n", 0); n > 0 && n < len(recs) {
+				recs = recs[len(recs)-n:]
+			}
+			return recs, nil
+		})
+		admin.HandleJSON("/debug/specs", func(q url.Values) (any, error) {
+			return a.Manager().Detector().Specs(), nil
+		})
+		addr, err := admin.Serve(*metricsAddr)
+		if err != nil {
+			log.Fatalf("cpi2agent: admin server: %v", err)
+		}
+		defer admin.Close()
+		log.Printf("cpi2agent: metrics on http://%s/metrics", addr)
+	}
 
 	// Populate the machine: one protected service + quiet tenants.
 	svcJob := model.Job{Name: "frontend", Class: model.ClassLatencySensitive, Priority: model.PriorityProduction}

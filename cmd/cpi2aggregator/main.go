@@ -6,26 +6,32 @@
 //
 // Usage:
 //
-//	cpi2aggregator [-listen :7421] [-recompute 1h] [-min-tasks 5] [-min-samples 100]
+//	cpi2aggregator [-listen :7421] [-metrics-addr :7424] [-recompute 1h]
+//	               [-min-tasks 5] [-min-samples 100]
 //
 // The paper recomputed specs every 24h with a goal of hourly; the
-// default here is hourly.
+// default here is hourly. The admin HTTP server on -metrics-addr
+// serves /metrics, /healthz, and /debug/specs (the current spec
+// table).
 package main
 
 import (
 	"flag"
 	"log"
+	"net/url"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/pipeline"
 )
 
 func main() {
 	listen := flag.String("listen", ":7421", "address to accept agent connections on")
+	metricsAddr := flag.String("metrics-addr", ":7424", "admin HTTP address for /metrics and /debug (empty: disabled)")
 	recompute := flag.Duration("recompute", time.Hour, "spec recomputation interval")
 	minTasks := flag.Int("min-tasks", 5, "fewest tasks a job needs for CPI management")
 	minSamples := flag.Int64("min-samples", 100, "fewest samples per task a spec needs")
@@ -38,13 +44,30 @@ func main() {
 		MinSamplesPerTask:     *minSamples,
 		AgeWeight:             *ageWeight,
 	}
-	bus := pipeline.NewBus(core.NewSpecBuilder(params))
+	reg := obs.NewRegistry()
+	builder := core.NewSpecBuilder(params)
+	builder.SetMetrics(core.NewMetrics(reg))
+	bus := pipeline.NewBus(builder)
+	bus.SetMetrics(pipeline.NewMetrics(reg))
 	srv := pipeline.NewServer(bus)
 	addr, err := srv.Serve(*listen)
 	if err != nil {
 		log.Fatalf("cpi2aggregator: %v", err)
 	}
 	log.Printf("cpi2aggregator: listening on %s, recomputing every %v", addr, *recompute)
+
+	if *metricsAddr != "" {
+		admin := obs.NewAdminServer(reg, nil)
+		admin.HandleJSON("/debug/specs", func(q url.Values) (any, error) {
+			return builder.Specs(), nil
+		})
+		adminAddr, err := admin.Serve(*metricsAddr)
+		if err != nil {
+			log.Fatalf("cpi2aggregator: admin server: %v", err)
+		}
+		defer admin.Close()
+		log.Printf("cpi2aggregator: metrics on http://%s/metrics", adminAddr)
+	}
 
 	ticker := time.NewTicker(*recompute)
 	defer ticker.Stop()

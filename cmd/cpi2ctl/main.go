@@ -5,31 +5,43 @@
 // Usage:
 //
 //	cpi2ctl [-agent host:7422] status
+//	cpi2ctl -metrics host:7423 status
 //	cpi2ctl [-agent host:7422] tasks
 //	cpi2ctl [-agent host:7422] caps
 //	cpi2ctl [-agent host:7422] cap <job>/<index> <quota>
 //	cpi2ctl [-agent host:7422] uncap <job>/<index>
 //	cpi2ctl [-agent host:7422] release-all
 //	cpi2ctl [-agent host:7422] incidents [n]
+//
+// With -metrics, status reads the daemon's admin HTTP server instead
+// of the control port: it summarises /metrics (every cpi2_* series,
+// label sets summed per family) and lists the most recent records
+// from /debug/incidents.
 package main
 
 import (
 	"bufio"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"net"
+	"net/http"
 	"os"
+	"sort"
+	"strconv"
 	"strings"
 	"time"
 )
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: cpi2ctl [-agent host:7422] <status|tasks|caps|cap|uncap|release-all|incidents> [args…]")
+	fmt.Fprintln(os.Stderr, "usage: cpi2ctl [-agent host:7422] [-metrics host:7423] <status|tasks|caps|cap|uncap|release-all|incidents> [args…]")
 	os.Exit(2)
 }
 
 func main() {
 	agentAddr := flag.String("agent", "127.0.0.1:7422", "cpi2agent control address")
+	metrics := flag.String("metrics", "", "admin HTTP address; status then reads /metrics and /debug/incidents over HTTP")
 	timeout := flag.Duration("timeout", 5*time.Second, "dial/read timeout")
 	flag.Parse()
 	args := flag.Args()
@@ -37,6 +49,13 @@ func main() {
 		usage()
 	}
 	cmd := strings.ToUpper(args[0])
+	if cmd == "STATUS" && *metrics != "" {
+		if err := httpStatus(*metrics, *timeout); err != nil {
+			fmt.Fprintf(os.Stderr, "cpi2ctl: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	switch cmd {
 	case "STATUS", "TASKS", "CAPS", "RELEASE-ALL":
 		if len(args) != 1 {
@@ -97,4 +116,88 @@ func main() {
 		}
 		fmt.Println(l)
 	}
+}
+
+// httpStatus summarises a daemon's admin HTTP endpoints.
+func httpStatus(addr string, timeout time.Duration) error {
+	client := &http.Client{Timeout: timeout}
+	body, err := httpGet(client, "http://"+addr+"/metrics")
+	if err != nil {
+		return err
+	}
+
+	// Sum series per metric family (labels and histogram suffixes
+	// stripped keep gauges/counters; buckets are skipped).
+	totals := make(map[string]float64)
+	for _, line := range strings.Split(body, "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			continue
+		}
+		name := fields[0]
+		if i := strings.IndexByte(name, '{'); i >= 0 {
+			if strings.HasPrefix(name[:i], "cpi2_") && strings.HasSuffix(name[:i], "_bucket") {
+				continue
+			}
+			name = name[:i]
+		}
+		if strings.HasSuffix(name, "_bucket") {
+			continue
+		}
+		v, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil {
+			continue
+		}
+		totals[name] += v
+	}
+	names := make([]string, 0, len(totals))
+	for n := range totals {
+		if strings.HasPrefix(n, "cpi2_") {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+	fmt.Printf("metrics (%s):\n", addr)
+	for _, n := range names {
+		fmt.Printf("  %-44s %g\n", n, totals[n])
+	}
+
+	body, err = httpGet(client, "http://"+addr+"/debug/incidents?n=10")
+	if err != nil {
+		// The aggregator's admin server has no incident view; metrics
+		// alone is still a useful status.
+		return nil
+	}
+	var recs []map[string]any
+	if err := json.Unmarshal([]byte(body), &recs); err != nil {
+		return fmt.Errorf("bad /debug/incidents payload: %w", err)
+	}
+	fmt.Printf("\nrecent incidents: %d\n", len(recs))
+	for _, r := range recs {
+		line := fmt.Sprintf("  %v victim=%v cpi=%v action=%v", r["time"], r["victim"], r["victim_cpi"], r["action"])
+		if t, ok := r["target"]; ok && t != "" {
+			line += fmt.Sprintf(" target=%v", t)
+		}
+		fmt.Println(line)
+	}
+	return nil
+}
+
+func httpGet(client *http.Client, url string) (string, error) {
+	resp, err := client.Get(url)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("GET %s: %s", url, resp.Status)
+	}
+	return string(b), nil
 }

@@ -29,8 +29,9 @@ type Agent struct {
 	sink    pipeline.SampleSink
 	params  core.Params
 
-	mu    sync.Mutex
-	tasks map[string]taskInfo // cgroup name → identity
+	mu      sync.Mutex
+	tasks   map[string]taskInfo // cgroup name → identity
+	metrics *Metrics            // never nil; zero Metrics = uninstrumented
 }
 
 type taskInfo struct {
@@ -51,9 +52,10 @@ func New(mach *machine.Machine, params core.Params, sink pipeline.SampleSink) *A
 			Duration: p.SamplingDuration,
 			Interval: p.SamplingInterval,
 		}),
-		sink:   sink,
-		params: p,
-		tasks:  make(map[string]taskInfo),
+		sink:    sink,
+		params:  p,
+		tasks:   make(map[string]taskInfo),
+		metrics: &Metrics{},
 	}
 }
 
@@ -68,6 +70,9 @@ func (a *Agent) Manager() *core.Manager { return a.manager }
 // cluster harness) calls this alongside machine.AddTask.
 func (a *Agent) RegisterTask(id model.TaskID, job model.Job) {
 	a.mu.Lock()
+	if _, exists := a.tasks[id.String()]; !exists {
+		a.metrics.Tasks.Inc()
+	}
 	a.tasks[id.String()] = taskInfo{id: id, job: job}
 	a.mu.Unlock()
 	a.manager.RegisterJob(job)
@@ -76,6 +81,9 @@ func (a *Agent) RegisterTask(id model.TaskID, job model.Job) {
 // TaskExited clears agent state for a departed task.
 func (a *Agent) TaskExited(id model.TaskID) {
 	a.mu.Lock()
+	if _, exists := a.tasks[id.String()]; exists {
+		a.metrics.Tasks.Dec()
+	}
 	delete(a.tasks, id.String())
 	a.mu.Unlock()
 	a.manager.TaskExited(id)
@@ -105,6 +113,11 @@ func (a *Agent) DeliverSpec(spec model.Spec) { a.manager.UpdateSpec(spec) }
 // once per simulated second; the duty-cycle sampler internally limits
 // real work to window boundaries.
 func (a *Agent) Tick(now time.Time) []core.Incident {
+	a.mu.Lock()
+	m := a.metrics
+	a.mu.Unlock()
+	wallStart := time.Now()
+	defer func() { m.TickSeconds.Observe(time.Since(wallStart).Seconds()) }()
 	measurements := a.sampler.Tick(now, a.mach.Counters)
 	var incidents []core.Incident
 	if len(measurements) > 0 {

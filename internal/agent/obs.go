@@ -1,0 +1,48 @@
+package agent
+
+import (
+	"repro/internal/core"
+	"repro/internal/obs"
+)
+
+// Metrics bundles the agent-layer metrics. All handles are nil-safe;
+// a zero Metrics disables instrumentation.
+type Metrics struct {
+	TickSeconds *obs.Histogram // cpi2_agent_tick_seconds
+	Tasks       *obs.Gauge     // cpi2_agent_tasks
+}
+
+// NewMetrics registers (or fetches) the agent metric set on r.
+// Registration is idempotent, so agents sharing a registry aggregate
+// into the same series.
+func NewMetrics(r *obs.Registry) *Metrics {
+	return &Metrics{
+		TickSeconds: r.Histogram("cpi2_agent_tick_seconds",
+			"wall-clock duration of one agent tick", obs.LatencyBuckets),
+		Tasks: r.Gauge("cpi2_agent_tasks",
+			"tasks currently registered with the agent"),
+	}
+}
+
+// SetMetrics instruments the agent itself (tick latency, task gauge).
+// A nil m disables instrumentation.
+func (a *Agent) SetMetrics(m *Metrics) {
+	if m == nil {
+		m = &Metrics{}
+	}
+	a.mu.Lock()
+	a.metrics = m
+	m.Tasks.Add(float64(len(a.tasks)))
+	a.mu.Unlock()
+}
+
+// Instrument wires the agent and its manager into reg and events in
+// one call: agent tick/task metrics, the core detection/enforcement
+// metric set, and the structured event sink (events may be nil).
+func (a *Agent) Instrument(reg *obs.Registry, events *obs.EventLog) {
+	a.SetMetrics(NewMetrics(reg))
+	a.manager.SetMetrics(core.NewMetrics(reg))
+	if events != nil {
+		a.manager.SetEvents(events)
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"repro/internal/interference"
 	"repro/internal/machine"
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/pipeline"
 	"repro/internal/scheduler"
 	"repro/internal/stats"
@@ -51,6 +52,13 @@ type Config struct {
 	// task capped that many times is killed and restarted on a
 	// different machine ("our version of task migration").
 	AutoMigrateAfterCaps int
+	// Registry, when non-nil, instruments every component (agents,
+	// managers, pipeline, spec builder) into one shared metric
+	// registry; per-machine series aggregate cluster-wide.
+	Registry *obs.Registry
+	// Events, when non-nil, receives the structured incident and cap
+	// lifecycle events of every machine.
+	Events *obs.EventLog
 }
 
 func (c Config) withDefaults() Config {
@@ -133,6 +141,10 @@ func New(cfg Config) *Cluster {
 		capCounts:  make(map[model.TaskID]int),
 		avoided:    make(map[[2]model.JobName]bool),
 	}
+	if cfg.Registry != nil {
+		c.bus.SetMetrics(pipeline.NewMetrics(cfg.Registry))
+		c.bus.Builder().SetMetrics(core.NewMetrics(cfg.Registry))
+	}
 	nB := int(float64(cfg.Machines) * cfg.PlatformBFraction)
 	for i := 0; i < cfg.Machines; i++ {
 		name := fmt.Sprintf("machine-%04d", i)
@@ -143,6 +155,11 @@ func New(cfg Config) *Cluster {
 		hw := interference.DefaultMachine(platform)
 		m := machine.New(name, hw, cfg.CPUsPerMachine, rng.Stream("machine/"+name))
 		a := agent.New(m, cfg.Params, c.bus)
+		if cfg.Registry != nil {
+			a.Instrument(cfg.Registry, cfg.Events)
+		} else if cfg.Events != nil {
+			a.Manager().SetEvents(cfg.Events)
+		}
 		c.mach[name] = m
 		c.agent[name] = a
 		c.bus.Watch(a)

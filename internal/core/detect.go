@@ -1,6 +1,7 @@
 package core
 
 import (
+	"sort"
 	"sync"
 	"time"
 
@@ -69,6 +70,24 @@ func (d *Detector) Spec(key model.SpecKey) (model.Spec, bool) {
 	defer d.mu.Unlock()
 	s, ok := d.specs[key]
 	return s, ok
+}
+
+// Specs returns every installed spec sorted by key — the machine's
+// current job×platform spec table (the admin /debug/specs view).
+func (d *Detector) Specs() []model.Spec {
+	d.mu.Lock()
+	out := make([]model.Spec, 0, len(d.specs))
+	for _, s := range d.specs {
+		out = append(out, s)
+	}
+	d.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Job != out[j].Job {
+			return out[i].Job < out[j].Job
+		}
+		return out[i].Platform < out[j].Platform
+	})
+	return out
 }
 
 // Observe judges one sample. It must be called with non-decreasing

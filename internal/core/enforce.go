@@ -76,8 +76,10 @@ type activeCap struct {
 // CapDuration; expire caps; and optionally adapt quotas per round
 // (FeedbackThrottling, §9).
 type Enforcer struct {
-	params Params
-	capper Capper
+	params  Params
+	capper  Capper
+	metrics *Metrics  // never nil
+	events  EventSink // never nil
 
 	mu     sync.Mutex
 	active map[model.TaskID]*activeCap
@@ -89,11 +91,39 @@ type Enforcer struct {
 // NewEnforcer returns an enforcer applying caps through capper.
 func NewEnforcer(p Params, capper Capper) *Enforcer {
 	return &Enforcer{
-		params: p.Sanitize(),
-		capper: capper,
-		active: make(map[model.TaskID]*activeCap),
-		rounds: make(map[string]int),
+		params:  p.Sanitize(),
+		capper:  capper,
+		metrics: &Metrics{},
+		events:  nopSink{},
+		active:  make(map[model.TaskID]*activeCap),
+		rounds:  make(map[string]int),
 	}
+}
+
+// SetMetrics instruments the enforcer with m (nil disables).
+func (e *Enforcer) SetMetrics(m *Metrics) {
+	if m == nil {
+		m = &Metrics{}
+	}
+	e.metrics = m
+}
+
+// SetEvents directs cap-lifecycle events to sink (nil disables).
+func (e *Enforcer) SetEvents(sink EventSink) {
+	if sink == nil {
+		sink = nopSink{}
+	}
+	e.events = sink
+}
+
+// capEvent is the payload of cap_applied / cap_expired / cap_released
+// forensics events.
+type capEvent struct {
+	Task   string     `json:"task"`
+	Victim string     `json:"victim,omitempty"`
+	Quota  float64    `json:"quota,omitempty"`
+	Until  *time.Time `json:"until,omitempty"`
+	Round  int        `json:"round,omitempty"`
 }
 
 // JobResolver supplies job metadata for suspects; provided by the
@@ -180,6 +210,12 @@ func (e *Enforcer) Decide(now time.Time, victim model.TaskID, victimJob model.Jo
 		expires: until,
 		round:   e.rounds[key],
 	}
+	e.metrics.CapsApplied.Inc()
+	e.metrics.CapsActive.Inc()
+	e.events.Emit(now, "cap_applied", capEvent{
+		Task: chosen.Task.String(), Victim: victim.String(),
+		Quota: quota, Until: &until, Round: e.rounds[key],
+	})
 	return Decision{
 		Action: ActionCap,
 		Target: chosen.Task,
@@ -264,6 +300,12 @@ func (e *Enforcer) DecideGroup(now time.Time, victim model.TaskID, victimJob mod
 			task: s.Task, victim: victim, quota: quota, expires: until,
 			round: e.rounds[key],
 		}
+		e.metrics.CapsApplied.Inc()
+		e.metrics.CapsActive.Inc()
+		e.events.Emit(now, "cap_applied", capEvent{
+			Task: s.Task.String(), Victim: victim.String(),
+			Quota: quota, Until: &until, Round: e.rounds[key],
+		})
 		out = append(out, Decision{
 			Action: ActionCap,
 			Target: s.Task,
@@ -287,6 +329,9 @@ func (e *Enforcer) Tick(now time.Time) []model.TaskID {
 			if err := e.capper.Uncap(task); err == nil {
 				released = append(released, task)
 				delete(e.active, task)
+				e.metrics.CapsExpired.Inc()
+				e.metrics.CapsActive.Dec()
+				e.events.Emit(now, "cap_expired", capEvent{Task: task.String(), Victim: ac.victim.String()})
 			}
 		}
 	}
@@ -313,10 +358,15 @@ func (e *Enforcer) ReleaseAll() []model.TaskID {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	var released []model.TaskID
-	for task := range e.active {
+	for task, ac := range e.active {
 		if err := e.capper.Uncap(task); err == nil {
 			released = append(released, task)
 			delete(e.active, task)
+			e.metrics.CapsReleased.Inc()
+			e.metrics.CapsActive.Dec()
+			// Operator action, not simulation-driven: wall time is the
+			// honest timestamp here.
+			e.events.Emit(time.Now().UTC(), "cap_released", capEvent{Task: task.String(), Victim: ac.victim.String()})
 		}
 	}
 	sort.Slice(released, func(i, j int) bool {

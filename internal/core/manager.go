@@ -39,6 +39,8 @@ type Manager struct {
 	machine  string
 	detector *Detector
 	enforcer *Enforcer
+	metrics  *Metrics  // never nil; zero Metrics = uninstrumented
+	events   EventSink // never nil; nopSink = unlogged
 
 	mu           sync.Mutex
 	jobs         map[model.JobName]model.Job
@@ -58,11 +60,34 @@ func NewManager(machine string, p Params, capper Capper) *Manager {
 		machine:      machine,
 		detector:     NewDetector(p),
 		enforcer:     NewEnforcer(p, capper),
+		metrics:      &Metrics{},
+		events:       nopSink{},
 		jobs:         make(map[model.JobName]model.Job),
 		cpi:          make(map[model.TaskID]*timeseries.Series),
 		usage:        make(map[model.TaskID]*timeseries.Series),
 		maxIncidents: 4096,
 	}
+}
+
+// SetMetrics instruments the manager (and its enforcer) with m.
+// Call before the first Observe; a nil m disables instrumentation.
+func (m *Manager) SetMetrics(mm *Metrics) {
+	if mm == nil {
+		mm = &Metrics{}
+	}
+	m.metrics = mm
+	m.enforcer.SetMetrics(mm)
+}
+
+// SetEvents directs the manager's (and its enforcer's) structured
+// forensics events — incidents and cap lifecycle — to sink. A nil
+// sink disables event logging.
+func (m *Manager) SetEvents(sink EventSink) {
+	if sink == nil {
+		sink = nopSink{}
+	}
+	m.events = sink
+	m.enforcer.SetEvents(sink)
 }
 
 // RegisterJob installs job metadata for tasks on this machine. The
@@ -113,9 +138,17 @@ func (m *Manager) Observe(s model.Sample) *Incident {
 	m.mu.Unlock()
 
 	a := m.detector.Observe(s)
+	m.metrics.SamplesObserved.Inc()
+	if a.Filtered {
+		m.metrics.SamplesFiltered.Inc()
+	}
+	if a.Outlier {
+		m.metrics.Outliers.Inc()
+	}
 	if !a.Anomalous {
 		return nil
 	}
+	m.metrics.Anomalies.Inc()
 	return m.analyse(s, a)
 }
 
@@ -126,9 +159,11 @@ func (m *Manager) analyse(s model.Sample, a Assessment) *Incident {
 	// the analysis itself never becomes the antagonist.
 	if !m.lastAnalysis.IsZero() && s.Timestamp.Sub(m.lastAnalysis) < m.params.AnalysisRateLimit {
 		m.mu.Unlock()
+		m.metrics.AnalysesRateLimited.Inc()
 		return nil
 	}
 	m.lastAnalysis = s.Timestamp
+	m.metrics.AnalysesRun.Inc()
 
 	victimCPI := m.cpi[s.Task]
 	suspects := make([]SuspectInput, 0, len(m.usage))
@@ -150,8 +185,10 @@ func (m *Manager) analyse(s model.Sample, a Assessment) *Incident {
 	}
 
 	now := s.Timestamp.Add(time.Nanosecond)
+	wallStart := time.Now()
 	ranked := RankSuspects(victimCPI, a.Threshold, suspects,
 		now, m.params.CorrelationWindow, m.params.SamplingInterval)
+	m.metrics.CorrelationSeconds.Observe(time.Since(wallStart).Seconds())
 	decision := m.enforcer.Decide(s.Timestamp, s.Task, victimJob, ranked, m.resolveJob)
 
 	// No individual culprit: try the group hypothesis (§4.2 future
@@ -186,6 +223,11 @@ func (m *Manager) analyse(s model.Sample, a Assessment) *Incident {
 		Group:          group,
 		GroupDecisions: groupDecisions,
 	}
+	if group != nil {
+		m.metrics.GroupDetections.Inc()
+	}
+	m.metrics.Incidents.With(decision.Action.String()).Inc()
+	m.events.Emit(inc.Time, "incident", inc.Record())
 	m.mu.Lock()
 	m.incidents = append(m.incidents, *inc)
 	if len(m.incidents) > m.maxIncidents {

@@ -20,7 +20,8 @@ import (
 // SpecBuilder is safe for concurrent use: the pipeline collector feeds
 // samples from many machines while the push component reads specs.
 type SpecBuilder struct {
-	params Params
+	params  Params
+	metrics *Metrics // never nil
 
 	mu            sync.Mutex
 	pending       map[model.SpecKey]*pendingAgg
@@ -49,10 +50,22 @@ type specHistory struct {
 func NewSpecBuilder(p Params) *SpecBuilder {
 	return &SpecBuilder{
 		params:  p.Sanitize(),
+		metrics: &Metrics{},
 		pending: make(map[model.SpecKey]*pendingAgg),
 		history: make(map[model.SpecKey]*specHistory),
 		specs:   make(map[model.SpecKey]model.Spec),
 	}
+}
+
+// SetMetrics instruments the builder with m (nil disables): specs
+// computed per recompute and the pending-sample backlog gauge.
+func (b *SpecBuilder) SetMetrics(m *Metrics) {
+	if m == nil {
+		m = &Metrics{}
+	}
+	b.mu.Lock()
+	b.metrics = m
+	b.mu.Unlock()
 }
 
 // AddSample folds one sample into the pending aggregation. Invalid
@@ -77,6 +90,7 @@ func (b *SpecBuilder) AddSample(s model.Sample) error {
 	agg.cpi.Add(s.CPI)
 	agg.cpuUsage.Add(s.CPUUsage)
 	agg.tasks[s.Task]++
+	b.metrics.SpecBacklog.Inc()
 	return nil
 }
 
@@ -164,6 +178,8 @@ func (b *SpecBuilder) Recompute(now time.Time) []model.Spec {
 		}
 		return out[i].Platform < out[j].Platform
 	})
+	b.metrics.SpecsComputed.Add(float64(len(out)))
+	b.metrics.SpecBacklog.Set(0)
 	return out
 }
 

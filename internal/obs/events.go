@@ -1,0 +1,110 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// Event is one entry in the structured forensics stream: a timestamp
+// (simulation time for simulated components), a type tag such as
+// "incident" or "cap_applied", and an arbitrary JSON-marshallable
+// payload.
+type Event struct {
+	Time time.Time `json:"time"`
+	Type string    `json:"type"`
+	Data any       `json:"data"`
+}
+
+// EventLog is a bounded in-memory ring of structured events with an
+// optional JSON-lines sink (one event per line — the format the
+// paper's Dremel-style offline forensics ingests). It is safe for
+// concurrent use and nil-safe: Emit on a nil log is a no-op, so
+// components can log unconditionally.
+type EventLog struct {
+	mu    sync.Mutex
+	buf   []Event // ring storage
+	next  int     // next write position
+	full  bool    // ring has wrapped
+	w     io.Writer
+	total uint64
+}
+
+// NewEventLog creates a log keeping the last capacity events in
+// memory (default 4096 when capacity ≤ 0). If w is non-nil every
+// event is also written to it as one JSON line; write errors are
+// ignored (losing a forensics line must never break enforcement).
+func NewEventLog(capacity int, w io.Writer) *EventLog {
+	if capacity <= 0 {
+		capacity = 4096
+	}
+	return &EventLog{buf: make([]Event, capacity), w: w}
+}
+
+// Emit records one event stamped now.
+func (l *EventLog) Emit(now time.Time, typ string, data any) {
+	if l == nil {
+		return
+	}
+	ev := Event{Time: now, Type: typ, Data: data}
+	var line []byte
+	l.mu.Lock()
+	l.buf[l.next] = ev
+	l.next++
+	if l.next == len(l.buf) {
+		l.next = 0
+		l.full = true
+	}
+	l.total++
+	if l.w != nil {
+		line, _ = json.Marshal(ev)
+	}
+	w := l.w
+	l.mu.Unlock()
+	if w != nil && line != nil {
+		_, _ = w.Write(append(line, '\n'))
+	}
+}
+
+// Total returns how many events were ever emitted (including ones the
+// ring has since dropped).
+func (l *EventLog) Total() uint64 {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.total
+}
+
+// Recent returns up to n of the most recent events, oldest first,
+// optionally filtered by type (empty typ matches everything). n ≤ 0
+// means all retained events.
+func (l *EventLog) Recent(n int, typ string) []Event {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	var ordered []Event
+	if l.full {
+		ordered = append(ordered, l.buf[l.next:]...)
+		ordered = append(ordered, l.buf[:l.next]...)
+	} else {
+		ordered = append(ordered, l.buf[:l.next]...)
+	}
+	l.mu.Unlock()
+	if typ != "" {
+		kept := ordered[:0]
+		for _, ev := range ordered {
+			if ev.Type == typ {
+				kept = append(kept, ev)
+			}
+		}
+		ordered = kept
+	}
+	if n > 0 && len(ordered) > n {
+		ordered = ordered[len(ordered)-n:]
+	}
+	return ordered
+}

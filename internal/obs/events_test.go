@@ -1,0 +1,69 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"testing"
+	"time"
+)
+
+func sampleTime() time.Time {
+	return time.Date(2011, 11, 1, 0, 0, 0, 0, time.UTC)
+}
+
+func TestEventLogRingBound(t *testing.T) {
+	l := NewEventLog(3, nil)
+	for i := 0; i < 10; i++ {
+		l.Emit(sampleTime().Add(time.Duration(i)*time.Second), "tick", i)
+	}
+	evs := l.Recent(0, "")
+	if len(evs) != 3 {
+		t.Fatalf("retained %d events, want 3", len(evs))
+	}
+	if evs[0].Data != 7 || evs[2].Data != 9 {
+		t.Errorf("ring kept wrong window: %+v", evs)
+	}
+	if l.Total() != 10 {
+		t.Errorf("total = %d, want 10", l.Total())
+	}
+}
+
+func TestEventLogTypeFilterAndLimit(t *testing.T) {
+	l := NewEventLog(16, nil)
+	for i := 0; i < 6; i++ {
+		typ := "incident"
+		if i%2 == 1 {
+			typ = "cap_applied"
+		}
+		l.Emit(sampleTime(), typ, i)
+	}
+	incs := l.Recent(2, "incident")
+	if len(incs) != 2 || incs[0].Data != 2 || incs[1].Data != 4 {
+		t.Errorf("filtered recent = %+v", incs)
+	}
+	if got := len(l.Recent(100, "missing")); got != 0 {
+		t.Errorf("unknown type matched %d events", got)
+	}
+}
+
+func TestEventLogJSONLWriter(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewEventLog(4, &buf)
+	l.Emit(sampleTime(), "incident", map[string]any{"victim": "search/0"})
+	l.Emit(sampleTime().Add(time.Second), "cap_applied", map[string]any{"task": "hog/0"})
+	lines := bytes.Split(bytes.TrimSpace(buf.Bytes()), []byte("\n"))
+	if len(lines) != 2 {
+		t.Fatalf("wrote %d lines, want 2", len(lines))
+	}
+	var ev Event
+	if err := json.Unmarshal(lines[0], &ev); err != nil {
+		t.Fatalf("line 0 not JSON: %v", err)
+	}
+	if ev.Type != "incident" || !ev.Time.Equal(sampleTime()) {
+		t.Errorf("decoded event = %+v", ev)
+	}
+	if fmt.Sprint(ev.Data.(map[string]any)["victim"]) != "search/0" {
+		t.Errorf("payload lost: %+v", ev.Data)
+	}
+}

@@ -1,0 +1,123 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/url"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// AdminServer is the admin HTTP endpoint every CPI² daemon exposes:
+//
+//	GET /metrics          Prometheus text exposition of the registry
+//	GET /healthz          liveness JSON: {"status":"ok","uptime_seconds":…}
+//	GET /debug/events     recent structured events (?n=100&type=incident)
+//
+// plus any component-specific JSON views registered with HandleJSON
+// (the daemons add /debug/incidents and /debug/specs). It is the HTTP
+// face of the dashboards and rollout monitoring the paper's operators
+// relied on.
+type AdminServer struct {
+	reg    *Registry
+	events *EventLog
+	mux    *http.ServeMux
+	start  time.Time
+
+	mu  sync.Mutex
+	ln  net.Listener
+	srv *http.Server
+}
+
+// NewAdminServer builds a server over reg (required) and events (may
+// be nil; /debug/events then returns an empty list).
+func NewAdminServer(reg *Registry, events *EventLog) *AdminServer {
+	s := &AdminServer{
+		reg:    reg,
+		events: events,
+		mux:    http.NewServeMux(),
+		start:  time.Now(),
+	}
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.HandleJSON("/debug/events", func(q url.Values) (any, error) {
+		n := IntParam(q, "n", 100)
+		evs := s.events.Recent(n, q.Get("type"))
+		if evs == nil {
+			evs = []Event{}
+		}
+		return evs, nil
+	})
+	return s
+}
+
+// HandleJSON registers a GET endpoint whose result is marshalled as
+// JSON. fn receives the parsed query parameters; returning an error
+// yields a 500 with {"error":…}.
+func (s *AdminServer) HandleJSON(path string, fn func(q url.Values) (any, error)) {
+	s.mux.HandleFunc(path, func(w http.ResponseWriter, r *http.Request) {
+		v, err := fn(r.URL.Query())
+		w.Header().Set("Content-Type", "application/json")
+		if err != nil {
+			w.WriteHeader(http.StatusInternalServerError)
+			_ = json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+			return
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(v)
+	})
+}
+
+func (s *AdminServer) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = s.reg.WriteText(w)
+}
+
+func (s *AdminServer) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(map[string]any{
+		"status":         "ok",
+		"uptime_seconds": time.Since(s.start).Seconds(),
+	})
+}
+
+// Serve starts listening on addr ("host:port", port 0 for ephemeral)
+// and returns the bound address. It does not block; Close stops it.
+func (s *AdminServer) Serve(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("obs: admin listen: %w", err)
+	}
+	srv := &http.Server{Handler: s.mux}
+	s.mu.Lock()
+	s.ln = ln
+	s.srv = srv
+	s.mu.Unlock()
+	go func() { _ = srv.Serve(ln) }()
+	return ln.Addr().String(), nil
+}
+
+// Close stops the server and its listener.
+func (s *AdminServer) Close() error {
+	s.mu.Lock()
+	srv := s.srv
+	s.mu.Unlock()
+	if srv == nil {
+		return nil
+	}
+	return srv.Close()
+}
+
+// IntParam parses an integer query parameter with a default.
+func IntParam(q url.Values, key string, def int) int {
+	if v := q.Get(key); v != "" {
+		if n, err := strconv.Atoi(v); err == nil {
+			return n
+		}
+	}
+	return def
+}

@@ -1,0 +1,113 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"testing"
+	"time"
+)
+
+func startAdmin(t *testing.T) (*AdminServer, *Registry, *EventLog, string) {
+	t.Helper()
+	reg := NewRegistry()
+	events := NewEventLog(16, nil)
+	s := NewAdminServer(reg, events)
+	addr, err := s.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s, reg, events, addr
+}
+
+func httpGet(t *testing.T, url string) (int, string, http.Header) {
+	t.Helper()
+	c := &http.Client{Timeout: 5 * time.Second}
+	resp, err := c.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body), resp.Header
+}
+
+func TestAdminMetricsEndpoint(t *testing.T) {
+	_, reg, _, addr := startAdmin(t)
+	reg.Counter("cpi2_samples_observed_total", "samples").Add(7)
+	code, body, hdr := httpGet(t, "http://"+addr+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("status = %d", code)
+	}
+	if ct := hdr.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("content type = %q", ct)
+	}
+	if !strings.Contains(body, "cpi2_samples_observed_total 7") {
+		t.Errorf("metrics body:\n%s", body)
+	}
+}
+
+func TestAdminHealthz(t *testing.T) {
+	_, _, _, addr := startAdmin(t)
+	code, body, _ := httpGet(t, "http://"+addr+"/healthz")
+	if code != http.StatusOK {
+		t.Fatalf("status = %d", code)
+	}
+	var v struct {
+		Status string  `json:"status"`
+		Uptime float64 `json:"uptime_seconds"`
+	}
+	if err := json.Unmarshal([]byte(body), &v); err != nil {
+		t.Fatalf("healthz not JSON: %v", err)
+	}
+	if v.Status != "ok" || v.Uptime < 0 {
+		t.Errorf("healthz = %+v", v)
+	}
+}
+
+func TestAdminDebugEvents(t *testing.T) {
+	_, _, events, addr := startAdmin(t)
+	for i := 0; i < 5; i++ {
+		events.Emit(sampleTime().Add(time.Duration(i)*time.Minute), "incident", i)
+	}
+	events.Emit(sampleTime(), "cap_applied", "x")
+	code, body, _ := httpGet(t, "http://"+addr+"/debug/events?n=2&type=incident")
+	if code != http.StatusOK {
+		t.Fatalf("status = %d", code)
+	}
+	var evs []Event
+	if err := json.Unmarshal([]byte(body), &evs); err != nil {
+		t.Fatalf("events not JSON: %v\n%s", err, body)
+	}
+	if len(evs) != 2 || evs[0].Type != "incident" {
+		t.Errorf("events = %+v", evs)
+	}
+}
+
+func TestAdminHandleJSON(t *testing.T) {
+	s, _, _, addr := startAdmin(t)
+	s.HandleJSON("/debug/specs", func(q url.Values) (any, error) {
+		return map[string]int{"specs": IntParam(q, "n", 1)}, nil
+	})
+	s.HandleJSON("/debug/fail", func(q url.Values) (any, error) {
+		return nil, fmt.Errorf("boom")
+	})
+	code, body, hdr := httpGet(t, "http://"+addr+"/debug/specs?n=3")
+	if code != http.StatusOK || !strings.Contains(body, `"specs": 3`) {
+		t.Errorf("specs: code=%d body=%s", code, body)
+	}
+	if ct := hdr.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("content type = %q", ct)
+	}
+	code, body, _ = httpGet(t, "http://"+addr+"/debug/fail")
+	if code != http.StatusInternalServerError || !strings.Contains(body, "boom") {
+		t.Errorf("fail: code=%d body=%s", code, body)
+	}
+}

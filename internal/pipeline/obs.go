@@ -1,0 +1,82 @@
+package pipeline
+
+import (
+	"io"
+
+	"repro/internal/obs"
+)
+
+// Metrics bundles the pipeline-layer metrics. All handles are
+// nil-safe, so a zero Metrics disables instrumentation; build one per
+// registry with NewMetrics (idempotent — repeated calls against the
+// same registry share series).
+type Metrics struct {
+	SamplesIn      *obs.Counter // cpi2_pipeline_samples_total
+	SamplesDropped *obs.Counter // cpi2_pipeline_samples_dropped_total
+
+	MessagesIn  *obs.Counter // cpi2_pipeline_messages_in_total
+	MessagesOut *obs.Counter // cpi2_pipeline_messages_out_total
+	BytesIn     *obs.Counter // cpi2_pipeline_bytes_in_total
+	BytesOut    *obs.Counter // cpi2_pipeline_bytes_out_total
+
+	ConnectedAgents *obs.Gauge   // cpi2_pipeline_connected_agents
+	Watchers        *obs.Gauge   // cpi2_pipeline_watchers
+	SpecPushes      *obs.Counter // cpi2_pipeline_spec_pushes_total
+	PushErrors      *obs.Counter // cpi2_pipeline_spec_push_errors_total
+	DroppedBatches  *obs.Counter // cpi2_pipeline_dropped_batches_total
+	Reconnects      *obs.Counter // cpi2_pipeline_reconnects_total
+}
+
+// NewMetrics registers (or fetches) the pipeline metric set on r.
+func NewMetrics(r *obs.Registry) *Metrics {
+	return &Metrics{
+		SamplesIn: r.Counter("cpi2_pipeline_samples_total",
+			"CPI samples accepted into the aggregation pipeline"),
+		SamplesDropped: r.Counter("cpi2_pipeline_samples_dropped_total",
+			"invalid CPI samples rejected by the pipeline"),
+		MessagesIn: r.Counter("cpi2_pipeline_messages_in_total",
+			"wire messages received from agents"),
+		MessagesOut: r.Counter("cpi2_pipeline_messages_out_total",
+			"wire messages sent to agents"),
+		BytesIn: r.Counter("cpi2_pipeline_bytes_in_total",
+			"bytes read from agent connections"),
+		BytesOut: r.Counter("cpi2_pipeline_bytes_out_total",
+			"bytes written to agent connections"),
+		ConnectedAgents: r.Gauge("cpi2_pipeline_connected_agents",
+			"agent TCP connections currently open"),
+		Watchers: r.Gauge("cpi2_pipeline_watchers",
+			"spec watchers currently registered on the bus"),
+		SpecPushes: r.Counter("cpi2_pipeline_spec_pushes_total",
+			"spec updates delivered to watchers"),
+		PushErrors: r.Counter("cpi2_pipeline_spec_push_errors_total",
+			"spec pushes that failed (connection dropped mid-write)"),
+		DroppedBatches: r.Counter("cpi2_pipeline_dropped_batches_total",
+			"sample batches lost because no aggregator connection was up"),
+		Reconnects: r.Counter("cpi2_pipeline_reconnects_total",
+			"successful re-dials after a lost aggregator connection"),
+	}
+}
+
+// countingReader counts bytes read through it into c (nil-safe).
+type countingReader struct {
+	r io.Reader
+	c *obs.Counter
+}
+
+func (cr countingReader) Read(p []byte) (int, error) {
+	n, err := cr.r.Read(p)
+	cr.c.Add(float64(n))
+	return n, err
+}
+
+// countingWriter counts bytes written through it into c (nil-safe).
+type countingWriter struct {
+	w io.Writer
+	c *obs.Counter
+}
+
+func (cw countingWriter) Write(p []byte) (int, error) {
+	n, err := cw.w.Write(p)
+	cw.c.Add(float64(n))
+	return n, err
+}

@@ -46,6 +46,7 @@ type Bus struct {
 	builder *core.SpecBuilder
 
 	mu       sync.Mutex
+	metrics  *Metrics // never nil; zero Metrics = uninstrumented
 	watchers []SpecWatcher
 	received int64
 	dropped  int64
@@ -53,7 +54,26 @@ type Bus struct {
 
 // NewBus creates a pipeline around the given spec builder.
 func NewBus(builder *core.SpecBuilder) *Bus {
-	return &Bus{builder: builder}
+	return &Bus{builder: builder, metrics: &Metrics{}}
+}
+
+// SetMetrics instruments the bus (and any Server built over it) with
+// m; call before traffic flows. A nil m disables instrumentation.
+func (b *Bus) SetMetrics(m *Metrics) {
+	if m == nil {
+		m = &Metrics{}
+	}
+	b.mu.Lock()
+	b.metrics = m
+	m.Watchers.Set(float64(len(b.watchers)))
+	b.mu.Unlock()
+}
+
+// Metrics returns the bus's metric set (never nil).
+func (b *Bus) Metrics() *Metrics {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.metrics
 }
 
 // Publish implements SampleSink: invalid samples are counted and
@@ -70,7 +90,10 @@ func (b *Bus) Publish(samples []model.Sample) error {
 	b.mu.Lock()
 	b.received += received
 	b.dropped += dropped
+	m := b.metrics
 	b.mu.Unlock()
+	m.SamplesIn.Add(float64(received))
+	m.SamplesDropped.Add(float64(dropped))
 	return nil
 }
 
@@ -79,6 +102,29 @@ func (b *Bus) Watch(w SpecWatcher) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	b.watchers = append(b.watchers, w)
+	b.metrics.Watchers.Set(float64(len(b.watchers)))
+}
+
+// Unwatch removes a previously registered watcher (compared by
+// identity). Transports must call it when a connection dies, or the
+// watcher list of a long-running aggregator grows without bound.
+func (b *Bus) Unwatch(w SpecWatcher) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for i, have := range b.watchers {
+		if have == w {
+			b.watchers = append(b.watchers[:i], b.watchers[i+1:]...)
+			break
+		}
+	}
+	b.metrics.Watchers.Set(float64(len(b.watchers)))
+}
+
+// NumWatchers returns how many watchers are currently registered.
+func (b *Bus) NumWatchers() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.watchers)
 }
 
 // Recompute triggers spec recomputation and pushes every robust spec
@@ -88,11 +134,13 @@ func (b *Bus) Recompute(now time.Time) []model.Spec {
 	b.mu.Lock()
 	watchers := make([]SpecWatcher, len(b.watchers))
 	copy(watchers, b.watchers)
+	m := b.metrics
 	b.mu.Unlock()
 	for _, spec := range specs {
 		for _, w := range watchers {
 			if w.WantSpec(spec.Key()) {
 				w.DeliverSpec(spec)
+				m.SpecPushes.Inc()
 			}
 		}
 	}

@@ -1,0 +1,185 @@
+package pipeline
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+
+	"repro/internal/model"
+)
+
+// Redialer is a SampleSink that maintains a client connection to an
+// aggregation server, re-dialing with backoff whenever the connection
+// drops. Batches published while no connection is up are dropped (and
+// counted) — at-most-once delivery, same as the underlying pipe.
+type Redialer struct {
+	addr    string
+	onSpec  func(model.Spec)
+	backoff time.Duration
+
+	mu      sync.Mutex
+	metrics *Metrics // never nil
+	client  *Client
+	subs    []model.SpecKey
+	subAll  bool
+	closed  bool
+
+	cancel context.CancelFunc
+	done   chan struct{}
+}
+
+// maxRedialBackoff caps the exponential re-dial backoff.
+const maxRedialBackoff = 30 * time.Second
+
+// NewRedialer starts a reconnecting client for addr. onSpec (may be
+// nil) is invoked for every spec push, across reconnects. The first
+// dial happens in the background; Publish before it completes counts
+// a dropped batch.
+func NewRedialer(addr string, onSpec func(model.Spec)) *Redialer {
+	ctx, cancel := context.WithCancel(context.Background())
+	r := &Redialer{
+		addr:    addr,
+		onSpec:  onSpec,
+		backoff: 100 * time.Millisecond,
+		metrics: &Metrics{},
+		cancel:  cancel,
+		done:    make(chan struct{}),
+	}
+	go r.loop(ctx)
+	return r
+}
+
+// SetMetrics instruments the redialer and its current and future
+// connections. A nil m disables instrumentation.
+func (r *Redialer) SetMetrics(m *Metrics) {
+	if m == nil {
+		m = &Metrics{}
+	}
+	r.mu.Lock()
+	r.metrics = m
+	if r.client != nil {
+		r.client.SetMetrics(m)
+	}
+	r.mu.Unlock()
+}
+
+// Subscribe records the subscription and forwards it on the current
+// connection (if any); it is replayed after every reconnect.
+func (r *Redialer) Subscribe(keys ...model.SpecKey) error {
+	r.mu.Lock()
+	if len(keys) == 0 {
+		r.subAll = true
+	} else {
+		r.subs = append(r.subs, keys...)
+	}
+	c := r.client
+	r.mu.Unlock()
+	if c == nil {
+		return nil // will be sent on connect
+	}
+	return c.Subscribe(keys...)
+}
+
+// Publish implements SampleSink. With no live connection the batch is
+// dropped and counted; a send error tears the connection down so the
+// loop re-dials.
+func (r *Redialer) Publish(samples []model.Sample) error {
+	r.mu.Lock()
+	c := r.client
+	m := r.metrics
+	r.mu.Unlock()
+	if c == nil {
+		m.DroppedBatches.Inc()
+		return errors.New("pipeline: not connected")
+	}
+	if err := c.Publish(samples); err != nil {
+		m.DroppedBatches.Inc()
+		c.conn.Close() // wake the loop to re-dial
+		return err
+	}
+	return nil
+}
+
+// Connected reports whether a connection is currently up.
+func (r *Redialer) Connected() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.client != nil
+}
+
+// Close stops redialing and tears down any live connection.
+func (r *Redialer) Close() error {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		<-r.done
+		return nil
+	}
+	r.closed = true
+	c := r.client
+	r.mu.Unlock()
+	r.cancel()
+	if c != nil {
+		c.Close()
+	}
+	<-r.done
+	return nil
+}
+
+func (r *Redialer) loop(ctx context.Context) {
+	defer close(r.done)
+	first := true
+	backoff := r.backoff
+	for {
+		c, err := Dial(ctx, r.addr, r.onSpec)
+		if err != nil {
+			select {
+			case <-ctx.Done():
+				return
+			case <-time.After(backoff):
+			}
+			if backoff *= 2; backoff > maxRedialBackoff {
+				backoff = maxRedialBackoff
+			}
+			continue
+		}
+		backoff = r.backoff
+
+		r.mu.Lock()
+		if r.closed {
+			r.mu.Unlock()
+			c.Close()
+			return
+		}
+		c.SetMetrics(r.metrics)
+		if !first {
+			r.metrics.Reconnects.Inc()
+		}
+		subAll, subs := r.subAll, append([]model.SpecKey(nil), r.subs...)
+		r.client = c
+		r.mu.Unlock()
+		first = false
+
+		// Replay subscriptions on the fresh connection.
+		if subAll {
+			_ = c.Subscribe()
+		}
+		if len(subs) > 0 {
+			_ = c.Subscribe(subs...)
+		}
+
+		select {
+		case <-ctx.Done():
+			r.mu.Lock()
+			r.client = nil
+			r.mu.Unlock()
+			c.Close()
+			return
+		case <-c.Done():
+			r.mu.Lock()
+			r.client = nil
+			r.mu.Unlock()
+		}
+	}
+}

@@ -6,9 +6,9 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/model"
@@ -72,7 +72,13 @@ func (s *Server) acceptLoop(ln net.Listener) {
 		if err != nil {
 			return // listener closed
 		}
-		sc := &serverConn{srv: s, conn: conn, enc: json.NewEncoder(conn)}
+		m := s.bus.Metrics()
+		sc := &serverConn{
+			srv:  s,
+			conn: conn,
+			m:    m,
+			enc:  json.NewEncoder(countingWriter{conn, m.BytesOut}),
+		}
 		s.mu.Lock()
 		if s.closed {
 			s.mu.Unlock()
@@ -82,6 +88,7 @@ func (s *Server) acceptLoop(ln net.Listener) {
 		s.conns[sc] = struct{}{}
 		s.mu.Unlock()
 		s.bus.Watch(sc)
+		m.ConnectedAgents.Inc()
 		s.wg.Add(1)
 		go sc.readLoop()
 	}
@@ -112,6 +119,7 @@ func (s *Server) Close() error {
 type serverConn struct {
 	srv  *Server
 	conn net.Conn
+	m    *Metrics
 
 	writeMu sync.Mutex
 	enc     *json.Encoder
@@ -132,13 +140,18 @@ func (c *serverConn) readLoop() {
 		c.srv.mu.Lock()
 		delete(c.srv.conns, c)
 		c.srv.mu.Unlock()
+		// Deregister from the bus, or a long-running aggregator
+		// accumulates one dead watcher per agent reconnect.
+		c.srv.bus.Unwatch(c)
+		c.m.ConnectedAgents.Dec()
 	}()
-	dec := json.NewDecoder(bufio.NewReader(c.conn))
+	dec := json.NewDecoder(bufio.NewReader(countingReader{c.conn, c.m.BytesIn}))
 	for {
 		var msg wireMsg
 		if err := dec.Decode(&msg); err != nil {
 			return // EOF, close, or garbage: drop the connection
 		}
+		c.m.MessagesIn.Inc()
 		switch msg.Type {
 		case msgSamples:
 			_ = c.srv.bus.Publish(msg.Samples)
@@ -178,14 +191,18 @@ func (c *serverConn) DeliverSpec(spec model.Spec) {
 	defer c.writeMu.Unlock()
 	_ = c.conn.SetWriteDeadline(time.Now().Add(5 * time.Second))
 	if err := c.enc.Encode(wireMsg{Type: msgSpec, Spec: &spec}); err != nil {
+		c.m.PushErrors.Inc()
 		c.conn.Close() // readLoop will clean up
+		return
 	}
+	c.m.MessagesOut.Inc()
 }
 
 // Client is the agent-side pipeline endpoint: it publishes sample
 // batches and receives spec pushes.
 type Client struct {
 	conn net.Conn
+	m    atomic.Pointer[Metrics]
 
 	writeMu sync.Mutex
 	enc     *json.Encoder
@@ -204,22 +221,63 @@ func Dial(ctx context.Context, addr string, onSpec func(model.Spec)) (*Client, e
 	}
 	c := &Client{
 		conn:   conn,
-		enc:    json.NewEncoder(conn),
 		onSpec: onSpec,
 		done:   make(chan struct{}),
 	}
+	c.enc = json.NewEncoder(clientWriter{c})
 	go c.readLoop()
 	return c, nil
 }
 
+// SetMetrics instruments the client with m (nil disables). Safe to
+// call at any time; counting starts with the next read/write.
+func (c *Client) SetMetrics(m *Metrics) {
+	if m == nil {
+		m = &Metrics{}
+	}
+	c.m.Store(m)
+}
+
+var noMetrics = &Metrics{}
+
+func (c *Client) metrics() *Metrics {
+	if m := c.m.Load(); m != nil {
+		return m
+	}
+	return noMetrics
+}
+
+// clientReader/clientWriter resolve the metric set per call so
+// SetMetrics works even after I/O has started.
+type clientReader struct{ c *Client }
+
+func (r clientReader) Read(p []byte) (int, error) {
+	n, err := r.c.conn.Read(p)
+	r.c.metrics().BytesIn.Add(float64(n))
+	return n, err
+}
+
+type clientWriter struct{ c *Client }
+
+func (w clientWriter) Write(p []byte) (int, error) {
+	n, err := w.c.conn.Write(p)
+	w.c.metrics().BytesOut.Add(float64(n))
+	return n, err
+}
+
+// Done is closed when the connection is gone and the read loop has
+// exited — the redial signal.
+func (c *Client) Done() <-chan struct{} { return c.done }
+
 func (c *Client) readLoop() {
 	defer close(c.done)
-	dec := json.NewDecoder(bufio.NewReader(c.conn))
+	dec := json.NewDecoder(bufio.NewReader(clientReader{c}))
 	for {
 		var msg wireMsg
 		if err := dec.Decode(&msg); err != nil {
 			return
 		}
+		c.metrics().MessagesIn.Inc()
 		if msg.Type == msgSpec && msg.Spec != nil && c.onSpec != nil {
 			c.onSpec(*msg.Spec)
 		}
@@ -247,14 +305,16 @@ func (c *Client) send(msg wireMsg) error {
 	if err := c.enc.Encode(msg); err != nil {
 		return fmt.Errorf("pipeline: send: %w", err)
 	}
+	c.metrics().MessagesOut.Inc()
 	return nil
 }
 
 // Close tears down the connection and waits for the read loop to end.
+// Closing an already-closed connection is not an error.
 func (c *Client) Close() error {
 	err := c.conn.Close()
 	<-c.done
-	if err != nil && !errors.Is(err, io.ErrClosedPipe) {
+	if err != nil && !errors.Is(err, net.ErrClosed) {
 		return err
 	}
 	return nil
