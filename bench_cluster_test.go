@@ -1,0 +1,160 @@
+package repro
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/model"
+)
+
+// BenchmarkClusterStep times the cluster's two-phase tick on a
+// 1,000-machine fleet at workers=1 (fully serial) and
+// workers=GOMAXPROCS, and persists the comparison to
+// BENCH_cluster_step.json so successive PRs keep a performance
+// trajectory. The parallel phase is embarrassingly parallel per
+// machine, so on a 4+ core runner the GOMAXPROCS variant is expected
+// to step ≥3× faster; determinism is unaffected (the determinism
+// regression test proves byte-identical output at any worker count).
+//
+// CI runs this with -benchtime=1x as a non-gating smoke + artifact;
+// run it locally with:
+//
+//	go test -bench=BenchmarkClusterStep -benchtime=10x -run='^$' .
+func BenchmarkClusterStep(b *testing.B) {
+	machines := 1000
+	if testing.Short() {
+		machines = 100
+	}
+	counts := []int{1}
+	if n := runtime.GOMAXPROCS(0); n > 1 {
+		counts = append(counts, n)
+	}
+	for _, w := range counts {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			benchClusterStep(b, w, machines)
+		})
+	}
+}
+
+func benchClusterStep(b *testing.B, workers, machines int) {
+	c := cluster.New(cluster.Config{
+		Seed:              1,
+		Machines:          machines,
+		CPUsPerMachine:    16,
+		PlatformBFraction: 0.3,
+		Workers:           workers,
+		Params:            core.Params{MinSamplesPerTask: 8},
+	})
+	defs, tree := cluster.WebSearchJob("websearch", machines, machines/5+1, 2, c.RNG())
+	for _, d := range defs {
+		if err := c.AddJob(d); err != nil {
+			b.Fatal(err)
+		}
+	}
+	c.OnTick(func(time.Time) { tree.EndTick() })
+	if err := c.AddJob(cluster.QuietServiceJob("bigtable", machines, 0.8)); err != nil {
+		b.Fatal(err)
+	}
+	if err := c.AddJob(cluster.BatchJob("logproc", machines, 0.5, model.PriorityBestEffort)); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Step()
+	}
+	b.StopTimer()
+	elapsed := b.Elapsed()
+	if elapsed <= 0 || b.N == 0 {
+		return
+	}
+	machPerSec := float64(machines) * float64(b.N) / elapsed.Seconds()
+	b.ReportMetric(machPerSec, "machines/sec")
+	recordClusterStep(clusterStepResult{
+		Workers:        workers,
+		Machines:       machines,
+		Iterations:     b.N,
+		NsPerOp:        float64(elapsed.Nanoseconds()) / float64(b.N),
+		MachinesPerSec: machPerSec,
+	})
+}
+
+// clusterStepResult is one BenchmarkClusterStep sub-benchmark outcome
+// as persisted to BENCH_cluster_step.json.
+type clusterStepResult struct {
+	Workers        int     `json:"workers"`
+	Machines       int     `json:"machines"`
+	Iterations     int     `json:"iterations"`
+	NsPerOp        float64 `json:"ns_per_op"`
+	MachinesPerSec float64 `json:"machines_per_sec"`
+}
+
+var (
+	benchStepMu      sync.Mutex
+	benchStepResults = map[int]clusterStepResult{}
+)
+
+// recordClusterStep keeps the highest-iteration run per worker count
+// (the benchmark framework re-runs with growing b.N; the last, longest
+// run is the most trustworthy number).
+func recordClusterStep(r clusterStepResult) {
+	benchStepMu.Lock()
+	defer benchStepMu.Unlock()
+	if prev, ok := benchStepResults[r.Workers]; !ok || r.Iterations >= prev.Iterations {
+		benchStepResults[r.Workers] = r
+	}
+}
+
+// TestMain persists BENCH_cluster_step.json after a benchmark run that
+// exercised BenchmarkClusterStep; plain `go test` runs write nothing.
+func TestMain(m *testing.M) {
+	code := m.Run()
+	writeClusterStepJSON()
+	os.Exit(code)
+}
+
+func writeClusterStepJSON() {
+	benchStepMu.Lock()
+	defer benchStepMu.Unlock()
+	if len(benchStepResults) == 0 {
+		return
+	}
+	out := struct {
+		GOMAXPROCS int                 `json:"gomaxprocs"`
+		Results    []clusterStepResult `json:"results"`
+		// Speedup is machines/sec at the highest worker count over
+		// workers=1; 0 when only one worker count ran (single-core host).
+		Speedup float64 `json:"speedup"`
+	}{GOMAXPROCS: runtime.GOMAXPROCS(0)}
+	bestWorkers := 0
+	for w := range benchStepResults {
+		if w > bestWorkers {
+			bestWorkers = w
+		}
+	}
+	for _, w := range []int{1, bestWorkers} {
+		if r, ok := benchStepResults[w]; ok {
+			out.Results = append(out.Results, r)
+		}
+		if w == bestWorkers {
+			break // bestWorkers may be 1 on a single-core host
+		}
+	}
+	if base, ok := benchStepResults[1]; ok && bestWorkers > 1 && base.MachinesPerSec > 0 {
+		out.Speedup = benchStepResults[bestWorkers].MachinesPerSec / base.MachinesPerSec
+	}
+	b, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bench: marshal BENCH_cluster_step.json: %v\n", err)
+		return
+	}
+	if err := os.WriteFile("BENCH_cluster_step.json", append(b, '\n'), 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "bench: write BENCH_cluster_step.json: %v\n", err)
+	}
+}

@@ -5,8 +5,13 @@
 //
 // Usage:
 //
-//	clustersim [-machines 50] [-duration 1h] [-seed 1] [-metrics-addr :7425]
-//	           [-report-only] [-feedback] [-query "SELECT …"]
+//	clustersim [-machines 50] [-duration 1h] [-seed 1] [-workers 0]
+//	           [-metrics-addr :7425] [-report-only] [-feedback]
+//	           [-query "SELECT …"]
+//
+// -workers sets how many goroutines tick machines in parallel
+// (0 = GOMAXPROCS). The same seed produces byte-identical output at
+// any worker count, so -workers only changes wall-clock time.
 //
 // Every component shares one metric registry; -metrics-addr exposes
 // it live at /metrics during the run, and a one-line JSON summary of
@@ -31,6 +36,7 @@ func main() {
 	machines := flag.Int("machines", 50, "number of machines")
 	duration := flag.Duration("duration", time.Hour, "simulated duration")
 	seed := flag.Int64("seed", 1, "simulation seed")
+	workers := flag.Int("workers", 0, "parallel tick workers (0 = GOMAXPROCS); output is identical at any value")
 	reportOnly := flag.Bool("report-only", false, "disable automatic capping")
 	feedback := flag.Bool("feedback", false, "enable §9 feedback-driven adaptive throttling")
 	query := flag.String("query", "", "extra forensics query to run at the end")
@@ -42,6 +48,7 @@ func main() {
 	c := cluster.New(cluster.Config{
 		Seed:              *seed,
 		Machines:          *machines,
+		Workers:           *workers,
 		CPUsPerMachine:    16,
 		PlatformBFraction: 0.3,
 		Params: core.Params{

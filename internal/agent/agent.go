@@ -112,6 +112,12 @@ func (a *Agent) DeliverSpec(spec model.Spec) { a.manager.UpdateSpec(spec) }
 // and expire caps. It returns the incidents raised this tick. Call it
 // once per simulated second; the duty-cycle sampler internally limits
 // real work to window boundaries.
+//
+// Tick must not be called concurrently on the SAME agent, but DISTINCT
+// agents may tick concurrently as long as each agent's sample sink is
+// safe for concurrent Publish (the cluster gives every agent its own
+// pipeline.Queue and drains the queues serially, in machine order, at
+// the tick barrier).
 func (a *Agent) Tick(now time.Time) []core.Incident {
 	a.mu.Lock()
 	m := a.metrics

@@ -140,9 +140,17 @@ func DefaultDiurnal(rng *stats.RNG) workload.DiurnalLoad {
 // intermediates, and roots wired through one SearchTree. It returns
 // the JobDefs (add all of them) and the tree (register tree.EndTick
 // with Cluster.OnTick). Task CPU requests are sized so leaves dominate.
+//
+// Every task gets its own copy of the diurnal load curve with its own
+// jitter stream forked from the task's RNG. A single shared jittered
+// curve would be both a data race under parallel cluster stepping and
+// an ordering dependence (whichever task sampled the shared stream
+// first would steal the next draw), so load jitter is per-task by
+// construction.
 func WebSearchJob(name string, leaves, intermediates, roots int, rng *stats.RNG) ([]JobDef, *workload.SearchTree) {
 	tree := workload.NewSearchTree()
 	load := DefaultDiurnal(rng.Sub(name))
+	load.RNG = nil // template: each task forks its own jitter stream
 	mk := func(tier workload.Tier, suffix string, n int, profile *interference.Profile, maxCPU float64) JobDef {
 		return JobDef{
 			Job: model.Job{
@@ -155,7 +163,9 @@ func WebSearchJob(name string, leaves, intermediates, roots int, rng *stats.RNG)
 			Profile: profile,
 			NewWorkload: func(id model.TaskID, wrng *stats.RNG) machine.Workload {
 				base := profile.DefaultCPI
-				return workload.NewSearchTask(tier, tree, load, maxCPU, base, wrng.Stream("noise"))
+				l := load
+				l.RNG = wrng.Fork("load-jitter").Stream("load")
+				return workload.NewSearchTask(tier, tree, l, maxCPU, base, wrng.Stream("noise"))
 			},
 		}
 	}

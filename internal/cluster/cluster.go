@@ -7,6 +7,9 @@ package cluster
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/agent"
@@ -52,6 +55,13 @@ type Config struct {
 	// task capped that many times is killed and restarted on a
 	// different machine ("our version of task migration").
 	AutoMigrateAfterCaps int
+	// Workers is the number of goroutines ticking machines in
+	// parallel during Step's parallel phase (default GOMAXPROCS).
+	// Results are committed in machine-index order regardless, so the
+	// same seed produces byte-identical incidents, specs, and
+	// counters at ANY worker count; Workers only changes wall-clock
+	// time. Set 1 to tick machines on the calling goroutine.
+	Workers int
 	// Registry, when non-nil, instruments every component (agents,
 	// managers, pipeline, spec builder) into one shared metric
 	// registry; per-machine series aggregate cluster-wide.
@@ -77,6 +87,9 @@ func (c Config) withDefaults() Config {
 	if c.TickInterval <= 0 {
 		c.TickInterval = time.Second
 	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
 	c.Params = c.Params.Sanitize()
 	return c
 }
@@ -99,6 +112,16 @@ type JobDef struct {
 }
 
 // Cluster is a running simulated cluster.
+//
+// Concurrency model: Step is two-phase. The parallel phase ticks every
+// machine (machine.Tick + agent.Tick) across a bounded worker pool,
+// with each machine writing into its own preallocated result slot; the
+// serial commit phase then walks machines in index order and applies
+// everything that touches shared state — task exits and restarts via
+// the scheduler, draining per-machine sample queues into the bus,
+// forensics Store.Add, §9 automation, spec recomputation, and OnTick
+// callbacks. Cluster methods themselves are not goroutine-safe: drive
+// a Cluster from one goroutine and let Step do the fan-out.
 type Cluster struct {
 	cfg   Config
 	rng   *stats.RNG
@@ -110,6 +133,14 @@ type Cluster struct {
 	jobs  map[model.JobName]*JobDef
 	now   time.Time
 
+	// Index-ordered views of the fleet: the parallel phase iterates
+	// these, never the maps, so work distribution and commit order are
+	// deterministic.
+	machs  []*machine.Machine
+	agents []*agent.Agent
+	queues []*pipeline.Queue
+	slots  []stepSlot // preallocated per-machine result slots
+
 	onTick    []func(now time.Time)
 	incidents []core.Incident
 	exits     int64
@@ -120,6 +151,13 @@ type Cluster struct {
 	capCounts  map[model.TaskID]int
 	avoided    map[[2]model.JobName]bool
 	migrations int64
+}
+
+// stepSlot is one machine's parallel-phase output, applied during the
+// serial commit phase.
+type stepSlot struct {
+	exited    []model.TaskID
+	incidents []core.Incident
 }
 
 // New builds a cluster per cfg, with machines registered but no jobs.
@@ -146,6 +184,10 @@ func New(cfg Config) *Cluster {
 		c.bus.Builder().SetMetrics(core.NewMetrics(cfg.Registry))
 	}
 	nB := int(float64(cfg.Machines) * cfg.PlatformBFraction)
+	c.machs = make([]*machine.Machine, cfg.Machines)
+	c.agents = make([]*agent.Agent, cfg.Machines)
+	c.queues = make([]*pipeline.Queue, cfg.Machines)
+	c.slots = make([]stepSlot, cfg.Machines)
 	for i := 0; i < cfg.Machines; i++ {
 		name := fmt.Sprintf("machine-%04d", i)
 		platform := model.PlatformA
@@ -153,8 +195,16 @@ func New(cfg Config) *Cluster {
 			platform = model.PlatformB
 		}
 		hw := interference.DefaultMachine(platform)
+		// Each machine forks its own RNG stream from the cluster seed,
+		// so its noise sequence is independent of every other
+		// machine's and of tick parallelism.
 		m := machine.New(name, hw, cfg.CPUsPerMachine, rng.Stream("machine/"+name))
-		a := agent.New(m, cfg.Params, c.bus)
+		// The agent publishes into a per-machine queue during the
+		// parallel phase; the commit phase drains queues into the bus
+		// in machine order, keeping sample arrival order — and hence
+		// the byte-exact specs — independent of the worker count.
+		q := pipeline.NewQueue()
+		a := agent.New(m, cfg.Params, q)
 		if cfg.Registry != nil {
 			a.Instrument(cfg.Registry, cfg.Events)
 		} else if cfg.Events != nil {
@@ -162,6 +212,9 @@ func New(cfg Config) *Cluster {
 		}
 		c.mach[name] = m
 		c.agent[name] = a
+		c.machs[i] = m
+		c.agents[i] = a
+		c.queues[i] = q
 		c.bus.Watch(a)
 		if err := c.sched.AddMachine(name, platform, float64(cfg.CPUsPerMachine)); err != nil {
 			panic(err) // unique generated names: cannot happen
@@ -356,36 +409,103 @@ func (c *Cluster) KillAndRestart(id model.TaskID) error {
 	return nil
 }
 
-// Step advances the simulation by one tick.
+// Step advances the simulation by one tick in two phases.
+//
+// Parallel phase: every machine's tick — CPU allocation, interference,
+// counters, workload delivery, and the agent's sample/detect/enforce
+// cycle — runs on a bounded pool of cfg.Workers goroutines. Machines
+// only touch per-machine state here (their own tasks, counters, RNG
+// stream, manager, and sample queue), which is what makes the fan-out
+// safe.
+//
+// Commit phase: machines are visited in index order and everything
+// that touches shared state is applied serially — scheduler removals
+// and RestartOnExit re-placements, draining sample queues into the
+// bus, recording incidents in the forensics store, §9 automation,
+// spec recomputation, and OnTick callbacks.
+//
+// Because the commit order is fixed and every parallel-phase input is
+// a pure function of (cluster seed, state at tick start), the same
+// seed yields byte-identical incidents, specs, and counters at any
+// worker count. Note the one semantic consequence of two-phase
+// stepping: a task that exits mid-tick is re-placed at the tick
+// boundary, so its replacement first runs on the next tick (under the
+// old fully-serial loop it could start mid-tick on a higher-index
+// machine — an ordering artifact, now gone).
 func (c *Cluster) Step() {
 	dt := c.cfg.TickInterval
 	now := c.now.Add(dt)
 	c.now = now
-	for i := 0; i < c.cfg.Machines; i++ {
-		name := fmt.Sprintf("machine-%04d", i)
-		m := c.mach[name]
-		_, exited := m.Tick(now, dt)
-		for _, id := range exited {
+
+	// Parallel phase.
+	n := len(c.machs)
+	workers := c.cfg.Workers
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			c.tickMachine(i, now, dt)
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= n {
+						return
+					}
+					c.tickMachine(i, now, dt)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+
+	// Commit phase: machine-index order, single goroutine.
+	for i := 0; i < n; i++ {
+		slot := &c.slots[i]
+		for _, id := range slot.exited {
 			c.exits++
 			_ = c.sched.Remove(id)
-			c.agent[name].TaskExited(id)
 			if def, ok := c.jobs[id.Job]; ok && def.RestartOnExit {
 				if err := c.placeTask(id, def); err == nil {
 					c.restarts++
 				}
 			}
 		}
-		incs := c.agent[name].Tick(now)
-		for _, inc := range incs {
+		_ = c.queues[i].DrainTo(c.bus)
+		for _, inc := range slot.incidents {
 			c.incidents = append(c.incidents, inc)
 			c.store.Add(inc)
 			c.automate(inc)
 		}
+		slot.exited, slot.incidents = nil, nil
 	}
 	c.bus.MaybeRecompute(now)
 	for _, f := range c.onTick {
 		f(now)
 	}
+}
+
+// tickMachine runs one machine's parallel-phase work and records the
+// outcome in its slot. It must only touch machine-local state; shared
+// state is deferred to the commit phase.
+func (c *Cluster) tickMachine(i int, now time.Time, dt time.Duration) {
+	m, a := c.machs[i], c.agents[i]
+	_, exited := m.Tick(now, dt)
+	for _, id := range exited {
+		// The agent forgets the task before its sampling window next
+		// closes, exactly as in the serial loop; the scheduler-side
+		// removal happens at commit.
+		a.TaskExited(id)
+	}
+	incs := a.Tick(now)
+	c.slots[i] = stepSlot{exited: exited, incidents: incs}
 }
 
 // Run advances the simulation for d.

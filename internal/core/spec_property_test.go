@@ -1,0 +1,135 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/model"
+)
+
+// Property: the age-weighted spec (mean, stddev, usage mean) is
+// invariant under reordering of samples WITHIN a recompute interval —
+// a spec describes a population, not an arrival order. Welford
+// accumulation is float-order-sensitive, so equality holds to relative
+// tolerance, not bit-exactly; the cluster's parallel step keeps its
+// byte-exact guarantee by draining samples in a fixed order, and this
+// test is the bound on what a hypothetical reorder could change.
+func TestSpecReorderInvariantWithinInterval(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	base := time.Date(2011, 11, 1, 0, 0, 0, 0, time.UTC)
+
+	mkSamples := func(n int) []model.Sample {
+		out := make([]model.Sample, n)
+		for i := range out {
+			out[i] = model.Sample{
+				Job:       "websearch",
+				Task:      model.TaskID{Job: "websearch", Index: i % 20},
+				Platform:  model.PlatformA,
+				Timestamp: base.Add(time.Duration(i) * time.Second),
+				CPUUsage:  rng.Float64() * 4,
+				CPI:       0.5 + rng.ExpFloat64(),
+				Machine:   "m0",
+			}
+		}
+		return out
+	}
+
+	build := func(days [][]model.Sample) model.Spec {
+		b := NewSpecBuilder(Params{MinSamplesPerTask: 1})
+		var last []model.Spec
+		for d, samples := range days {
+			for _, s := range samples {
+				if err := b.AddSample(s); err != nil {
+					t.Fatal(err)
+				}
+			}
+			last = b.Recompute(base.Add(time.Duration(d+1) * 24 * time.Hour))
+		}
+		if len(last) != 1 {
+			t.Fatalf("specs = %d, want 1", len(last))
+		}
+		return last[0]
+	}
+
+	for trial := 0; trial < 50; trial++ {
+		day1 := mkSamples(200 + rng.Intn(200))
+		day2 := mkSamples(200 + rng.Intn(200))
+		ref := build([][]model.Sample{day1, day2})
+
+		// Shuffle each day independently; days must NOT mix (age
+		// weighting makes the day boundary semantically meaningful).
+		s1 := append([]model.Sample(nil), day1...)
+		s2 := append([]model.Sample(nil), day2...)
+		rng.Shuffle(len(s1), func(i, j int) { s1[i], s1[j] = s1[j], s1[i] })
+		rng.Shuffle(len(s2), func(i, j int) { s2[i], s2[j] = s2[j], s2[i] })
+		got := build([][]model.Sample{s1, s2})
+
+		const tol = 1e-9
+		if relErr(got.CPIMean, ref.CPIMean) > tol ||
+			relErr(got.CPIStddev, ref.CPIStddev) > tol ||
+			relErr(got.CPUUsageMean, ref.CPUUsageMean) > tol {
+			t.Fatalf("trial %d: reordered spec (%v, %v, %v) vs (%v, %v, %v)",
+				trial, got.CPIMean, got.CPIStddev, got.CPUUsageMean,
+				ref.CPIMean, ref.CPIStddev, ref.CPUUsageMean)
+		}
+		if got.NumSamples != ref.NumSamples || got.NumTasks != ref.NumTasks {
+			t.Fatalf("trial %d: counts changed under reorder", trial)
+		}
+		if got.CPIStddev < 0 || math.IsNaN(got.CPIStddev) {
+			t.Fatalf("trial %d: invalid stddev %v", trial, got.CPIStddev)
+		}
+	}
+}
+
+// Property: the age-weighted variance combination never goes negative
+// and never produces NaN, including degenerate intervals (single
+// sample, constant samples, huge spread following tiny spread).
+func TestSpecVarianceNonNegative(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	base := time.Date(2011, 11, 1, 0, 0, 0, 0, time.UTC)
+	for trial := 0; trial < 200; trial++ {
+		b := NewSpecBuilder(Params{MinSamplesPerTask: 1})
+		days := 1 + rng.Intn(5)
+		for d := 0; d < days; d++ {
+			n := 1 + rng.Intn(30)
+			constant := rng.Intn(3) == 0
+			cpi := 0.5 + rng.ExpFloat64()*math.Pow(10, float64(rng.Intn(4)-2))
+			for i := 0; i < n; i++ {
+				v := cpi
+				if !constant {
+					v = 0.5 + rng.ExpFloat64()
+				}
+				err := b.AddSample(model.Sample{
+					Job: "j", Task: model.TaskID{Job: "j", Index: i},
+					Platform:  model.PlatformA,
+					Timestamp: base.Add(time.Duration(i) * time.Second),
+					CPUUsage:  rng.Float64(),
+					CPI:       v,
+					Machine:   "m",
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+			}
+			b.Recompute(base.Add(time.Duration(d+1) * 24 * time.Hour))
+		}
+		spec, ok := b.Spec(model.SpecKey{Job: "j", Platform: model.PlatformA})
+		if !ok {
+			t.Fatalf("trial %d: no spec", trial)
+		}
+		if spec.CPIStddev < 0 || math.IsNaN(spec.CPIStddev) || math.IsInf(spec.CPIStddev, 0) {
+			t.Fatalf("trial %d: stddev %v", trial, spec.CPIStddev)
+		}
+		if spec.CPIMean <= 0 || math.IsNaN(spec.CPIMean) {
+			t.Fatalf("trial %d: mean %v", trial, spec.CPIMean)
+		}
+	}
+}
+
+func relErr(a, b float64) float64 {
+	d := math.Abs(a - b)
+	m := math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+	return d / m
+}

@@ -8,10 +8,11 @@ import (
 	"repro/internal/model"
 )
 
-// FuzzQuery feeds arbitrary strings to the query engine over a
-// populated store: the engine must return an error or a result, never
-// panic, for any input an operator could mistype.
-func FuzzQuery(f *testing.F) {
+// FuzzForensicsQuery feeds arbitrary strings to the query engine over
+// a populated store: the engine must return an error or a result,
+// never panic, for any input an operator could mistype. CI runs this
+// as a short fuzz smoke on every push.
+func FuzzForensicsQuery(f *testing.F) {
 	s := NewStore()
 	s.Add(core.Incident{
 		Time:      time.Date(2011, 11, 1, 2, 0, 0, 0, time.UTC),
@@ -42,6 +43,9 @@ func FuzzQuery(f *testing.F) {
 		"SELECT machine FROM incidents ORDER BY",
 		"SELECT machine FROM incidents LIMIT -3",
 		"SELECT machine,, FROM incidents",
+		"SELECT machine FROM incidents LIMIT 999999999999999999999",
+		"SELECT machíne FROM “incidents”",
+		"SELECT count(avg(correlation)) FROM incidents GROUP BY",
 	}
 	for _, seed := range seeds {
 		f.Add(seed)

@@ -237,6 +237,16 @@ func (m *Machine) Counters() map[string]perfcnt.Counters {
 // counters, informs workloads, and reaps tasks whose workloads
 // finished. It returns per-task results in deterministic order,
 // followed by the IDs of tasks that exited this tick.
+//
+// Tick only touches this machine's state (its cgroup hierarchy,
+// counters, RNG stream, and resident workloads), so DISTINCT machines
+// may tick concurrently — the cluster's parallel step relies on this.
+// The one caveat is workloads that coordinate across machines: they
+// must be concurrency-safe themselves and, for reproducibility,
+// order-insensitive within a tick (see workload.SearchTree for a
+// conforming design and workload.MRMaster's determinism note for a
+// non-conforming one). Tick must not be called concurrently on the
+// SAME machine.
 func (m *Machine) Tick(now time.Time, dt time.Duration) ([]TaskTick, []model.TaskID) {
 	m.now = now
 	n := len(m.order)

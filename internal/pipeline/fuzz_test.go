@@ -1,0 +1,117 @@
+package pipeline
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/model"
+)
+
+// FuzzWireDecode hammers the newline-delimited JSON wire protocol's
+// frame decoder with arbitrary bytes: any input must produce a message
+// or an error, never a panic — an agent connection carries
+// attacker-shaped data as far as the decoder is concerned. CI runs
+// this as a short fuzz smoke on every push.
+func FuzzWireDecode(f *testing.F) {
+	// Valid frames of each message type, as the encoder produces them.
+	sample := model.Sample{
+		Job: "websearch", Task: model.TaskID{Job: "websearch", Index: 3},
+		Platform: model.PlatformA, Timestamp: time.Date(2011, 11, 1, 0, 0, 0, 0, time.UTC),
+		CPUUsage: 1.5, CPI: 2.25, Machine: "m1",
+	}
+	for _, msg := range []wireMsg{
+		{Type: msgSamples, Samples: []model.Sample{sample}},
+		{Type: msgSubscribe},
+		{Type: msgSubscribe, Jobs: []model.SpecKey{{Job: "websearch", Platform: model.PlatformA}}},
+		{Type: msgSpec, Spec: &model.Spec{Job: "websearch", Platform: model.PlatformA, CPIMean: 1.6, CPIStddev: 0.2}},
+	} {
+		b, err := json.Marshal(msg)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(b)
+	}
+	// Malformed and adversarial frames.
+	for _, s := range []string{
+		"",
+		"\n",
+		"   \t  ",
+		"{",
+		"null",
+		"[]",
+		`"samples"`,
+		`{"type":42}`,
+		`{"type":"samples","samples":"nope"}`,
+		`{"type":"samples","samples":[{"cpi":"NaN"}]}`,
+		`{"type":"spec","spec":{"cpi_mean":1e309}}`,
+		`{"type":"unknown-future-type","payload":{"x":1}}`,
+		`{"type":"subscribe","jobs":[{"jobname":` + strings.Repeat(`"a`, 50) + `}]}`,
+		"\xff\xfe{}",
+		`{"type":"samples","samples":[` + strings.Repeat(`{"cpi":1},`, 100) + `{"cpi":1}]}`,
+	} {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, frame []byte) {
+		msg, err := decodeFrame(frame)
+		if err != nil {
+			if msg.Type != "" || msg.Samples != nil || msg.Jobs != nil || msg.Spec != nil {
+				t.Fatalf("error %v returned non-zero message %+v", err, msg)
+			}
+			return
+		}
+		// A successfully decoded frame must round-trip through the
+		// encoder without error (it feeds straight into bus handling).
+		if _, err := json.Marshal(msg); err != nil {
+			t.Fatalf("decoded frame does not re-encode: %v", err)
+		}
+	})
+}
+
+// TestDecodeFrameLimits pins the protocol's size handling: frames over
+// MaxFrameBytes are rejected with ErrFrameTooLarge regardless of
+// content, frames at the limit are parsed, and blank lines are
+// reported as empty (and skipped by read loops).
+func TestDecodeFrameLimits(t *testing.T) {
+	big := append([]byte(`{"type":"`), bytes.Repeat([]byte("a"), MaxFrameBytes)...)
+	big = append(big, []byte(`"}`)...)
+	if _, err := decodeFrame(big); !errors.Is(err, ErrFrameTooLarge) {
+		t.Errorf("oversized frame: err = %v, want ErrFrameTooLarge", err)
+	}
+	atLimit := append([]byte(`{"type":"`), bytes.Repeat([]byte("a"), MaxFrameBytes-11)...)
+	atLimit = append(atLimit, []byte(`"}`)...)
+	if len(atLimit) != MaxFrameBytes {
+		t.Fatalf("test frame is %d bytes, want exactly %d", len(atLimit), MaxFrameBytes)
+	}
+	if _, err := decodeFrame(atLimit); err != nil {
+		t.Errorf("frame at limit: %v", err)
+	}
+	for _, blank := range [][]byte{nil, {}, []byte("  "), []byte("\t\r")} {
+		if _, err := decodeFrame(blank); !errors.Is(err, errEmptyFrame) {
+			t.Errorf("blank frame %q: err = %v, want errEmptyFrame", blank, err)
+		}
+	}
+}
+
+// TestFrameScannerDropsOversizedFrames: the read-loop scanner refuses
+// frames beyond MaxFrameBytes (the connection is then dropped) but
+// passes well-formed traffic through unharmed.
+func TestFrameScannerDropsOversizedFrames(t *testing.T) {
+	good := `{"type":"subscribe"}`
+	sc := frameScanner(strings.NewReader(good + "\n" + strings.Repeat("x", MaxFrameBytes+5) + "\n"))
+	if !sc.Scan() {
+		t.Fatal("good frame not scanned")
+	}
+	if sc.Text() != good {
+		t.Errorf("frame = %q", sc.Text())
+	}
+	if sc.Scan() {
+		t.Error("oversized frame scanned")
+	}
+	if sc.Err() == nil {
+		t.Error("no scanner error for oversized frame")
+	}
+}

@@ -1,0 +1,69 @@
+package pipeline
+
+import (
+	"sync"
+
+	"repro/internal/model"
+)
+
+// Queue is a buffering SampleSink used by the cluster's parallel tick
+// phase. Each machine's agent publishes into its own Queue while all
+// machines tick concurrently; the serial commit phase then drains the
+// queues into the shared Bus in machine-index order.
+//
+// This is what makes the pipeline order-stable under parallelism: the
+// spec builder folds samples with streaming moments, so the byte-exact
+// spec depends on sample arrival order, and draining per-machine FIFO
+// queues in a fixed order reproduces the serial schedule exactly no
+// matter how the parallel phase interleaved.
+//
+// Publish is safe for concurrent use (a machine's workloads could in
+// principle publish from helper goroutines); batches are kept in FIFO
+// order per queue.
+type Queue struct {
+	mu      sync.Mutex
+	batches [][]model.Sample
+}
+
+// NewQueue returns an empty queue.
+func NewQueue() *Queue { return &Queue{} }
+
+// Publish implements SampleSink: it copies the batch and appends it to
+// the queue. It never fails; delivery outcome is decided at drain
+// time.
+func (q *Queue) Publish(samples []model.Sample) error {
+	if len(samples) == 0 {
+		return nil
+	}
+	cp := make([]model.Sample, len(samples))
+	copy(cp, samples)
+	q.mu.Lock()
+	q.batches = append(q.batches, cp)
+	q.mu.Unlock()
+	return nil
+}
+
+// Len returns the number of queued batches.
+func (q *Queue) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.batches)
+}
+
+// DrainTo publishes every queued batch to dst in FIFO order and
+// empties the queue. It returns the first error dst reported (the
+// remaining batches are still delivered — sample loss is tolerable,
+// partial delivery is not a reason to stall the tick).
+func (q *Queue) DrainTo(dst SampleSink) error {
+	q.mu.Lock()
+	batches := q.batches
+	q.batches = nil
+	q.mu.Unlock()
+	var firstErr error
+	for _, b := range batches {
+		if err := dst.Publish(b); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}

@@ -1,0 +1,122 @@
+package pipeline
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/model"
+)
+
+func qsample(machine string, i int) model.Sample {
+	return model.Sample{Machine: machine, Task: model.TaskID{Job: "j", Index: i}}
+}
+
+// recordingSink captures delivered batches and can inject errors.
+type recordingSink struct {
+	batches [][]model.Sample
+	failOn  int // 1-based batch index to fail (0 = never)
+}
+
+func (r *recordingSink) Publish(s []model.Sample) error {
+	r.batches = append(r.batches, s)
+	if r.failOn > 0 && len(r.batches) == r.failOn {
+		return errors.New("sink boom")
+	}
+	return nil
+}
+
+func TestQueueFIFOAndDrain(t *testing.T) {
+	q := NewQueue()
+	if q.Len() != 0 {
+		t.Fatalf("new queue Len = %d", q.Len())
+	}
+	if err := q.Publish(nil); err != nil {
+		t.Fatal(err)
+	}
+	if q.Len() != 0 {
+		t.Error("empty batch enqueued")
+	}
+	batch := []model.Sample{qsample("m", 0), qsample("m", 1)}
+	if err := q.Publish(batch); err != nil {
+		t.Fatal(err)
+	}
+	// The queue must copy: mutating the caller's slice after Publish
+	// cannot corrupt the queued batch.
+	batch[0] = qsample("corrupted", 99)
+	if err := q.Publish([]model.Sample{qsample("m", 2)}); err != nil {
+		t.Fatal(err)
+	}
+	if q.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", q.Len())
+	}
+	var sink recordingSink
+	if err := q.DrainTo(&sink); err != nil {
+		t.Fatal(err)
+	}
+	if q.Len() != 0 {
+		t.Error("queue not emptied by drain")
+	}
+	if len(sink.batches) != 2 {
+		t.Fatalf("delivered %d batches, want 2", len(sink.batches))
+	}
+	if sink.batches[0][0].Task.Index != 0 || sink.batches[0][1].Task.Index != 1 || sink.batches[1][0].Task.Index != 2 {
+		t.Errorf("batches out of order or corrupted: %+v", sink.batches)
+	}
+	if sink.batches[0][0].Machine != "m" {
+		t.Error("queued batch aliases the caller's slice")
+	}
+}
+
+func TestQueueDrainDeliversPastErrors(t *testing.T) {
+	q := NewQueue()
+	for i := 0; i < 3; i++ {
+		if err := q.Publish([]model.Sample{qsample("m", i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sink := recordingSink{failOn: 2}
+	err := q.DrainTo(&sink)
+	if err == nil || err.Error() != "sink boom" {
+		t.Errorf("err = %v, want the sink's first error", err)
+	}
+	if len(sink.batches) != 3 {
+		t.Errorf("delivered %d batches, want all 3 despite the error", len(sink.batches))
+	}
+}
+
+// TestQueueConcurrentPublish: Publish is concurrency-safe and loses
+// nothing under contention (run with -race in CI).
+func TestQueueConcurrentPublish(t *testing.T) {
+	t.Parallel()
+	q := NewQueue()
+	const writers, perWriter = 8, 50
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				_ = q.Publish([]model.Sample{qsample(fmt.Sprintf("w%d", w), i)})
+			}
+		}(w)
+	}
+	wg.Wait()
+	if q.Len() != writers*perWriter {
+		t.Fatalf("Len = %d, want %d", q.Len(), writers*perWriter)
+	}
+	var sink recordingSink
+	if err := q.DrainTo(&sink); err != nil {
+		t.Fatal(err)
+	}
+	// Per-writer order is preserved even though writers interleave.
+	next := make(map[string]int)
+	for _, b := range sink.batches {
+		m := b[0].Machine
+		if b[0].Task.Index != next[m] {
+			t.Fatalf("writer %s batch %d arrived after %d", m, b[0].Task.Index, next[m])
+		}
+		next[m]++
+	}
+}

@@ -1,7 +1,6 @@
 package pipeline
 
 import (
-	"bufio"
 	"context"
 	"encoding/json"
 	"errors"
@@ -145,11 +144,14 @@ func (c *serverConn) readLoop() {
 		c.srv.bus.Unwatch(c)
 		c.m.ConnectedAgents.Dec()
 	}()
-	dec := json.NewDecoder(bufio.NewReader(countingReader{c.conn, c.m.BytesIn}))
-	for {
-		var msg wireMsg
-		if err := dec.Decode(&msg); err != nil {
-			return // EOF, close, or garbage: drop the connection
+	sc := frameScanner(countingReader{c.conn, c.m.BytesIn})
+	for sc.Scan() {
+		msg, err := decodeFrame(sc.Bytes())
+		if err != nil {
+			if errors.Is(err, errEmptyFrame) {
+				continue
+			}
+			return // garbage or oversized frame: drop the connection
 		}
 		c.m.MessagesIn.Inc()
 		switch msg.Type {
@@ -173,6 +175,8 @@ func (c *serverConn) readLoop() {
 			// compatibility.
 		}
 	}
+	// EOF, close, or a frame beyond MaxFrameBytes (scanner error):
+	// the deferred cleanup drops the connection.
 }
 
 // WantSpec implements SpecWatcher.
@@ -271,10 +275,13 @@ func (c *Client) Done() <-chan struct{} { return c.done }
 
 func (c *Client) readLoop() {
 	defer close(c.done)
-	dec := json.NewDecoder(bufio.NewReader(clientReader{c}))
-	for {
-		var msg wireMsg
-		if err := dec.Decode(&msg); err != nil {
+	sc := frameScanner(clientReader{c})
+	for sc.Scan() {
+		msg, err := decodeFrame(sc.Bytes())
+		if err != nil {
+			if errors.Is(err, errEmptyFrame) {
+				continue
+			}
 			return
 		}
 		c.metrics().MessagesIn.Inc()

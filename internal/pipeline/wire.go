@@ -1,0 +1,51 @@
+package pipeline
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// MaxFrameBytes bounds one newline-delimited wire frame (1 MiB). A
+// frame larger than this is a protocol violation: the peer is either
+// broken or hostile, and the connection is dropped rather than letting
+// one agent balloon the aggregator's memory.
+const MaxFrameBytes = 1 << 20
+
+// ErrFrameTooLarge is returned for frames exceeding MaxFrameBytes.
+var ErrFrameTooLarge = errors.New("pipeline: wire frame exceeds size limit")
+
+// errEmptyFrame marks blank lines, which readers skip silently.
+var errEmptyFrame = errors.New("pipeline: empty wire frame")
+
+// decodeFrame parses one newline-delimited JSON wire frame. Malformed
+// input of any kind returns an error — it must never panic, which is
+// what FuzzWireDecode enforces. Unknown message types decode
+// successfully and are ignored by the read loops (forward
+// compatibility); per-sample validation stays with the spec builder,
+// which already rejects and counts bad samples individually.
+func decodeFrame(line []byte) (wireMsg, error) {
+	if len(line) > MaxFrameBytes {
+		return wireMsg{}, ErrFrameTooLarge
+	}
+	trim := bytes.TrimSpace(line)
+	if len(trim) == 0 {
+		return wireMsg{}, errEmptyFrame
+	}
+	var msg wireMsg
+	if err := json.Unmarshal(trim, &msg); err != nil {
+		return wireMsg{}, fmt.Errorf("pipeline: bad wire frame: %w", err)
+	}
+	return msg, nil
+}
+
+// frameScanner wraps a connection in a line scanner with the protocol
+// frame-size limit applied.
+func frameScanner(r io.Reader) *bufio.Scanner {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), MaxFrameBytes+1)
+	return sc
+}

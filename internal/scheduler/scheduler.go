@@ -44,20 +44,36 @@ type machineState struct {
 	tasks    map[model.TaskID]*placement
 }
 
+// committed returns the machine's committed CPU. The requests are
+// summed in sorted-value order: float addition is not associative, so
+// summing in Go's randomized map-iteration order would make placement
+// scores differ across runs by an ULP — enough to flip least-committed
+// ties and break the cluster's bit-reproducibility guarantee.
 func (m *machineState) committed() float64 {
-	var sum float64
+	reqs := make([]float64, 0, len(m.tasks))
 	for _, p := range m.tasks {
-		sum += p.spec.cpuRequest()
+		reqs = append(reqs, p.spec.cpuRequest())
 	}
-	return sum
+	return sumSorted(reqs)
 }
 
 func (m *machineState) prodReserved() float64 {
-	var sum float64
+	reqs := make([]float64, 0, len(m.tasks))
 	for _, p := range m.tasks {
 		if p.spec.Job.Priority.IsProduction() {
-			sum += p.spec.cpuRequest()
+			reqs = append(reqs, p.spec.cpuRequest())
 		}
+	}
+	return sumSorted(reqs)
+}
+
+// sumSorted adds values in ascending order, giving a deterministic
+// (and slightly more accurate) sum regardless of input order.
+func sumSorted(xs []float64) float64 {
+	sort.Float64s(xs)
+	var sum float64
+	for _, x := range xs {
+		sum += x
 	}
 	return sum
 }

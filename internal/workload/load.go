@@ -38,6 +38,12 @@ func (c ConstantLoad) Level(time.Time) float64 { return clamp01(float64(c)) }
 // DiurnalLoad is the canonical serving-load shape: a sinusoid between
 // Trough and Peak over 24 hours, peaking at PeakHour local time, with
 // optional multiplicative jitter.
+//
+// Determinism note: when Jitter > 0, Level draws from RNG, so a
+// DiurnalLoad value must NOT be shared between tasks that may tick
+// concurrently (the draw would race) or whose tick order is not fixed
+// (the draw order would leak between tasks). Give each task its own
+// copy with its own stream — see cluster.WebSearchJob for the pattern.
 type DiurnalLoad struct {
 	Trough   float64 // load level at the quietest hour
 	Peak     float64 // load level at the busiest hour

@@ -21,6 +21,16 @@ import (
 // This is what makes CPI²'s policy safe: capping one worker slows its
 // shards, the master routes around it, and the job's completion time
 // barely moves.
+//
+// Determinism note: the master is mutex-guarded, so ShardWorkers on
+// concurrently ticking machines are race-free — but shard assignment
+// happens inside Demand in arrival order, so WHICH worker gets WHICH
+// shard (and the backup-candidate median) depends on cross-machine
+// tick order. ShardWorker-based jobs are therefore only reproducible
+// under a serial driver (the straggler experiment drives its machines
+// serially, and the cluster catalog's MapReduceJob uses the
+// self-contained MapReduce workload instead). Placing ShardWorkers on
+// a Cluster with Workers > 1 is safe but not bit-reproducible.
 
 // Shard states.
 type shardState int

@@ -42,6 +42,13 @@ func (t Tier) String() string {
 // web-search query touches thousands of leaves and its tail latency
 // is set by the slowest shards (§2), so tiers read a high percentile
 // of the tier below, not the mean.
+//
+// SearchTree is safe AND order-insensitive under parallel machine
+// ticking: publish only appends to the current tick's accumulator
+// (the percentile sorts, so append order cannot matter), tail reads
+// the previous tick's aggregate (stable for the whole tick), and the
+// roll-over happens in EndTick, which the cluster invokes at the
+// serial tick barrier via OnTick.
 type SearchTree struct {
 	mu sync.Mutex
 	// current-tick accumulators
