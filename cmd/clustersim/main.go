@@ -7,11 +7,19 @@
 //
 //	clustersim [-machines 50] [-duration 1h] [-seed 1] [-workers 0]
 //	           [-metrics-addr :7425] [-report-only] [-feedback]
-//	           [-query "SELECT …"]
+//	           [-query "SELECT …"] [-chaos "blackout=20m+10m,loss=0.05"]
 //
 // -workers sets how many goroutines tick machines in parallel
 // (0 = GOMAXPROCS). The same seed produces byte-identical output at
 // any worker count, so -workers only changes wall-clock time.
+//
+// -chaos injects a deterministic failure timeline (fed from the same
+// seeded RNG streams as the rest of the simulation): comma-separated
+// directives blackout=OFFSET+DURATION, loss=FRACTION,
+// specdelay=DURATION, crash=MACHINE@OFFSET, spool=N, spoolbytes=N.
+// Offsets count from simulation start (warm-up included). The run
+// prints fault accounting (lost batches, spool drops/replays, crash
+// tallies) alongside the usual summary.
 //
 // Every component shares one metric registry; -metrics-addr exposes
 // it live at /metrics during the run, and a one-line JSON summary of
@@ -41,7 +49,17 @@ func main() {
 	feedback := flag.Bool("feedback", false, "enable §9 feedback-driven adaptive throttling")
 	query := flag.String("query", "", "extra forensics query to run at the end")
 	metricsAddr := flag.String("metrics-addr", "", "admin HTTP address for live /metrics during the run (empty: disabled)")
+	chaos := flag.String("chaos", "", "fault plan, e.g. \"blackout=20m+10m,loss=0.05,crash=machine-0003@30m\" (empty: no faults)")
 	flag.Parse()
+
+	var faults *cluster.FaultPlan
+	if *chaos != "" {
+		var err error
+		faults, err = cluster.ParseFaultPlan(*chaos)
+		if err != nil {
+			log.Fatalf("clustersim: -chaos: %v", err)
+		}
+	}
 
 	reg := obs.NewRegistry()
 	events := obs.NewEventLog(4096, nil)
@@ -58,6 +76,7 @@ func main() {
 		},
 		Registry: reg,
 		Events:   events,
+		Faults:   faults,
 	})
 
 	if *metricsAddr != "" {
@@ -116,7 +135,15 @@ func main() {
 	fmt.Printf("incidents: %d total — %d capped, %d report-only, %d no-action\n",
 		len(incs), actions[core.ActionCap], actions[core.ActionReport], actions[core.ActionNone])
 	exits, restarts := c.Stats()
-	fmt.Printf("task churn: %d exits, %d restarts\n\n", exits, restarts)
+	fmt.Printf("task churn: %d exits, %d restarts\n", exits, restarts)
+	if faults != nil {
+		fs := c.FaultStats()
+		fmt.Printf("faults (%s): %d batches lost, %d spooled→replayed, %d spool-dropped, %d still spooled,\n"+
+			"        %d blackout ticks, %d delayed spec pushes, %d crashes (%d tasks lost, %d restarted)\n",
+			faults, fs.LostBatches, fs.SpoolReplayed, fs.SpoolDropped, fs.SpooledBatches,
+			fs.BlackoutTicks, fs.DelayedSpecPushes, fs.CrashesApplied, fs.TasksLost, fs.TasksRestarted)
+	}
+	fmt.Println()
 
 	for _, q := range []string{
 		"SELECT suspect_job, count(*), avg(correlation) FROM incidents GROUP BY suspect_job ORDER BY count(*) DESC LIMIT 5",
@@ -151,6 +178,9 @@ func main() {
 		"samples_observed":        mm.SamplesObserved.Value(),
 		"correlation_p50_seconds": mm.CorrelationSeconds.Quantile(0.5),
 		"correlation_p99_seconds": mm.CorrelationSeconds.Quantile(0.99),
+	}
+	if faults != nil {
+		summary["fault_stats"] = c.FaultStats()
 	}
 	b, err := json.Marshal(summary)
 	if err != nil {

@@ -16,6 +16,12 @@
 //	cpi2agent [-aggregator host:7421] [-control :7422] [-metrics-addr :7423]
 //	          [-incident-log incidents.jsonl] [-name machine-01]
 //	          [-cpus 16] [-tenants 20] [-antagonist-after 2m] [-speed 60]
+//	          [-spool-batches 4096] [-spool-bytes 67108864]
+//
+// Samples published while the aggregator is unreachable spool in a
+// bounded in-memory buffer (-spool-batches/-spool-bytes, drop-oldest)
+// and replay in order when the redialer reconnects, so an aggregator
+// outage costs nothing but spec staleness.
 //
 // The admin HTTP server on -metrics-addr serves /metrics (Prometheus
 // text format), /healthz, /debug/incidents, /debug/specs, and
@@ -58,6 +64,8 @@ func main() {
 	speed := flag.Int("speed", 60, "simulated seconds per wall second")
 	seed := flag.Int64("seed", 1, "simulation seed")
 	reportOnly := flag.Bool("report-only", false, "detect and report, never cap automatically")
+	spoolBatches := flag.Int("spool-batches", 0, "sample batches to buffer while the aggregator is unreachable (0: default 4096)")
+	spoolBytes := flag.Int64("spool-bytes", 0, "approximate byte budget for the sample spool (0: default 64MiB)")
 	flag.Parse()
 	if *speed < 1 {
 		*speed = 1
@@ -99,8 +107,19 @@ func main() {
 		if err := rd.Subscribe(); err != nil {
 			log.Printf("cpi2agent: subscribe: %v", err)
 		}
-		sink = rd
 		defer rd.Close()
+		// The spool rides between the agent and the redialer: while the
+		// aggregator is down, sample batches buffer (bounded, drop-oldest)
+		// instead of vanishing, and replay in order on reconnect.
+		sp := pipeline.NewSpooler(rd, pipeline.SpoolConfig{
+			MaxBatches: *spoolBatches,
+			MaxBytes:   *spoolBytes,
+		})
+		sp.SetMetrics(pipeline.NewMetrics(reg))
+		sp.Start()
+		rd.SetOnConnect(sp.Kick)
+		sink = sp
+		defer sp.Close()
 	}
 	a = agent.New(m, params, sink)
 	a.Instrument(reg, events)

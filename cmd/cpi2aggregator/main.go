@@ -7,16 +7,25 @@
 // Usage:
 //
 //	cpi2aggregator [-listen :7421] [-metrics-addr :7424] [-recompute 1h]
-//	               [-min-tasks 5] [-min-samples 100]
+//	               [-min-tasks 5] [-min-samples 100] [-checkpoint state.json]
 //
 // The paper recomputed specs every 24h with a goal of hourly; the
 // default here is hourly. The admin HTTP server on -metrics-addr
 // serves /metrics, /healthz, and /debug/specs (the current spec
 // table).
+//
+// -checkpoint makes the aggregator durable across restarts: the full
+// builder state (age-weighted spec history, pending samples, current
+// specs) is snapshotted atomically to the given path after every
+// recompute and on shutdown, and restored on start if the file exists.
+// A restarted aggregator therefore computes the same specs it would
+// have without the crash, instead of relearning from scratch.
 package main
 
 import (
+	"errors"
 	"flag"
+	"io/fs"
 	"log"
 	"net/url"
 	"os"
@@ -36,6 +45,7 @@ func main() {
 	minTasks := flag.Int("min-tasks", 5, "fewest tasks a job needs for CPI management")
 	minSamples := flag.Int64("min-samples", 100, "fewest samples per task a spec needs")
 	ageWeight := flag.Float64("age-weight", 0.9, "per-interval decay of historical spec data")
+	checkpoint := flag.String("checkpoint", "", "snapshot builder state to this file after every recompute and restore it on start (empty: stateless)")
 	flag.Parse()
 
 	params := core.Params{
@@ -47,6 +57,29 @@ func main() {
 	reg := obs.NewRegistry()
 	builder := core.NewSpecBuilder(params)
 	builder.SetMetrics(core.NewMetrics(reg))
+	if *checkpoint != "" {
+		cp, err := core.LoadCheckpoint(*checkpoint)
+		switch {
+		case errors.Is(err, fs.ErrNotExist):
+			log.Printf("cpi2aggregator: no checkpoint at %s yet, starting fresh", *checkpoint)
+		case err != nil:
+			log.Fatalf("cpi2aggregator: load checkpoint: %v", err)
+		default:
+			if err := builder.Restore(cp); err != nil {
+				log.Fatalf("cpi2aggregator: restore checkpoint: %v", err)
+			}
+			log.Printf("cpi2aggregator: restored %s (%d specs, %d history rows, saved %s)",
+				*checkpoint, len(cp.Specs), len(cp.History), cp.SavedAt.Format(time.RFC3339))
+		}
+	}
+	save := func(now time.Time) {
+		if *checkpoint == "" {
+			return
+		}
+		if err := core.SaveCheckpoint(*checkpoint, builder.Checkpoint(now)); err != nil {
+			log.Printf("cpi2aggregator: save checkpoint: %v", err)
+		}
+	}
 	bus := pipeline.NewBus(builder)
 	bus.SetMetrics(pipeline.NewMetrics(reg))
 	srv := pipeline.NewServer(bus)
@@ -77,6 +110,7 @@ func main() {
 		select {
 		case now := <-ticker.C:
 			specs := bus.Recompute(now)
+			save(now)
 			received, dropped := bus.Stats()
 			log.Printf("recompute: %d robust specs pushed (%d samples received, %d dropped)",
 				len(specs), received, dropped)
@@ -86,6 +120,7 @@ func main() {
 			}
 		case <-sig:
 			log.Print("cpi2aggregator: shutting down")
+			save(time.Now().UTC())
 			if err := srv.Close(); err != nil {
 				log.Printf("close: %v", err)
 			}

@@ -38,8 +38,10 @@ func (a *Agent) SetMetrics(m *Metrics) {
 
 // Instrument wires the agent and its manager into reg and events in
 // one call: agent tick/task metrics, the core detection/enforcement
-// metric set, and the structured event sink (events may be nil).
-func (a *Agent) Instrument(reg *obs.Registry, events *obs.EventLog) {
+// metric set, and the structured event sink (events may be nil; any
+// core.EventSink works — an *obs.EventLog directly, or an
+// *obs.EventBuffer when emissions must be staged for ordered draining).
+func (a *Agent) Instrument(reg *obs.Registry, events core.EventSink) {
 	a.SetMetrics(NewMetrics(reg))
 	a.manager.SetMetrics(core.NewMetrics(reg))
 	if events != nil {

@@ -1,0 +1,326 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/model"
+)
+
+// Window is a half-open interval of simulation time, as offsets from
+// the simulation epoch (Config.Start): [From, To).
+type Window struct {
+	From time.Duration
+	To   time.Duration
+}
+
+func (w Window) contains(d time.Duration) bool { return d >= w.From && d < w.To }
+
+// String renders the window in the FaultPlan directive form.
+func (w Window) String() string { return fmt.Sprintf("%s+%s", w.From, w.To-w.From) }
+
+// CrashEvent schedules one machine crash at an offset from the
+// simulation epoch.
+type CrashEvent struct {
+	At      time.Duration
+	Machine string
+}
+
+// FaultPlan describes the failure timeline injected into a simulated
+// cluster: the paper's pipeline is explicitly lossy (§3) and the
+// system must degrade gracefully, so the chaos harness makes every
+// degradation mode reproducible. All faults are driven from the
+// cluster's deterministic RNG streams and applied in the serial commit
+// phase, so a faulted run is exactly as worker-count-independent as a
+// clean one.
+type FaultPlan struct {
+	// AggregatorBlackouts are intervals during which the aggregator is
+	// unreachable: sample batches can't be delivered (they spool on each
+	// machine) and no spec recompute or push happens.
+	AggregatorBlackouts []Window
+	// SampleLoss is the per-batch probability that the machine→
+	// aggregator link silently eats a batch (at-most-once delivery,
+	// §3's "losing a sample is harmless"). 0 ≤ SampleLoss ≤ 1.
+	SampleLoss float64
+	// SpecPushDelay postpones delivery of recomputed specs to machines
+	// by this much — a slow spec-push pipe.
+	SpecPushDelay time.Duration
+	// Crashes are scheduled machine failures (CrashMachine semantics:
+	// resident tasks die, RestartOnExit jobs re-place elsewhere).
+	Crashes []CrashEvent
+	// SpoolBatches / SpoolBytes budget each machine's sample spool
+	// (defaults: pipeline.SpoolConfig defaults).
+	SpoolBatches int
+	SpoolBytes   int64
+}
+
+// Validate checks the plan for structural sanity.
+func (p *FaultPlan) Validate() error {
+	if p == nil {
+		return nil
+	}
+	if !(p.SampleLoss >= 0 && p.SampleLoss <= 1) { // rejects NaN too
+		return fmt.Errorf("cluster: sample loss %v outside [0,1]", p.SampleLoss)
+	}
+	if p.SpecPushDelay < 0 {
+		return errors.New("cluster: negative spec push delay")
+	}
+	if p.SpoolBatches < 0 || p.SpoolBytes < 0 {
+		return errors.New("cluster: negative spool budget")
+	}
+	for _, w := range p.AggregatorBlackouts {
+		if w.From < 0 || w.To <= w.From {
+			return fmt.Errorf("cluster: bad blackout window %v..%v", w.From, w.To)
+		}
+	}
+	for _, cr := range p.Crashes {
+		if cr.At < 0 {
+			return fmt.Errorf("cluster: crash of %q at negative offset %v", cr.Machine, cr.At)
+		}
+		if cr.Machine == "" {
+			return errors.New("cluster: crash with empty machine name")
+		}
+	}
+	return nil
+}
+
+// String renders the plan in the directive syntax ParseFaultPlan
+// accepts, so plans round-trip through flags and logs.
+func (p *FaultPlan) String() string {
+	if p == nil {
+		return ""
+	}
+	var parts []string
+	for _, w := range p.AggregatorBlackouts {
+		parts = append(parts, "blackout="+w.String())
+	}
+	if p.SampleLoss > 0 {
+		parts = append(parts, "loss="+strconv.FormatFloat(p.SampleLoss, 'g', -1, 64))
+	}
+	if p.SpecPushDelay > 0 {
+		parts = append(parts, "specdelay="+p.SpecPushDelay.String())
+	}
+	for _, cr := range p.Crashes {
+		parts = append(parts, fmt.Sprintf("crash=%s@%s", cr.Machine, cr.At))
+	}
+	if p.SpoolBatches > 0 {
+		parts = append(parts, "spool="+strconv.Itoa(p.SpoolBatches))
+	}
+	if p.SpoolBytes > 0 {
+		parts = append(parts, "spoolbytes="+strconv.FormatInt(p.SpoolBytes, 10))
+	}
+	return strings.Join(parts, ",")
+}
+
+// ParseFaultPlan parses the -chaos flag syntax: comma-separated
+// directives, each key=value.
+//
+//	blackout=OFFSET+DURATION   aggregator blackout (repeatable)
+//	loss=FRACTION              per-batch sample loss in [0,1]
+//	specdelay=DURATION         delayed spec pushes
+//	crash=MACHINE@OFFSET       machine crash (repeatable)
+//	spool=N                    per-machine spool budget, batches
+//	spoolbytes=N               per-machine spool budget, bytes
+//
+// Durations use Go syntax ("10m", "90s"). An empty string yields an
+// empty (but non-nil) plan.
+func ParseFaultPlan(s string) (*FaultPlan, error) {
+	p := &FaultPlan{}
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(part, "=")
+		if !ok {
+			return nil, fmt.Errorf("cluster: fault directive %q is not key=value", part)
+		}
+		switch key {
+		case "blackout":
+			from, dur, ok := strings.Cut(val, "+")
+			if !ok {
+				return nil, fmt.Errorf("cluster: blackout %q is not OFFSET+DURATION", val)
+			}
+			f, err := time.ParseDuration(from)
+			if err != nil {
+				return nil, fmt.Errorf("cluster: blackout offset: %w", err)
+			}
+			d, err := time.ParseDuration(dur)
+			if err != nil {
+				return nil, fmt.Errorf("cluster: blackout duration: %w", err)
+			}
+			p.AggregatorBlackouts = append(p.AggregatorBlackouts, Window{From: f, To: f + d})
+		case "loss":
+			f, err := strconv.ParseFloat(val, 64)
+			if err != nil {
+				return nil, fmt.Errorf("cluster: loss: %w", err)
+			}
+			p.SampleLoss = f
+		case "specdelay":
+			d, err := time.ParseDuration(val)
+			if err != nil {
+				return nil, fmt.Errorf("cluster: specdelay: %w", err)
+			}
+			p.SpecPushDelay = d
+		case "crash":
+			mach, at, ok := strings.Cut(val, "@")
+			if !ok || mach == "" {
+				return nil, fmt.Errorf("cluster: crash %q is not MACHINE@OFFSET", val)
+			}
+			d, err := time.ParseDuration(at)
+			if err != nil {
+				return nil, fmt.Errorf("cluster: crash offset: %w", err)
+			}
+			p.Crashes = append(p.Crashes, CrashEvent{At: d, Machine: mach})
+		case "spool":
+			n, err := strconv.Atoi(val)
+			if err != nil {
+				return nil, fmt.Errorf("cluster: spool: %w", err)
+			}
+			p.SpoolBatches = n
+		case "spoolbytes":
+			n, err := strconv.ParseInt(val, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("cluster: spoolbytes: %w", err)
+			}
+			p.SpoolBytes = n
+		default:
+			return nil, fmt.Errorf("cluster: unknown fault directive %q", key)
+		}
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// FaultStats are the observable consequences of a FaultPlan.
+type FaultStats struct {
+	// LostBatches were silently eaten by lossy links (SampleLoss).
+	LostBatches int64
+	// SpoolDropped were evicted from machine spools over budget.
+	SpoolDropped int64
+	// SpoolReplayed were delivered late, after an outage, via spools.
+	SpoolReplayed int64
+	// SpooledBatches are currently sitting in machine spools.
+	SpooledBatches int64
+	// BlackoutTicks counts simulation ticks spent inside a blackout.
+	BlackoutTicks int64
+	// DelayedSpecPushes counts spec-push rounds deferred by
+	// SpecPushDelay and later delivered.
+	DelayedSpecPushes int64
+	// CrashesApplied / TasksLost / TasksRestarted account the executed
+	// CrashEvents.
+	CrashesApplied int
+	TasksLost      int
+	TasksRestarted int
+}
+
+// errAggregatorDown is what machine links report during a blackout;
+// spools react by buffering.
+var errAggregatorDown = errors.New("cluster: aggregator blackout")
+
+// chaosLink sits between a machine's spool and the bus: it refuses
+// batches during aggregator blackouts (so the spool buffers them) and
+// silently loses a SampleLoss fraction otherwise. It is only invoked
+// from the serial commit phase, so it may touch cluster-shared fault
+// state and its per-machine RNG without locks — and stays
+// deterministic at any worker count.
+type chaosLink struct {
+	c   *Cluster
+	rng *rand.Rand
+}
+
+func (l *chaosLink) Publish(samples []model.Sample) error {
+	if l.c.blackout {
+		return errAggregatorDown
+	}
+	if p := l.c.cfg.Faults.SampleLoss; p > 0 && l.rng.Float64() < p {
+		l.c.fstats.LostBatches++
+		return nil // eaten by the pipe: at-most-once, loss is not an error
+	}
+	return l.c.bus.Publish(samples)
+}
+
+// delayedSpecs is one recompute round waiting out SpecPushDelay.
+type delayedSpecs struct {
+	at    time.Time
+	specs []model.Spec
+}
+
+// sortedCrashes returns the plan's crashes ordered by (At, Machine) so
+// the application order is deterministic regardless of plan order.
+func (p *FaultPlan) sortedCrashes() []CrashEvent {
+	out := append([]CrashEvent(nil), p.Crashes...)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].At != out[j].At {
+			return out[i].At < out[j].At
+		}
+		return out[i].Machine < out[j].Machine
+	})
+	return out
+}
+
+// applyFaultTimeline advances chaos state to now: blackout flag,
+// due machine crashes, and due delayed spec pushes. Called from the
+// commit phase, before queues drain.
+func (c *Cluster) applyFaultTimeline(now time.Time) {
+	offset := now.Sub(c.cfg.Start)
+	was := c.blackout
+	c.blackout = false
+	for _, w := range c.cfg.Faults.AggregatorBlackouts {
+		if w.contains(offset) {
+			c.blackout = true
+			break
+		}
+	}
+	if c.blackout {
+		c.fstats.BlackoutTicks++
+	}
+	if was != c.blackout {
+		typ := "blackout_end"
+		if c.blackout {
+			typ = "blackout_start"
+		}
+		c.cfg.Events.Emit(now, typ, map[string]string{"offset": offset.String()})
+	}
+
+	for c.crashIdx < len(c.crashes) && c.crashes[c.crashIdx].At <= offset {
+		cr := c.crashes[c.crashIdx]
+		c.crashIdx++
+		lost, restarted, err := c.CrashMachine(cr.Machine)
+		if err != nil {
+			continue // unknown machine name in the plan: skip, don't wedge
+		}
+		c.fstats.CrashesApplied++
+		c.fstats.TasksLost += lost
+		c.fstats.TasksRestarted += restarted
+		c.cfg.Events.Emit(now, "machine_crash", map[string]any{
+			"machine": cr.Machine, "tasks_lost": lost, "tasks_restarted": restarted,
+		})
+	}
+
+	for len(c.delayed) > 0 && !c.delayed[0].at.After(now) {
+		c.bus.Push(c.delayed[0].specs)
+		c.fstats.DelayedSpecPushes++
+		c.delayed = c.delayed[1:]
+	}
+}
+
+// FaultStats returns the cumulative fault accounting for this run
+// (zero value when no FaultPlan is configured).
+func (c *Cluster) FaultStats() FaultStats {
+	st := c.fstats
+	for _, sp := range c.spools {
+		s := sp.Stats()
+		st.SpoolDropped += s.Dropped
+		st.SpoolReplayed += s.Replayed
+		st.SpooledBatches += int64(s.Batches)
+	}
+	return st
+}

@@ -67,8 +67,16 @@ type Config struct {
 	// registry; per-machine series aggregate cluster-wide.
 	Registry *obs.Registry
 	// Events, when non-nil, receives the structured incident and cap
-	// lifecycle events of every machine.
+	// lifecycle events of every machine. Agents stage events in
+	// per-machine buffers during the parallel tick phase; the commit
+	// phase drains them in machine-index order, so the log is
+	// byte-identical at any worker count.
 	Events *obs.EventLog
+	// Faults, when non-nil, injects the failure timeline (aggregator
+	// blackouts, lossy links, delayed spec pushes, machine crashes) and
+	// routes every machine's samples through a bounded spool. The plan
+	// must pass Validate; New panics otherwise.
+	Faults *FaultPlan
 }
 
 func (c Config) withDefaults() Config {
@@ -136,10 +144,20 @@ type Cluster struct {
 	// Index-ordered views of the fleet: the parallel phase iterates
 	// these, never the maps, so work distribution and commit order are
 	// deterministic.
-	machs  []*machine.Machine
-	agents []*agent.Agent
-	queues []*pipeline.Queue
-	slots  []stepSlot // preallocated per-machine result slots
+	machs     []*machine.Machine
+	agents    []*agent.Agent
+	queues    []*pipeline.Queue
+	slots     []stepSlot // preallocated per-machine result slots
+	eventBufs []*obs.EventBuffer
+
+	// Chaos state (nil/zero without Config.Faults). Mutated only from
+	// the serial commit phase.
+	spools   []*pipeline.Spooler
+	blackout bool
+	fstats   FaultStats
+	crashes  []CrashEvent // sorted by (At, Machine)
+	crashIdx int
+	delayed  []delayedSpecs
 
 	onTick    []func(now time.Time)
 	incidents []core.Incident
@@ -161,8 +179,13 @@ type stepSlot struct {
 }
 
 // New builds a cluster per cfg, with machines registered but no jobs.
+// An invalid cfg.Faults plan panics: fault plans come from flags or
+// literals, and a malformed one means the experiment is wrong.
 func New(cfg Config) *Cluster {
 	cfg = cfg.withDefaults()
+	if err := cfg.Faults.Validate(); err != nil {
+		panic(err)
+	}
 	rng := stats.NewRNG(cfg.Seed)
 	c := &Cluster{
 		cfg:   cfg,
@@ -188,6 +211,13 @@ func New(cfg Config) *Cluster {
 	c.agents = make([]*agent.Agent, cfg.Machines)
 	c.queues = make([]*pipeline.Queue, cfg.Machines)
 	c.slots = make([]stepSlot, cfg.Machines)
+	if cfg.Events != nil {
+		c.eventBufs = make([]*obs.EventBuffer, cfg.Machines)
+	}
+	if cfg.Faults != nil {
+		c.spools = make([]*pipeline.Spooler, cfg.Machines)
+		c.crashes = cfg.Faults.sortedCrashes()
+	}
 	for i := 0; i < cfg.Machines; i++ {
 		name := fmt.Sprintf("machine-%04d", i)
 		platform := model.PlatformA
@@ -205,10 +235,30 @@ func New(cfg Config) *Cluster {
 		// the byte-exact specs — independent of the worker count.
 		q := pipeline.NewQueue()
 		a := agent.New(m, cfg.Params, q)
+		// Events go through a per-machine staging buffer: agents emit
+		// during the parallel phase, the commit phase drains buffers in
+		// machine-index order into the shared log.
+		var sink core.EventSink
+		if cfg.Events != nil {
+			c.eventBufs[i] = obs.NewEventBuffer()
+			sink = c.eventBufs[i]
+		}
 		if cfg.Registry != nil {
-			a.Instrument(cfg.Registry, cfg.Events)
-		} else if cfg.Events != nil {
-			a.Manager().SetEvents(cfg.Events)
+			a.Instrument(cfg.Registry, sink)
+		} else if sink != nil {
+			a.Manager().SetEvents(sink)
+		}
+		if cfg.Faults != nil {
+			// machine queue → spool → lossy/blackout link → bus. The spool
+			// is drained passively from the commit phase (never Started),
+			// so the whole chain stays deterministic.
+			// No registry instrumentation here: many spools sharing one
+			// gauge would fight over Set; FaultStats aggregates instead.
+			link := &chaosLink{c: c, rng: rng.Stream("fault/" + name)}
+			c.spools[i] = pipeline.NewSpooler(link, pipeline.SpoolConfig{
+				MaxBatches: cfg.Faults.SpoolBatches,
+				MaxBytes:   cfg.Faults.SpoolBytes,
+			})
 		}
 		c.mach[name] = m
 		c.agent[name] = a
@@ -467,6 +517,9 @@ func (c *Cluster) Step() {
 	}
 
 	// Commit phase: machine-index order, single goroutine.
+	if c.cfg.Faults != nil {
+		c.applyFaultTimeline(now)
+	}
 	for i := 0; i < n; i++ {
 		slot := &c.slots[i]
 		for _, id := range slot.exited {
@@ -478,17 +531,52 @@ func (c *Cluster) Step() {
 				}
 			}
 		}
-		_ = c.queues[i].DrainTo(c.bus)
+		if c.spools != nil {
+			// Replay any spooled backlog first, then this tick's samples
+			// behind it — arrival order at the bus stays publish order.
+			_, _ = c.spools[i].TryDrain()
+			_ = c.queues[i].DrainTo(c.spools[i])
+		} else {
+			_ = c.queues[i].DrainTo(c.bus)
+		}
 		for _, inc := range slot.incidents {
 			c.incidents = append(c.incidents, inc)
 			c.store.Add(inc)
 			c.automate(inc)
 		}
+		if c.eventBufs != nil {
+			c.eventBufs[i].DrainTo(c.cfg.Events)
+		}
 		slot.exited, slot.incidents = nil, nil
 	}
-	c.bus.MaybeRecompute(now)
+	c.maybeRecompute(now)
 	for _, f := range c.onTick {
 		f(now)
+	}
+}
+
+// maybeRecompute runs the due spec recompute, honoring the fault
+// plan: a blacked-out aggregator computes nothing, and SpecPushDelay
+// holds freshly computed specs back before machines see them.
+func (c *Cluster) maybeRecompute(now time.Time) {
+	f := c.cfg.Faults
+	if f == nil {
+		c.bus.MaybeRecompute(now)
+		return
+	}
+	if c.blackout {
+		return // aggregator is down; staleness grows with the blackout
+	}
+	if f.SpecPushDelay <= 0 {
+		c.bus.MaybeRecompute(now)
+		return
+	}
+	if !c.bus.Builder().Due(now) {
+		return
+	}
+	specs := c.bus.Builder().Recompute(now)
+	if len(specs) > 0 {
+		c.delayed = append(c.delayed, delayedSpecs{at: now.Add(f.SpecPushDelay), specs: specs})
 	}
 }
 

@@ -9,6 +9,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/machine"
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/stats"
 	"repro/internal/workload"
 )
@@ -21,6 +22,7 @@ import (
 // enough".
 type fingerprint struct {
 	Incidents  []core.Incident
+	Events     []obs.Event
 	Specs      []model.Spec
 	Exits      int64
 	Restarts   int64
@@ -36,6 +38,7 @@ type fingerprint struct {
 // returning the JSON fingerprint of everything that happened.
 func detRun(t *testing.T, workers, machines int, warm, dur time.Duration) []byte {
 	t.Helper()
+	ev := obs.NewEventLog(1<<16, nil)
 	c := New(Config{
 		Seed:                 1234,
 		Machines:             machines,
@@ -45,6 +48,7 @@ func detRun(t *testing.T, workers, machines int, warm, dur time.Duration) []byte
 		Params:               core.Params{MinSamplesPerTask: 5},
 		AutoAvoidThreshold:   3,
 		AutoMigrateAfterCaps: 3,
+		Events:               ev,
 	})
 	defs, tree := WebSearchJob("websearch", machines, machines/5+1, 2, c.RNG())
 	for _, d := range defs {
@@ -86,6 +90,7 @@ func detRun(t *testing.T, workers, machines int, warm, dur time.Duration) []byte
 
 	var fp fingerprint
 	fp.Incidents = c.Incidents()
+	fp.Events = ev.Recent(0, "")
 	fp.Specs = c.RecomputeSpecs()
 	fp.Exits, fp.Restarts = c.Stats()
 	fp.Received, fp.Dropped = c.Bus().Stats()
@@ -129,6 +134,9 @@ func TestStepDeterminismAcrossWorkerCounts(t *testing.T) {
 	// comparison proves nothing.
 	if len(fp.Incidents) == 0 {
 		t.Error("determinism run raised no incidents")
+	}
+	if len(fp.Events) == 0 {
+		t.Error("determinism run emitted no structured events")
 	}
 	if len(fp.Specs) == 0 {
 		t.Error("determinism run produced no specs")

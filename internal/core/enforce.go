@@ -100,20 +100,28 @@ func NewEnforcer(p Params, capper Capper) *Enforcer {
 	}
 }
 
-// SetMetrics instruments the enforcer with m (nil disables).
+// SetMetrics instruments the enforcer with m (nil disables). The lock
+// matters: Decide/Tick read e.metrics under e.mu from agent goroutines,
+// so an unlocked setter write is a data race even if callers "usually"
+// instrument before traffic flows.
 func (e *Enforcer) SetMetrics(m *Metrics) {
 	if m == nil {
 		m = &Metrics{}
 	}
+	e.mu.Lock()
 	e.metrics = m
+	e.mu.Unlock()
 }
 
-// SetEvents directs cap-lifecycle events to sink (nil disables).
+// SetEvents directs cap-lifecycle events to sink (nil disables). Locked
+// for the same reason as SetMetrics.
 func (e *Enforcer) SetEvents(sink EventSink) {
 	if sink == nil {
 		sink = nopSink{}
 	}
+	e.mu.Lock()
 	e.events = sink
+	e.mu.Unlock()
 }
 
 // capEvent is the payload of cap_applied / cap_expired / cap_released
@@ -319,25 +327,35 @@ func (e *Enforcer) DecideGroup(now time.Time, victim model.TaskID, victimJob mod
 
 // Tick expires caps whose duration has elapsed, uncapping the tasks.
 // It returns the tasks released. Call it at least once per sampling
-// interval.
+// interval. A failed Uncap leaves the cap active, so it is retried on
+// every subsequent tick until the mechanism recovers.
+//
+// Expired caps are collected and sorted by task before any Uncap or
+// event emission: iterating the active map directly would emit
+// cap_expired events in map order, breaking event-log byte-identity
+// across runs whenever two caps expire on the same tick.
 func (e *Enforcer) Tick(now time.Time) []model.TaskID {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	var released []model.TaskID
-	for task, ac := range e.active {
+	var expired []*activeCap
+	for _, ac := range e.active {
 		if !now.Before(ac.expires) {
-			if err := e.capper.Uncap(task); err == nil {
-				released = append(released, task)
-				delete(e.active, task)
-				e.metrics.CapsExpired.Inc()
-				e.metrics.CapsActive.Dec()
-				e.events.Emit(now, "cap_expired", capEvent{Task: task.String(), Victim: ac.victim.String()})
-			}
+			expired = append(expired, ac)
 		}
 	}
-	sort.Slice(released, func(i, j int) bool {
-		return released[i].String() < released[j].String()
+	sort.Slice(expired, func(i, j int) bool {
+		return expired[i].task.String() < expired[j].task.String()
 	})
+	var released []model.TaskID
+	for _, ac := range expired {
+		if err := e.capper.Uncap(ac.task); err == nil {
+			released = append(released, ac.task)
+			delete(e.active, ac.task)
+			e.metrics.CapsExpired.Inc()
+			e.metrics.CapsActive.Dec()
+			e.events.Emit(now, "cap_expired", capEvent{Task: ac.task.String(), Victim: ac.victim.String()})
+		}
+	}
 	return released
 }
 
@@ -353,24 +371,30 @@ func (e *Enforcer) ActiveCaps() map[model.TaskID]float64 {
 }
 
 // ReleaseAll removes every active cap immediately (operator action,
-// or cluster-wide disable). It returns the released tasks.
+// or cluster-wide disable). It returns the released tasks. Like Tick,
+// it uncaps and emits in sorted task order, not map order, so the
+// event log is reproducible.
 func (e *Enforcer) ReleaseAll() []model.TaskID {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	caps := make([]*activeCap, 0, len(e.active))
+	for _, ac := range e.active {
+		caps = append(caps, ac)
+	}
+	sort.Slice(caps, func(i, j int) bool {
+		return caps[i].task.String() < caps[j].task.String()
+	})
 	var released []model.TaskID
-	for task, ac := range e.active {
-		if err := e.capper.Uncap(task); err == nil {
-			released = append(released, task)
-			delete(e.active, task)
+	for _, ac := range caps {
+		if err := e.capper.Uncap(ac.task); err == nil {
+			released = append(released, ac.task)
+			delete(e.active, ac.task)
 			e.metrics.CapsReleased.Inc()
 			e.metrics.CapsActive.Dec()
 			// Operator action, not simulation-driven: wall time is the
 			// honest timestamp here.
-			e.events.Emit(time.Now().UTC(), "cap_released", capEvent{Task: task.String(), Victim: ac.victim.String()})
+			e.events.Emit(time.Now().UTC(), "cap_released", capEvent{Task: ac.task.String(), Victim: ac.victim.String()})
 		}
 	}
-	sort.Slice(released, func(i, j int) bool {
-		return released[i].String() < released[j].String()
-	})
 	return released
 }

@@ -9,11 +9,15 @@ import (
 	"repro/internal/model"
 )
 
-// fakeCapper records cap/uncap calls.
+// fakeCapper records cap/uncap calls. failOn makes Cap fail for a
+// task; failUncaps makes the next N Uncap calls (any task) fail, the
+// way a wedged cgroup writeback would.
 type fakeCapper struct {
-	mu     sync.Mutex
-	caps   map[model.TaskID]float64
-	failOn map[model.TaskID]bool
+	mu         sync.Mutex
+	caps       map[model.TaskID]float64
+	failOn     map[model.TaskID]bool
+	failUncaps int
+	uncapTried int
 }
 
 func newFakeCapper() *fakeCapper {
@@ -33,6 +37,11 @@ func (f *fakeCapper) Cap(task model.TaskID, quota float64) error {
 func (f *fakeCapper) Uncap(task model.TaskID) error {
 	f.mu.Lock()
 	defer f.mu.Unlock()
+	f.uncapTried++
+	if f.failUncaps > 0 {
+		f.failUncaps--
+		return errors.New("uncap failed")
+	}
 	delete(f.caps, task)
 	return nil
 }

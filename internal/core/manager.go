@@ -69,24 +69,31 @@ func NewManager(machine string, p Params, capper Capper) *Manager {
 	}
 }
 
-// SetMetrics instruments the manager (and its enforcer) with m.
-// Call before the first Observe; a nil m disables instrumentation.
+// SetMetrics instruments the manager (and its enforcer) with m. A nil
+// m disables instrumentation. The field write is locked — Observe and
+// analyse read m.metrics under m.mu from the agent's tick goroutine,
+// so the setter must not race them.
 func (m *Manager) SetMetrics(mm *Metrics) {
 	if mm == nil {
 		mm = &Metrics{}
 	}
+	m.mu.Lock()
 	m.metrics = mm
+	m.mu.Unlock()
 	m.enforcer.SetMetrics(mm)
 }
 
 // SetEvents directs the manager's (and its enforcer's) structured
 // forensics events — incidents and cap lifecycle — to sink. A nil
-// sink disables event logging.
+// sink disables event logging. Locked for the same reason as
+// SetMetrics.
 func (m *Manager) SetEvents(sink EventSink) {
 	if sink == nil {
 		sink = nopSink{}
 	}
+	m.mu.Lock()
 	m.events = sink
+	m.mu.Unlock()
 	m.enforcer.SetEvents(sink)
 }
 
@@ -135,35 +142,37 @@ func (m *Manager) Observe(s model.Sample) *Incident {
 	}
 	_ = cs.Append(s.Timestamp, s.CPI)
 	_ = us.Append(s.Timestamp, s.CPUUsage)
+	metrics := m.metrics // snapshot under m.mu; SetMetrics may race otherwise
 	m.mu.Unlock()
 
 	a := m.detector.Observe(s)
-	m.metrics.SamplesObserved.Inc()
+	metrics.SamplesObserved.Inc()
 	if a.Filtered {
-		m.metrics.SamplesFiltered.Inc()
+		metrics.SamplesFiltered.Inc()
 	}
 	if a.Outlier {
-		m.metrics.Outliers.Inc()
+		metrics.Outliers.Inc()
 	}
 	if !a.Anomalous {
 		return nil
 	}
-	m.metrics.Anomalies.Inc()
+	metrics.Anomalies.Inc()
 	return m.analyse(s, a)
 }
 
 // analyse runs one rate-limited antagonist-identification round.
 func (m *Manager) analyse(s model.Sample, a Assessment) *Incident {
 	m.mu.Lock()
+	metrics, events := m.metrics, m.events // snapshot under m.mu
 	// §4.2: at most one analysis per AnalysisRateLimit per machine, so
 	// the analysis itself never becomes the antagonist.
 	if !m.lastAnalysis.IsZero() && s.Timestamp.Sub(m.lastAnalysis) < m.params.AnalysisRateLimit {
 		m.mu.Unlock()
-		m.metrics.AnalysesRateLimited.Inc()
+		metrics.AnalysesRateLimited.Inc()
 		return nil
 	}
 	m.lastAnalysis = s.Timestamp
-	m.metrics.AnalysesRun.Inc()
+	metrics.AnalysesRun.Inc()
 
 	victimCPI := m.cpi[s.Task]
 	suspects := make([]SuspectInput, 0, len(m.usage))
@@ -188,7 +197,7 @@ func (m *Manager) analyse(s model.Sample, a Assessment) *Incident {
 	wallStart := time.Now()
 	ranked := RankSuspects(victimCPI, a.Threshold, suspects,
 		now, m.params.CorrelationWindow, m.params.SamplingInterval)
-	m.metrics.CorrelationSeconds.Observe(time.Since(wallStart).Seconds())
+	metrics.CorrelationSeconds.Observe(time.Since(wallStart).Seconds())
 	decision := m.enforcer.Decide(s.Timestamp, s.Task, victimJob, ranked, m.resolveJob)
 
 	// No individual culprit: try the group hypothesis (§4.2 future
@@ -224,10 +233,10 @@ func (m *Manager) analyse(s model.Sample, a Assessment) *Incident {
 		GroupDecisions: groupDecisions,
 	}
 	if group != nil {
-		m.metrics.GroupDetections.Inc()
+		metrics.GroupDetections.Inc()
 	}
-	m.metrics.Incidents.With(decision.Action.String()).Inc()
-	m.events.Emit(inc.Time, "incident", inc.Record())
+	metrics.Incidents.With(decision.Action.String()).Inc()
+	events.Emit(inc.Time, "incident", inc.Record())
 	m.mu.Lock()
 	m.incidents = append(m.incidents, *inc)
 	if len(m.incidents) > m.maxIncidents {

@@ -67,6 +67,57 @@ func (l *EventLog) Emit(now time.Time, typ string, data any) {
 	}
 }
 
+// EventBuffer is an unbounded staging area with the same Emit
+// contract as EventLog. Components that emit from concurrent contexts
+// (e.g. machines ticking in parallel) write into per-context buffers,
+// and a serial coordinator drains the buffers into the shared log in a
+// fixed order — keeping the log byte-identical across run-to-run
+// scheduling differences. The zero value is ready to use; Emit on a
+// nil buffer is a no-op.
+type EventBuffer struct {
+	mu  sync.Mutex
+	evs []Event
+}
+
+// NewEventBuffer returns an empty buffer.
+func NewEventBuffer() *EventBuffer { return &EventBuffer{} }
+
+// Emit stages one event.
+func (b *EventBuffer) Emit(now time.Time, typ string, data any) {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	b.evs = append(b.evs, Event{Time: now, Type: typ, Data: data})
+	b.mu.Unlock()
+}
+
+// Len returns the number of staged events.
+func (b *EventBuffer) Len() int {
+	if b == nil {
+		return 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.evs)
+}
+
+// DrainTo re-emits every staged event into l in emission order and
+// empties the buffer, returning how many events moved.
+func (b *EventBuffer) DrainTo(l *EventLog) int {
+	if b == nil {
+		return 0
+	}
+	b.mu.Lock()
+	evs := b.evs
+	b.evs = nil
+	b.mu.Unlock()
+	for _, ev := range evs {
+		l.Emit(ev.Time, ev.Type, ev.Data)
+	}
+	return len(evs)
+}
+
 // Total returns how many events were ever emitted (including ones the
 // ring has since dropped).
 func (l *EventLog) Total() uint64 {

@@ -25,6 +25,11 @@ type Metrics struct {
 	PushErrors      *obs.Counter // cpi2_pipeline_spec_push_errors_total
 	DroppedBatches  *obs.Counter // cpi2_pipeline_dropped_batches_total
 	Reconnects      *obs.Counter // cpi2_pipeline_reconnects_total
+
+	SpooledBatches *obs.Gauge   // cpi2_pipeline_spooled_batches
+	SpooledBytes   *obs.Gauge   // cpi2_pipeline_spooled_bytes
+	SpillDropped   *obs.Counter // cpi2_pipeline_spool_dropped_total
+	SpoolReplayed  *obs.Counter // cpi2_pipeline_spool_replayed_total
 }
 
 // NewMetrics registers (or fetches) the pipeline metric set on r.
@@ -54,6 +59,14 @@ func NewMetrics(r *obs.Registry) *Metrics {
 			"sample batches lost because no aggregator connection was up"),
 		Reconnects: r.Counter("cpi2_pipeline_reconnects_total",
 			"successful re-dials after a lost aggregator connection"),
+		SpooledBatches: r.Gauge("cpi2_pipeline_spooled_batches",
+			"sample batches currently buffered in the spool"),
+		SpooledBytes: r.Gauge("cpi2_pipeline_spooled_bytes",
+			"approximate bytes currently buffered in the spool"),
+		SpillDropped: r.Counter("cpi2_pipeline_spool_dropped_total",
+			"spooled batches evicted (oldest-first) to respect the spool budget"),
+		SpoolReplayed: r.Counter("cpi2_pipeline_spool_replayed_total",
+			"spooled batches successfully replayed downstream"),
 	}
 }
 

@@ -131,6 +131,18 @@ func (b *Bus) NumWatchers() int {
 // to interested watchers. It returns the published specs.
 func (b *Bus) Recompute(now time.Time) []model.Spec {
 	specs := b.builder.Recompute(now)
+	b.Push(specs)
+	return specs
+}
+
+// Push delivers already-computed specs to interested watchers without
+// recomputing. The chaos harness uses it to model delayed spec pushes
+// (recompute now, deliver later); Recompute uses it for the normal
+// immediate path.
+func (b *Bus) Push(specs []model.Spec) {
+	if len(specs) == 0 {
+		return
+	}
 	b.mu.Lock()
 	watchers := make([]SpecWatcher, len(b.watchers))
 	copy(watchers, b.watchers)
@@ -144,7 +156,6 @@ func (b *Bus) Recompute(now time.Time) []model.Spec {
 			}
 		}
 	}
-	return specs
 }
 
 // MaybeRecompute runs Recompute if the builder's interval has elapsed.

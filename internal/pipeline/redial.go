@@ -18,12 +18,14 @@ type Redialer struct {
 	onSpec  func(model.Spec)
 	backoff time.Duration
 
-	mu      sync.Mutex
-	metrics *Metrics // never nil
-	client  *Client
-	subs    []model.SpecKey
-	subAll  bool
-	closed  bool
+	mu        sync.Mutex
+	metrics   *Metrics // never nil
+	client    *Client
+	subs      []model.SpecKey            // replay order: first-subscription order
+	subSet    map[model.SpecKey]struct{} // dedup for subs
+	subAll    bool
+	closed    bool
+	onConnect func()
 
 	cancel context.CancelFunc
 	done   chan struct{}
@@ -43,6 +45,7 @@ func NewRedialer(addr string, onSpec func(model.Spec)) *Redialer {
 		onSpec:  onSpec,
 		backoff: 100 * time.Millisecond,
 		metrics: &Metrics{},
+		subSet:  make(map[model.SpecKey]struct{}),
 		cancel:  cancel,
 		done:    make(chan struct{}),
 	}
@@ -64,21 +67,48 @@ func (r *Redialer) SetMetrics(m *Metrics) {
 	r.mu.Unlock()
 }
 
+// SetOnConnect registers fn to be called after every successful
+// (re)connect, once subscriptions have been replayed. A spooling sink
+// uses it to kick replay the moment the pipe is back. A nil fn clears
+// the hook.
+func (r *Redialer) SetOnConnect(fn func()) {
+	r.mu.Lock()
+	r.onConnect = fn
+	r.mu.Unlock()
+}
+
 // Subscribe records the subscription and forwards it on the current
-// connection (if any); it is replayed after every reconnect.
+// connection (if any); it is replayed after every reconnect. Keys are
+// deduplicated: re-subscribing to a key already held is a no-op, so
+// the replay list stays bounded by the number of distinct keys no
+// matter how often callers re-subscribe.
 func (r *Redialer) Subscribe(keys ...model.SpecKey) error {
 	r.mu.Lock()
+	var fresh []model.SpecKey
 	if len(keys) == 0 {
 		r.subAll = true
 	} else {
-		r.subs = append(r.subs, keys...)
+		for _, k := range keys {
+			if _, dup := r.subSet[k]; dup {
+				continue
+			}
+			r.subSet[k] = struct{}{}
+			r.subs = append(r.subs, k)
+			fresh = append(fresh, k)
+		}
 	}
 	c := r.client
 	r.mu.Unlock()
 	if c == nil {
 		return nil // will be sent on connect
 	}
-	return c.Subscribe(keys...)
+	if len(keys) == 0 {
+		return c.Subscribe()
+	}
+	if len(fresh) == 0 {
+		return nil // all duplicates; the server already has them
+	}
+	return c.Subscribe(fresh...)
 }
 
 // Publish implements SampleSink. With no live connection the batch is
@@ -157,6 +187,7 @@ func (r *Redialer) loop(ctx context.Context) {
 			r.metrics.Reconnects.Inc()
 		}
 		subAll, subs := r.subAll, append([]model.SpecKey(nil), r.subs...)
+		onConnect := r.onConnect
 		r.client = c
 		r.mu.Unlock()
 		first = false
@@ -167,6 +198,9 @@ func (r *Redialer) loop(ctx context.Context) {
 		}
 		if len(subs) > 0 {
 			_ = c.Subscribe(subs...)
+		}
+		if onConnect != nil {
+			onConnect()
 		}
 
 		select {

@@ -250,6 +250,41 @@ func (m *Moments) Variance() float64 {
 // StdDev returns the unbiased running sample standard deviation.
 func (m *Moments) StdDev() float64 { return math.Sqrt(m.Variance()) }
 
+// MomentsState is the exported form of Moments, for serialization
+// (aggregator checkpoints). Go's encoding/json round-trips float64
+// exactly, so State→JSON→MomentsFromState reproduces the accumulator
+// bit-for-bit.
+type MomentsState struct {
+	N    int64   `json:"n"`
+	Mean float64 `json:"mean"`
+	M2   float64 `json:"m2"`
+	Min  float64 `json:"min"`
+	Max  float64 `json:"max"`
+}
+
+// State exports the accumulator's internal state.
+func (m *Moments) State() MomentsState {
+	return MomentsState{N: m.n, Mean: m.mean, M2: m.m2, Min: m.min, Max: m.max}
+}
+
+// MomentsFromState reconstructs an accumulator from an exported state.
+// Invalid states (negative count, NaN/Inf fields) yield the zero
+// Moments rather than a poisoned accumulator.
+func MomentsFromState(s MomentsState) Moments {
+	if s.N <= 0 {
+		return Moments{}
+	}
+	for _, f := range []float64{s.Mean, s.M2, s.Min, s.Max} {
+		if math.IsNaN(f) || math.IsInf(f, 0) {
+			return Moments{}
+		}
+	}
+	if s.M2 < 0 {
+		return Moments{}
+	}
+	return Moments{n: s.N, mean: s.Mean, m2: s.M2, min: s.Min, max: s.Max}
+}
+
 // Min returns the smallest observation seen (0 if none).
 func (m *Moments) Min() float64 {
 	if m.n == 0 {
