@@ -12,6 +12,7 @@ package agent
 
 import (
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -28,10 +29,18 @@ type Agent struct {
 	sampler *perfcnt.Sampler
 	sink    pipeline.SampleSink
 	params  core.Params
+	// readCounters is the bound counter reader handed to the sampler,
+	// built once so the per-tick hot path does not re-allocate the
+	// method-value closure.
+	readCounters func() map[string]perfcnt.Counters
 
-	mu      sync.Mutex
-	tasks   map[string]taskInfo // cgroup name → identity
-	metrics *Metrics            // never nil; zero Metrics = uninstrumented
+	mu    sync.Mutex
+	tasks map[string]taskInfo // cgroup name → identity
+	// metrics is read lock-free on every tick (the cluster's parallel
+	// phase ticks thousands of agents; taking a.mu per tick just to
+	// snapshot this handle showed up in profiles). Never nil; a zero
+	// Metrics means uninstrumented.
+	metrics atomic.Pointer[Metrics]
 }
 
 type taskInfo struct {
@@ -45,18 +54,20 @@ type taskInfo struct {
 // the pipeline is down).
 func New(mach *machine.Machine, params core.Params, sink pipeline.SampleSink) *Agent {
 	p := params.Sanitize()
-	return &Agent{
+	a := &Agent{
 		mach:    mach,
 		manager: core.NewManager(mach.Name(), p, mach),
 		sampler: perfcnt.NewSampler(perfcnt.Config{
 			Duration: p.SamplingDuration,
 			Interval: p.SamplingInterval,
 		}),
-		sink:    sink,
-		params:  p,
-		tasks:   make(map[string]taskInfo),
-		metrics: &Metrics{},
+		sink:   sink,
+		params: p,
+		tasks:  make(map[string]taskInfo),
 	}
+	a.readCounters = mach.Counters
+	a.metrics.Store(&Metrics{})
+	return a
 }
 
 // Machine returns the agent's machine.
@@ -71,7 +82,7 @@ func (a *Agent) Manager() *core.Manager { return a.manager }
 func (a *Agent) RegisterTask(id model.TaskID, job model.Job) {
 	a.mu.Lock()
 	if _, exists := a.tasks[id.String()]; !exists {
-		a.metrics.Tasks.Inc()
+		a.metrics.Load().Tasks.Inc()
 	}
 	a.tasks[id.String()] = taskInfo{id: id, job: job}
 	a.mu.Unlock()
@@ -82,7 +93,7 @@ func (a *Agent) RegisterTask(id model.TaskID, job model.Job) {
 func (a *Agent) TaskExited(id model.TaskID) {
 	a.mu.Lock()
 	if _, exists := a.tasks[id.String()]; exists {
-		a.metrics.Tasks.Dec()
+		a.metrics.Load().Tasks.Dec()
 	}
 	delete(a.tasks, id.String())
 	a.mu.Unlock()
@@ -119,12 +130,16 @@ func (a *Agent) DeliverSpec(spec model.Spec) { a.manager.UpdateSpec(spec) }
 // pipeline.Queue and drains the queues serially, in machine order, at
 // the tick barrier).
 func (a *Agent) Tick(now time.Time) []core.Incident {
-	a.mu.Lock()
-	m := a.metrics
-	a.mu.Unlock()
-	wallStart := time.Now()
-	defer func() { m.TickSeconds.Observe(time.Since(wallStart).Seconds()) }()
-	measurements := a.sampler.Tick(now, a.mach.Counters)
+	// Lock-free metrics snapshot, and zero wall-clock reads when the
+	// tick histogram is off: two time.Now syscalls per machine per tick
+	// across a large fleet were pure overhead for uninstrumented runs.
+	m := a.metrics.Load()
+	var wallStart time.Time
+	timed := m.TickSeconds != nil
+	if timed {
+		wallStart = time.Now()
+	}
+	measurements := a.sampler.Tick(now, a.readCounters)
 	var incidents []core.Incident
 	if len(measurements) > 0 {
 		samples := a.toSamples(now, measurements)
@@ -138,6 +153,9 @@ func (a *Agent) Tick(now time.Time) []core.Incident {
 		}
 	}
 	a.manager.Tick(now)
+	if timed {
+		m.TickSeconds.Observe(time.Since(wallStart).Seconds())
+	}
 	return incidents
 }
 

@@ -24,14 +24,39 @@ func NewMetrics(r *obs.Registry) *Metrics {
 	}
 }
 
+// NewLocalMetrics returns an agent metric set backed by standalone
+// (unregistered) cells — a per-machine shard. Agents ticking on
+// concurrent goroutines each write their own shard instead of
+// hammering the shared registry series' cache lines; a serial
+// coordinator folds shards into the registered set with DrainTo. The
+// cluster does this once per machine per commit phase.
+func NewLocalMetrics() *Metrics {
+	return &Metrics{
+		TickSeconds: obs.NewHistogram(obs.LatencyBuckets),
+		Tasks:       &obs.Gauge{},
+	}
+}
+
+// DrainTo moves everything accumulated in m into dst and resets m —
+// the metric analogue of obs.EventBuffer.DrainTo. The Tasks gauge
+// moves as a delta, so dst accumulates the fleet total.
+func (m *Metrics) DrainTo(dst *Metrics) {
+	if m == nil || dst == nil {
+		return
+	}
+	m.TickSeconds.Drain(dst.TickSeconds)
+	m.Tasks.Drain(dst.Tasks)
+}
+
 // SetMetrics instruments the agent itself (tick latency, task gauge).
-// A nil m disables instrumentation.
+// A nil m disables instrumentation. The task-gauge baseline is applied
+// under a.mu so it cannot race concurrent Register/Exit updates.
 func (a *Agent) SetMetrics(m *Metrics) {
 	if m == nil {
 		m = &Metrics{}
 	}
 	a.mu.Lock()
-	a.metrics = m
+	a.metrics.Store(m)
 	m.Tasks.Add(float64(len(a.tasks)))
 	a.mu.Unlock()
 }
@@ -41,6 +66,12 @@ func (a *Agent) SetMetrics(m *Metrics) {
 // metric set, and the structured event sink (events may be nil; any
 // core.EventSink works — an *obs.EventLog directly, or an
 // *obs.EventBuffer when emissions must be staged for ordered draining).
+//
+// Instrument points the agent directly at the shared registry series —
+// right for a daemon running one agent per process (cmd/cpi2agent).
+// A simulator ticking many agents in parallel should instead give each
+// agent a NewLocalMetrics shard and drain the shards serially, as
+// internal/cluster does.
 func (a *Agent) Instrument(reg *obs.Registry, events core.EventSink) {
 	a.SetMetrics(NewMetrics(reg))
 	a.manager.SetMetrics(core.NewMetrics(reg))

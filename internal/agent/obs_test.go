@@ -1,0 +1,43 @@
+package agent
+
+import (
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// TestLocalMetricsDrainTo checks the per-machine agent shard folds into
+// the shared registry set and is reset by the drain — the contract the
+// cluster's serial commit phase relies on.
+func TestLocalMetricsDrainTo(t *testing.T) {
+	reg := obs.NewRegistry()
+	shared := NewMetrics(reg)
+	shard := NewLocalMetrics()
+
+	shard.Tasks.Add(3)
+	shard.TickSeconds.Observe(0.001)
+	shard.TickSeconds.Observe(0.002)
+
+	shard.DrainTo(shared)
+
+	if got := shared.Tasks.Value(); got != 3 {
+		t.Errorf("Tasks = %v, want 3", got)
+	}
+	if got := shared.TickSeconds.Count(); got != 2 {
+		t.Errorf("TickSeconds count = %v, want 2", got)
+	}
+	if got := shard.Tasks.Value(); got != 0 {
+		t.Errorf("shard Tasks after drain = %v, want 0", got)
+	}
+	if got := shard.TickSeconds.Count(); got != 0 {
+		t.Errorf("shard TickSeconds count after drain = %v, want 0", got)
+	}
+
+	// A task exiting moves the shard negative; the delta drain keeps
+	// the shared gauge consistent with the fleet total.
+	shard.Tasks.Dec()
+	shard.DrainTo(shared)
+	if got := shared.Tasks.Value(); got != 2 {
+		t.Errorf("Tasks after exit drain = %v, want 2", got)
+	}
+}

@@ -8,8 +8,6 @@ package cluster
 import (
 	"fmt"
 	"runtime"
-	"sync"
-	"sync/atomic"
 	"time"
 
 	"repro/internal/agent"
@@ -150,6 +148,20 @@ type Cluster struct {
 	slots     []stepSlot // preallocated per-machine result slots
 	eventBufs []*obs.EventBuffer
 
+	// pool runs the parallel phase (nil when cfg.Workers == 1).
+	pool *pool
+
+	// Metric staging (nil without Config.Registry): each machine's agent
+	// and manager write a private shard during the parallel phase; the
+	// commit phase folds shards into the shared registry series in
+	// machine-index order — same staging idea as eventBufs, applied to
+	// metrics, so concurrently ticking machines never contend on (or
+	// reorder float additions into) the shared series.
+	agentShards []*agent.Metrics
+	coreShards  []*core.Metrics
+	agentShared *agent.Metrics
+	coreShared  *core.Metrics
+
 	// Chaos state (nil/zero without Config.Faults). Mutated only from
 	// the serial commit phase.
 	spools   []*pipeline.Spooler
@@ -205,6 +217,13 @@ func New(cfg Config) *Cluster {
 	if cfg.Registry != nil {
 		c.bus.SetMetrics(pipeline.NewMetrics(cfg.Registry))
 		c.bus.Builder().SetMetrics(core.NewMetrics(cfg.Registry))
+		c.agentShared = agent.NewMetrics(cfg.Registry)
+		c.coreShared = core.NewMetrics(cfg.Registry)
+		c.agentShards = make([]*agent.Metrics, cfg.Machines)
+		c.coreShards = make([]*core.Metrics, cfg.Machines)
+	}
+	if cfg.Workers > 1 {
+		c.pool = newPool(cfg.Workers - 1)
 	}
 	nB := int(float64(cfg.Machines) * cfg.PlatformBFraction)
 	c.machs = make([]*machine.Machine, cfg.Machines)
@@ -244,8 +263,17 @@ func New(cfg Config) *Cluster {
 			sink = c.eventBufs[i]
 		}
 		if cfg.Registry != nil {
-			a.Instrument(cfg.Registry, sink)
-		} else if sink != nil {
+			// Not a.Instrument: that points the agent straight at the
+			// shared registry series, which every concurrently ticking
+			// machine would then hammer (the shared atomics were one of
+			// the negative-scaling culprits). Each machine gets a private
+			// shard, drained serially at commit.
+			c.agentShards[i] = agent.NewLocalMetrics()
+			a.SetMetrics(c.agentShards[i])
+			c.coreShards[i] = core.NewLocalMetrics()
+			a.Manager().SetMetrics(c.coreShards[i])
+		}
+		if sink != nil {
 			a.Manager().SetEvents(sink)
 		}
 		if cfg.Faults != nil {
@@ -487,33 +515,21 @@ func (c *Cluster) Step() {
 	now := c.now.Add(dt)
 	c.now = now
 
-	// Parallel phase.
+	// Parallel phase: contiguous machine ranges on the persistent pool.
+	// (The first version of this fan-out spawned fresh goroutines every
+	// Step and pulled indices one at a time off a shared atomic — the
+	// coordination cost made workers=4 slower than workers=1; see pool.)
 	n := len(c.machs)
-	workers := c.cfg.Workers
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 {
+	if c.pool == nil {
 		for i := 0; i < n; i++ {
 			c.tickMachine(i, now, dt)
 		}
 	} else {
-		var next atomic.Int64
-		var wg sync.WaitGroup
-		wg.Add(workers)
-		for w := 0; w < workers; w++ {
-			go func() {
-				defer wg.Done()
-				for {
-					i := int(next.Add(1)) - 1
-					if i >= n {
-						return
-					}
-					c.tickMachine(i, now, dt)
-				}
-			}()
-		}
-		wg.Wait()
+		c.pool.run(n, c.cfg.Workers, func(start, end int) {
+			for i := start; i < end; i++ {
+				c.tickMachine(i, now, dt)
+			}
+		})
 	}
 
 	// Commit phase: machine-index order, single goroutine.
@@ -547,7 +563,18 @@ func (c *Cluster) Step() {
 		if c.eventBufs != nil {
 			c.eventBufs[i].DrainTo(c.cfg.Events)
 		}
-		slot.exited, slot.incidents = nil, nil
+		if c.coreShards != nil {
+			c.agentShards[i].DrainTo(c.agentShared)
+			c.coreShards[i].DrainTo(c.coreShared)
+		}
+		// Truncate, don't nil: the slot buffers are refilled by the next
+		// parallel phase. Incidents are zeroed first so their suspect
+		// slices don't linger past this tick.
+		for j := range slot.incidents {
+			slot.incidents[j] = core.Incident{}
+		}
+		slot.exited = slot.exited[:0]
+		slot.incidents = slot.incidents[:0]
 	}
 	c.maybeRecompute(now)
 	for _, f := range c.onTick {
@@ -593,7 +620,19 @@ func (c *Cluster) tickMachine(i int, now time.Time, dt time.Duration) {
 		a.TaskExited(id)
 	}
 	incs := a.Tick(now)
-	c.slots[i] = stepSlot{exited: exited, incidents: incs}
+	slot := &c.slots[i]
+	slot.exited = append(slot.exited[:0], exited...)
+	slot.incidents = append(slot.incidents[:0], incs...)
+}
+
+// Close releases the cluster's worker pool. Optional — an abandoned
+// cluster's pool is reclaimed by a finalizer — but deterministic
+// cleanup matters in benchmarks that build many clusters. Stepping
+// after Close still works; the parallel phase just runs inline.
+func (c *Cluster) Close() {
+	if c.pool != nil {
+		c.pool.stop()
+	}
 }
 
 // Run advances the simulation for d.

@@ -6,6 +6,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/agent"
 	"repro/internal/core"
 	"repro/internal/machine"
 	"repro/internal/model"
@@ -30,6 +31,16 @@ type fingerprint struct {
 	Dropped    int64
 	AvoidPairs int
 	Migrations int64
+	// Shared registry series fed by the per-machine metric shards. The
+	// commit phase drains shards in machine-index order, so these float
+	// sums must be bit-identical at any worker count. (Wall-clock
+	// histograms are deliberately absent: timing is nondeterministic by
+	// nature.)
+	MetricSamples   float64
+	MetricAnomalies float64
+	MetricAnalyses  float64
+	MetricCaps      float64
+	MetricTasks     float64
 }
 
 // detRun builds a busy cluster — search tree, quiet service, batch,
@@ -39,6 +50,7 @@ type fingerprint struct {
 func detRun(t *testing.T, workers, machines int, warm, dur time.Duration) []byte {
 	t.Helper()
 	ev := obs.NewEventLog(1<<16, nil)
+	reg := obs.NewRegistry()
 	c := New(Config{
 		Seed:                 1234,
 		Machines:             machines,
@@ -48,8 +60,10 @@ func detRun(t *testing.T, workers, machines int, warm, dur time.Duration) []byte
 		Params:               core.Params{MinSamplesPerTask: 5},
 		AutoAvoidThreshold:   3,
 		AutoMigrateAfterCaps: 3,
+		Registry:             reg,
 		Events:               ev,
 	})
+	defer c.Close()
 	defs, tree := WebSearchJob("websearch", machines, machines/5+1, 2, c.RNG())
 	for _, d := range defs {
 		if err := c.AddJob(d); err != nil {
@@ -95,6 +109,12 @@ func detRun(t *testing.T, workers, machines int, warm, dur time.Duration) []byte
 	fp.Exits, fp.Restarts = c.Stats()
 	fp.Received, fp.Dropped = c.Bus().Stats()
 	fp.AvoidPairs, fp.Migrations = c.AutoActions()
+	cm, am := core.NewMetrics(reg), agent.NewMetrics(reg)
+	fp.MetricSamples = cm.SamplesObserved.Value()
+	fp.MetricAnomalies = cm.Anomalies.Value()
+	fp.MetricAnalyses = cm.AnalysesRun.Value()
+	fp.MetricCaps = cm.CapsApplied.Value()
+	fp.MetricTasks = am.Tasks.Value()
 	b, err := json.Marshal(fp)
 	if err != nil {
 		t.Fatal(err)
@@ -143,6 +163,10 @@ func TestStepDeterminismAcrossWorkerCounts(t *testing.T) {
 	}
 	if fp.Exits == 0 || fp.Restarts == 0 {
 		t.Errorf("determinism run saw no churn: exits=%d restarts=%d", fp.Exits, fp.Restarts)
+	}
+	if fp.MetricSamples == 0 || fp.MetricAnalyses == 0 {
+		t.Errorf("metric shards drained nothing: samples=%v analyses=%v",
+			fp.MetricSamples, fp.MetricAnalyses)
 	}
 }
 

@@ -1,0 +1,83 @@
+package cluster
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// pool is the persistent worker pool behind Step's parallel phase.
+//
+// The original Step spawned cfg.Workers fresh goroutines every tick and
+// had them pull machine indices one at a time off a shared atomic
+// counter. At simulation rates (one Step per simulated second, thousands
+// of Steps per run) the spawn/join cost and the cache-line ping-pong on
+// the counter exceeded the per-machine work being distributed — the
+// profile showed workers=4 running 2× SLOWER than workers=1. The pool
+// keeps the goroutines alive across Steps and hands each one a single
+// contiguous index range per Step, so the per-tick synchronisation is
+// one channel send and one WaitGroup wait per worker, not per machine.
+type pool struct {
+	tasks    chan func()
+	stopped  atomic.Bool
+	stopOnce sync.Once
+}
+
+// newPool starts workers goroutines that execute submitted closures.
+func newPool(workers int) *pool {
+	tasks := make(chan func())
+	p := &pool{tasks: tasks}
+	for i := 0; i < workers; i++ {
+		// Capture only the channel: a goroutine holding *pool itself
+		// would keep the finalizer below from ever firing.
+		go func() {
+			for f := range tasks {
+				f()
+			}
+		}()
+	}
+	// Clusters are often built in loops (benchmarks, experiments) and
+	// abandoned without an explicit Close; reclaim the workers when the
+	// pool becomes unreachable.
+	runtime.SetFinalizer(p, (*pool).stop)
+	return p
+}
+
+// stop terminates the workers. Idempotent.
+func (p *pool) stop() {
+	p.stopOnce.Do(func() {
+		p.stopped.Store(true)
+		close(p.tasks)
+	})
+}
+
+// run partitions [0, n) into at most parts contiguous ranges and calls
+// fn(start, end) for each, distributing all but the first range to the
+// pool's workers; the calling goroutine runs the first range itself. It
+// returns when every range has been processed. A stopped pool degrades
+// to running everything inline.
+func (p *pool) run(n, parts int, fn func(start, end int)) {
+	if n <= 0 {
+		return
+	}
+	if parts > n {
+		parts = n
+	}
+	if parts <= 1 || p.stopped.Load() {
+		fn(0, n)
+		return
+	}
+	chunk := (n + parts - 1) / parts
+	var wg sync.WaitGroup
+	for start := chunk; start < n; start += chunk {
+		end := start + chunk
+		if end > n {
+			end = n
+		}
+		wg.Add(1)
+		s, e := start, end
+		p.tasks <- func() { defer wg.Done(); fn(s, e) }
+	}
+	fn(0, chunk)
+	wg.Wait()
+}

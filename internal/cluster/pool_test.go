@@ -1,0 +1,44 @@
+package cluster
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+// TestPoolRunCoversRange checks every index is processed exactly once
+// for a spread of sizes and partition counts, including n < parts and
+// repeated runs on the same pool.
+func TestPoolRunCoversRange(t *testing.T) {
+	p := newPool(3)
+	defer p.stop()
+	for _, tc := range []struct{ n, parts int }{
+		{0, 4}, {1, 4}, {3, 4}, {4, 4}, {10, 4}, {1000, 4}, {7, 1},
+	} {
+		hits := make([]atomic.Int32, tc.n)
+		for round := 0; round < 3; round++ {
+			p.run(tc.n, tc.parts, func(start, end int) {
+				for i := start; i < end; i++ {
+					hits[i].Add(1)
+				}
+			})
+		}
+		for i := range hits {
+			if got := hits[i].Load(); got != 3 {
+				t.Fatalf("n=%d parts=%d: index %d processed %d times, want 3", tc.n, tc.parts, i, got)
+			}
+		}
+	}
+}
+
+// TestPoolStoppedRunsInline checks run still completes (on the calling
+// goroutine) after stop — stepping a closed Cluster must not panic.
+func TestPoolStoppedRunsInline(t *testing.T) {
+	p := newPool(2)
+	p.stop()
+	p.stop() // idempotent
+	var count atomic.Int32
+	p.run(8, 4, func(start, end int) { count.Add(int32(end - start)) })
+	if got := count.Load(); got != 8 {
+		t.Errorf("processed %d indices, want 8", got)
+	}
+}

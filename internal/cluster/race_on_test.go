@@ -1,0 +1,9 @@
+//go:build race
+
+package cluster
+
+// raceEnabled reports whether the race detector is compiled in. Timing
+// assertions skip under it: its instrumentation slows the parallel
+// phase by an order of magnitude and the measured ratio says nothing
+// about production scaling.
+const raceEnabled = true

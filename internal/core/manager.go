@@ -194,10 +194,18 @@ func (m *Manager) analyse(s model.Sample, a Assessment) *Incident {
 	}
 
 	now := s.Timestamp.Add(time.Nanosecond)
-	wallStart := time.Now()
+	// Wall-clock reads only when the latency histogram is actually
+	// wired — uninstrumented runs pay nothing for timing.
+	var wallStart time.Time
+	timed := metrics.CorrelationSeconds != nil
+	if timed {
+		wallStart = time.Now()
+	}
 	ranked := RankSuspects(victimCPI, a.Threshold, suspects,
 		now, m.params.CorrelationWindow, m.params.SamplingInterval)
-	metrics.CorrelationSeconds.Observe(time.Since(wallStart).Seconds())
+	if timed {
+		metrics.CorrelationSeconds.Observe(time.Since(wallStart).Seconds())
+	}
 	decision := m.enforcer.Decide(s.Timestamp, s.Task, victimJob, ranked, m.resolveJob)
 
 	// No individual culprit: try the group hypothesis (§4.2 future

@@ -85,6 +85,58 @@ func NewMetrics(r *obs.Registry) *Metrics {
 	}
 }
 
+// NewLocalMetrics returns a core metric set backed by standalone
+// (unregistered) cells — the per-machine shard of the cluster's staged
+// metrics design. Managers running on concurrently ticking machines
+// each update a private shard (uncontended cache lines); the cluster's
+// serial commit phase folds every shard into the shared registry
+// series with DrainTo, in machine-index order, so the aggregated
+// values are identical at any worker count.
+func NewLocalMetrics() *Metrics {
+	return &Metrics{
+		SamplesObserved:     &obs.Counter{},
+		SamplesFiltered:     &obs.Counter{},
+		Outliers:            &obs.Counter{},
+		Anomalies:           &obs.Counter{},
+		AnalysesRun:         &obs.Counter{},
+		AnalysesRateLimited: &obs.Counter{},
+		CorrelationSeconds:  obs.NewHistogram(obs.LatencyBuckets),
+		GroupDetections:     &obs.Counter{},
+		Incidents:           obs.NewCounterVec("action"),
+		CapsApplied:         &obs.Counter{},
+		CapsExpired:         &obs.Counter{},
+		CapsReleased:        &obs.Counter{},
+		CapsActive:          &obs.Gauge{},
+		SpecsComputed:       &obs.Counter{},
+		SpecBacklog:         &obs.Gauge{},
+	}
+}
+
+// DrainTo moves everything accumulated in m into dst and resets m.
+// Gauges move as deltas (CapsActive only ever Incs/Decs, so the shared
+// gauge converges on the fleet total); SpecBacklog is Set-based and
+// only used by the spec builder, which is never sharded — its shard
+// cell stays zero and the drain is a no-op.
+func (m *Metrics) DrainTo(dst *Metrics) {
+	if m == nil || dst == nil {
+		return
+	}
+	m.SamplesObserved.Drain(dst.SamplesObserved)
+	m.SamplesFiltered.Drain(dst.SamplesFiltered)
+	m.Outliers.Drain(dst.Outliers)
+	m.Anomalies.Drain(dst.Anomalies)
+	m.AnalysesRun.Drain(dst.AnalysesRun)
+	m.AnalysesRateLimited.Drain(dst.AnalysesRateLimited)
+	m.CorrelationSeconds.Drain(dst.CorrelationSeconds)
+	m.GroupDetections.Drain(dst.GroupDetections)
+	m.Incidents.Drain(dst.Incidents)
+	m.CapsApplied.Drain(dst.CapsApplied)
+	m.CapsExpired.Drain(dst.CapsExpired)
+	m.CapsReleased.Drain(dst.CapsReleased)
+	m.CapsActive.Drain(dst.CapsActive)
+	m.SpecsComputed.Drain(dst.SpecsComputed)
+}
+
 // SuspectRecord is the JSON rendering of one ranked suspect.
 type SuspectRecord struct {
 	Task        string  `json:"task"`

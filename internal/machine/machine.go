@@ -46,8 +46,10 @@ type Task struct {
 	Workload Workload
 
 	group  *cgroup.Group
-	skew   float64 // per-task base-CPI multiplier, drawn at placement
-	socket int     // NUMA domain, assigned at placement
+	cg     string            // cached ID.String(): the cgroup name, hot in Tick
+	cnt    *perfcnt.Counters // cumulative counters, shared with m.counters
+	skew   float64           // per-task base-CPI multiplier, drawn at placement
+	socket int               // NUMA domain, assigned at placement
 	last   TaskTick
 }
 
@@ -75,8 +77,19 @@ type Machine struct {
 	order []model.TaskID // deterministic iteration order
 	rng   *rand.Rand
 
-	counters map[string]perfcnt.Counters
+	counters map[string]*perfcnt.Counters
 	now      time.Time
+
+	// Per-tick scratch buffers, reused across Ticks so steady-state
+	// ticking allocates nothing. Sized to the resident task count; the
+	// TaskTick slice returned by Tick aliases `out`.
+	scratch struct {
+		tasks   []*Task
+		demands []cgroup.Demand
+		threads []int
+		loads   []interference.Load
+		out     []TaskTick
+	}
 }
 
 // New creates a machine with ncpus CPUs of the given hardware model.
@@ -93,7 +106,7 @@ func New(name string, hw interference.Machine, ncpus int, rng *rand.Rand) *Machi
 		hier:     cgroup.NewHierarchy(),
 		tasks:    make(map[model.TaskID]*Task),
 		rng:      rng,
-		counters: make(map[string]perfcnt.Counters),
+		counters: make(map[string]*perfcnt.Counters),
 	}
 }
 
@@ -126,34 +139,39 @@ func (m *Machine) AddTask(id model.TaskID, job model.Job, profile *interference.
 	if _, ok := m.tasks[id]; ok {
 		return fmt.Errorf("machine %s: task %v already placed", m.name, id)
 	}
-	g, err := m.hier.NewGroup(id.String(), nil)
+	cg := id.String()
+	g, err := m.hier.NewGroup(cg, nil)
 	if err != nil {
 		return fmt.Errorf("machine %s: %w", m.name, err)
 	}
+	cnt := &perfcnt.Counters{}
 	m.tasks[id] = &Task{
 		ID: id, Job: job, Profile: profile, Workload: w, group: g,
+		cg:     cg,
+		cnt:    cnt,
 		skew:   profile.DrawSkew(m.rng),
 		socket: m.pickSocket(),
 	}
 	m.order = append(m.order, id)
-	m.counters[id.String()] = perfcnt.Counters{}
+	m.counters[cg] = cnt
 	return nil
 }
 
 // RemoveTask evicts a task (exit, preemption, or migration).
 func (m *Machine) RemoveTask(id model.TaskID) error {
-	if _, ok := m.tasks[id]; !ok {
+	t, ok := m.tasks[id]
+	if !ok {
 		return fmt.Errorf("machine %s: no task %v", m.name, id)
 	}
 	delete(m.tasks, id)
-	for i, t := range m.order {
-		if t == id {
+	for i, o := range m.order {
+		if o == id {
 			m.order = append(m.order[:i], m.order[i+1:]...)
 			break
 		}
 	}
-	delete(m.counters, id.String())
-	return m.hier.Remove(id.String())
+	delete(m.counters, t.cg)
+	return m.hier.Remove(t.cg)
 }
 
 // pickSocket assigns a NUMA domain to a new task: the socket with the
@@ -227,7 +245,7 @@ func (m *Machine) ThreadCount() int {
 func (m *Machine) Counters() map[string]perfcnt.Counters {
 	out := make(map[string]perfcnt.Counters, len(m.counters))
 	for k, v := range m.counters {
-		out[k] = v
+		out[k] = *v
 	}
 	return out
 }
@@ -237,6 +255,12 @@ func (m *Machine) Counters() map[string]perfcnt.Counters {
 // counters, informs workloads, and reaps tasks whose workloads
 // finished. It returns per-task results in deterministic order,
 // followed by the IDs of tasks that exited this tick.
+//
+// The returned TaskTick slice is backed by a scratch buffer reused on
+// the next Tick — callers must consume or copy it before ticking this
+// machine again. (A 1000-machine cluster stepping once per simulated
+// second was spending a double-digit share of its profile reallocating
+// these slices and re-formatting task-ID strings.)
 //
 // Tick only touches this machine's state (its cgroup hierarchy,
 // counters, RNG stream, and resident workloads), so DISTINCT machines
@@ -253,10 +277,10 @@ func (m *Machine) Tick(now time.Time, dt time.Duration) ([]TaskTick, []model.Tas
 	if n == 0 {
 		return nil, nil
 	}
-	demands := make([]cgroup.Demand, n)
-	threads := make([]int, n)
+	tasks, demands, threads, loads, out := m.grow(n)
 	for i, id := range m.order {
 		t := m.tasks[id]
+		tasks[i] = t
 		cpu, th := t.Workload.Demand(now)
 		if cpu < 0 {
 			cpu = 0
@@ -266,19 +290,15 @@ func (m *Machine) Tick(now time.Time, dt time.Duration) ([]TaskTick, []model.Tas
 	}
 	grants := cgroup.Allocate(float64(m.ncpus), dt, demands)
 
-	loads := make([]interference.Load, n)
-	for i, id := range m.order {
-		t := m.tasks[id]
+	for i, t := range tasks {
 		loads[i] = interference.Load{Profile: t.Profile, Usage: grants[i], Skew: t.skew, Socket: t.socket}
 	}
 
-	out := make([]TaskTick, n)
 	var exited []model.TaskID
-	for i, id := range m.order {
-		t := m.tasks[id]
+	for i, t := range tasks {
 		res := m.hw.Evaluate(loads, i, now, m.rng)
 		tt := TaskTick{
-			ID:      id,
+			ID:      t.ID,
 			Usage:   grants[i],
 			Demand:  demands[i].Want,
 			CPI:     res.CPI,
@@ -289,20 +309,34 @@ func (m *Machine) Tick(now time.Time, dt time.Duration) ([]TaskTick, []model.Tas
 		t.last = tt
 		out[i] = tt
 
-		c := m.counters[id.String()]
-		c.Accumulate(grants[i]*dt.Seconds(), res.CPI, res.L3MPKI, m.hw.ClockGHz)
+		t.cnt.Accumulate(grants[i]*dt.Seconds(), res.CPI, res.L3MPKI, m.hw.ClockGHz)
 		// Context switches scale with threads timesharing the cpus.
-		c.ContextSwitches += int64(threads[i]) * int64(dt/(10*time.Millisecond))
-		m.counters[id.String()] = c
+		t.cnt.ContextSwitches += int64(threads[i]) * int64(dt/(10*time.Millisecond))
 
 		t.Workload.Deliver(now, grants[i], dt, res)
 		if t.Workload.Done() {
-			exited = append(exited, id)
+			exited = append(exited, t.ID)
 		}
+	}
+	for i := range tasks {
+		tasks[i] = nil // drop refs so removed tasks are collectable
 	}
 	for _, id := range exited {
 		_ = m.RemoveTask(id)
 	}
 	sort.Slice(exited, func(i, j int) bool { return exited[i].String() < exited[j].String() })
 	return out, exited
+}
+
+// grow sizes the scratch buffers for n resident tasks and returns them.
+func (m *Machine) grow(n int) ([]*Task, []cgroup.Demand, []int, []interference.Load, []TaskTick) {
+	s := &m.scratch
+	if cap(s.tasks) < n {
+		s.tasks = make([]*Task, n)
+		s.demands = make([]cgroup.Demand, n)
+		s.threads = make([]int, n)
+		s.loads = make([]interference.Load, n)
+		s.out = make([]TaskTick, n)
+	}
+	return s.tasks[:n], s.demands[:n], s.threads[:n], s.loads[:n], s.out[:n]
 }

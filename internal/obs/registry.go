@@ -42,6 +42,11 @@ func (f *atomicFloat) Add(v float64) {
 func (f *atomicFloat) Set(v float64) { f.bits.Store(math.Float64bits(v)) }
 func (f *atomicFloat) Load() float64 { return math.Float64frombits(f.bits.Load()) }
 
+// swap atomically replaces the value with v and returns the old value.
+func (f *atomicFloat) swap(v float64) float64 {
+	return math.Float64frombits(f.bits.Swap(math.Float64bits(v)))
+}
+
 // Counter is a monotonically increasing metric. All methods are safe
 // on a nil receiver (no-ops), so optional instrumentation costs one
 // nil check.
@@ -64,6 +69,20 @@ func (c *Counter) Value() float64 {
 		return 0
 	}
 	return c.v.Load()
+}
+
+// Drain atomically moves everything accumulated in c into dst and
+// resets c to zero. It is the metric analogue of EventBuffer.DrainTo:
+// concurrent writers each increment a private (uncontended) shard, and
+// a serial coordinator folds the shards into the shared registry series
+// in a fixed order. Nil c or dst is a no-op.
+func (c *Counter) Drain(dst *Counter) {
+	if c == nil || dst == nil {
+		return
+	}
+	if v := c.v.swap(0); v > 0 {
+		dst.Add(v)
+	}
 }
 
 // Gauge is a metric that can go up and down. Nil-safe like Counter.
@@ -99,6 +118,20 @@ func (g *Gauge) Value() float64 {
 	return g.v.Load()
 }
 
+// Drain atomically moves the delta accumulated in g (via Inc/Dec/Add)
+// into dst and resets g to zero. A gauge shard therefore holds the
+// *change* since the last drain, and the shared gauge holds the fleet
+// total. Shards must only use the relative mutators — Set does not
+// compose across shards. Nil g or dst is a no-op.
+func (g *Gauge) Drain(dst *Gauge) {
+	if g == nil || dst == nil {
+		return
+	}
+	if v := g.v.swap(0); v != 0 {
+		dst.Add(v)
+	}
+}
+
 // Histogram is a fixed-bucket cumulative histogram with Prometheus
 // `le` semantics: bucket i counts observations ≤ bounds[i], plus an
 // implicit +Inf bucket. Nil-safe like Counter.
@@ -114,6 +147,18 @@ type Histogram struct {
 var LatencyBuckets = []float64{
 	1e-6, 5e-6, 1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 5e-4,
 	1e-3, 5e-3, 0.01, 0.05, 0.1, 0.5, 1, 5, 10,
+}
+
+// NewHistogram creates a standalone histogram with the given bucket
+// upper bounds (sorted ascending; +Inf implicit), not attached to any
+// registry. Standalone histograms are the per-machine shards of the
+// cluster's staged-metrics design: each concurrent context observes
+// into its own instance, and a serial coordinator Drains them into the
+// registered series.
+func NewHistogram(bounds []float64) *Histogram {
+	b := append([]float64(nil), bounds...)
+	sort.Float64s(b)
+	return &Histogram{bounds: b, counts: make([]atomic.Uint64, len(b)+1)}
 }
 
 // Observe records one value.
@@ -141,6 +186,33 @@ func (h *Histogram) Sum() float64 {
 		return 0
 	}
 	return h.sum.Load()
+}
+
+// Drain atomically moves every observation accumulated in h into dst
+// and resets h to empty. Both histograms must share the same bucket
+// layout (Drain panics otherwise — shards are always built from the
+// same bounds as the series they fold into). The check-then-drain is
+// cheap when h is empty: one atomic load. Nil h or dst is a no-op.
+func (h *Histogram) Drain(dst *Histogram) {
+	if h == nil || dst == nil {
+		return
+	}
+	if h.count.Load() == 0 {
+		return
+	}
+	if len(h.counts) != len(dst.counts) {
+		panic(fmt.Sprintf("obs: Histogram.Drain bucket mismatch: %d vs %d",
+			len(h.counts), len(dst.counts)))
+	}
+	for i := range h.counts {
+		if n := h.counts[i].Swap(0); n != 0 {
+			dst.counts[i].Add(n)
+		}
+	}
+	if s := h.sum.swap(0); s != 0 {
+		dst.sum.Add(s)
+	}
+	dst.count.Add(h.count.Swap(0))
 }
 
 // Quantile estimates the q-quantile (0 ≤ q ≤ 1) by linear
@@ -299,6 +371,45 @@ func (v *CounterVec) With(values ...string) *Counter {
 	}
 	s := v.fam.lookup(values, func() any { return &Counter{} })
 	return s.(*Counter)
+}
+
+// NewCounterVec creates a standalone labelled counter family, not
+// attached to any registry — the vec analogue of NewHistogram, for
+// per-machine shards of labelled series.
+func NewCounterVec(labels ...string) *CounterVec {
+	return &CounterVec{fam: &family{
+		typ:    "counter",
+		labels: append([]string(nil), labels...),
+		series: make(map[string]any),
+	}}
+}
+
+// Drain atomically moves every series accumulated in v into the
+// matching series of dst (created there on first use) and resets v's
+// series to zero. Series are visited in sorted label order so repeated
+// drains apply float additions to dst in a fixed order. Both vecs must
+// have the same label arity. Nil v or dst is a no-op.
+func (v *CounterVec) Drain(dst *CounterVec) {
+	if v == nil || dst == nil {
+		return
+	}
+	v.fam.mu.Lock()
+	keys := make([]string, 0, len(v.fam.series))
+	for k := range v.fam.series {
+		keys = append(keys, k)
+	}
+	v.fam.mu.Unlock()
+	sort.Strings(keys)
+	for _, k := range keys {
+		v.fam.mu.Lock()
+		c := v.fam.series[k].(*Counter)
+		v.fam.mu.Unlock()
+		vals := decodeLabels(k)
+		for len(vals) < len(v.fam.labels) {
+			vals = append(vals, "") // all-empty label values decode short
+		}
+		c.Drain(dst.With(vals...))
+	}
 }
 
 // GaugeVec is a labelled gauge family.

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"net/url"
 	"strconv"
 	"sync"
@@ -16,6 +17,12 @@ import (
 //	GET /metrics          Prometheus text exposition of the registry
 //	GET /healthz          liveness JSON: {"status":"ok","uptime_seconds":…}
 //	GET /debug/events     recent structured events (?n=100&type=incident)
+//	GET /debug/pprof/     Go runtime profiles (cpu, heap, goroutine, …)
+//
+// The pprof endpoints exist so a scaling regression in a live daemon
+// is diagnosed with `go tool pprof http://host:port/debug/pprof/profile`
+// instead of guesswork — the PR-2 negative-scaling bug went unexplained
+// precisely because no profile could be pulled from a running cluster.
 //
 // plus any component-specific JSON views registered with HandleJSON
 // (the daemons add /debug/incidents and /debug/specs). It is the HTTP
@@ -43,6 +50,14 @@ func NewAdminServer(reg *Registry, events *EventLog) *AdminServer {
 	}
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	// net/http/pprof only self-registers on http.DefaultServeMux; wire
+	// its handlers onto our mux explicitly. Index also serves the named
+	// runtime profiles (heap, goroutine, block, mutex, …) by suffix.
+	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	s.HandleJSON("/debug/events", func(q url.Values) (any, error) {
 		n := IntParam(q, "n", 100)
 		evs := s.events.Recent(n, q.Get("type"))

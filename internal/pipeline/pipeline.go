@@ -30,6 +30,17 @@ type SampleSink interface {
 	Publish(samples []model.Sample) error
 }
 
+// BatchSink is an optional SampleSink extension for sinks that can
+// accept many batches in one call. Queue.DrainTo uses it so a cluster
+// commit phase folds a whole machine's tick output under one sink
+// lock acquisition instead of one per batch.
+type BatchSink interface {
+	SampleSink
+	// PublishBatches delivers the batches in order; per-batch delivery
+	// semantics match repeated Publish calls.
+	PublishBatches(batches [][]model.Sample) error
+}
+
 // SpecWatcher consumes spec updates (aggregator → machine direction).
 // Implementations must not block: the bus fans specs out inline.
 type SpecWatcher interface {
@@ -79,13 +90,25 @@ func (b *Bus) Metrics() *Metrics {
 // Publish implements SampleSink: invalid samples are counted and
 // dropped, valid ones are folded into the builder.
 func (b *Bus) Publish(samples []model.Sample) error {
+	return b.PublishBatches([][]model.Sample{samples})
+}
+
+// PublishBatches implements BatchSink: every sample across all batches
+// is folded into the builder, then the stats and metrics are updated
+// once — one b.mu acquisition per drain instead of one per batch.
+func (b *Bus) PublishBatches(batches [][]model.Sample) error {
 	var received, dropped int64
-	for _, s := range samples {
-		if err := b.builder.AddSample(s); err != nil {
-			dropped++
-			continue
+	for _, samples := range batches {
+		for _, s := range samples {
+			if err := b.builder.AddSample(s); err != nil {
+				dropped++
+				continue
+			}
+			received++
 		}
-		received++
+	}
+	if received == 0 && dropped == 0 {
+		return nil
 	}
 	b.mu.Lock()
 	b.received += received

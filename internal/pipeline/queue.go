@@ -53,12 +53,19 @@ func (q *Queue) Len() int {
 // DrainTo publishes every queued batch to dst in FIFO order and
 // empties the queue. It returns the first error dst reported (the
 // remaining batches are still delivered — sample loss is tolerable,
-// partial delivery is not a reason to stall the tick).
+// partial delivery is not a reason to stall the tick). Sinks that
+// implement BatchSink receive the whole backlog in one call.
 func (q *Queue) DrainTo(dst SampleSink) error {
 	q.mu.Lock()
 	batches := q.batches
 	q.batches = nil
 	q.mu.Unlock()
+	if len(batches) == 0 {
+		return nil
+	}
+	if bs, ok := dst.(BatchSink); ok {
+		return bs.PublishBatches(batches)
+	}
 	var firstErr error
 	for _, b := range batches {
 		if err := dst.Publish(b); err != nil && firstErr == nil {

@@ -6,6 +6,7 @@ import (
 	"sync"
 	"testing"
 
+	"repro/internal/core"
 	"repro/internal/model"
 )
 
@@ -118,5 +119,72 @@ func TestQueueConcurrentPublish(t *testing.T) {
 			t.Fatalf("writer %s batch %d arrived after %d", m, b[0].Task.Index, next[m])
 		}
 		next[m]++
+	}
+}
+
+// batchRecordingSink records PublishBatches calls — verifies DrainTo
+// takes the single-call path for BatchSink destinations.
+type batchRecordingSink struct {
+	recordingSink
+	calls int
+}
+
+func (r *batchRecordingSink) PublishBatches(batches [][]model.Sample) error {
+	r.calls++
+	r.batches = append(r.batches, batches...)
+	return nil
+}
+
+func TestQueueDrainUsesBatchSink(t *testing.T) {
+	q := NewQueue()
+	for i := 0; i < 3; i++ {
+		if err := q.Publish([]model.Sample{qsample("m", i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sink := &batchRecordingSink{}
+	if err := q.DrainTo(sink); err != nil {
+		t.Fatal(err)
+	}
+	if sink.calls != 1 {
+		t.Errorf("PublishBatches calls = %d, want 1", sink.calls)
+	}
+	if len(sink.batches) != 3 {
+		t.Fatalf("batches delivered = %d, want 3", len(sink.batches))
+	}
+	for i, b := range sink.batches {
+		if len(b) != 1 || b[0].Task.Index != i {
+			t.Errorf("batch %d out of order: %+v", i, b)
+		}
+	}
+	if q.Len() != 0 {
+		t.Errorf("queue not emptied: Len = %d", q.Len())
+	}
+}
+
+func TestBusPublishBatchesMatchesPublish(t *testing.T) {
+	one := NewBus(core.NewSpecBuilder(core.DefaultParams()))
+	batches := [][]model.Sample{
+		makeSamples("a", 2, 3, 1.5),
+		makeSamples("b", 1, 4, 2.0),
+		nil, // empty batches are tolerated
+	}
+	for _, b := range batches {
+		if err := one.Publish(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	many := NewBus(core.NewSpecBuilder(core.DefaultParams()))
+	if err := many.PublishBatches(batches); err != nil {
+		t.Fatal(err)
+	}
+
+	r1, d1 := one.Stats()
+	r2, d2 := many.Stats()
+	if r1 != r2 || d1 != d2 {
+		t.Errorf("stats diverge: Publish loop (%d,%d) vs PublishBatches (%d,%d)", r1, d1, r2, d2)
+	}
+	if r1 != 10 {
+		t.Errorf("received = %d, want 10", r1)
 	}
 }
