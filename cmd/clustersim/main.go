@@ -139,9 +139,11 @@ func main() {
 	if faults != nil {
 		fs := c.FaultStats()
 		fmt.Printf("faults (%s): %d batches lost, %d spooled→replayed, %d spool-dropped, %d still spooled,\n"+
-			"        %d blackout ticks, %d delayed spec pushes, %d crashes (%d tasks lost, %d restarted)\n",
+			"        %d blackout ticks, %d delayed spec pushes, %d crashes (%d tasks lost, %d restarted),\n"+
+			"        %d agent restarts (%d caps re-adopted, %d orphaned), %d corrupt batches (%d samples quarantined)\n",
 			faults, fs.LostBatches, fs.SpoolReplayed, fs.SpoolDropped, fs.SpooledBatches,
-			fs.BlackoutTicks, fs.DelayedSpecPushes, fs.CrashesApplied, fs.TasksLost, fs.TasksRestarted)
+			fs.BlackoutTicks, fs.DelayedSpecPushes, fs.CrashesApplied, fs.TasksLost, fs.TasksRestarted,
+			fs.RestartsApplied, fs.CapsAdopted, fs.CapsOrphaned, fs.CorruptBatches, fs.Quarantined)
 	}
 	fmt.Println()
 

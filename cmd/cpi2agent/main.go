@@ -64,6 +64,8 @@ func main() {
 	speed := flag.Int("speed", 60, "simulated seconds per wall second")
 	seed := flag.Int64("seed", 1, "simulation seed")
 	reportOnly := flag.Bool("report-only", false, "detect and report, never cap automatically")
+	capJournal := flag.String("cap-journal", "",
+		"append-only cap journal file, replayed at startup to reconcile caps (empty: disabled)")
 	spoolBatches := flag.Int("spool-batches", 0, "sample batches to buffer while the aggregator is unreachable (0: default 4096)")
 	spoolBytes := flag.Int64("spool-bytes", 0, "approximate byte budget for the sample spool (0: default 64MiB)")
 	flag.Parse()
@@ -124,6 +126,25 @@ func main() {
 	a = agent.New(m, params, sink)
 	a.Instrument(reg, events)
 
+	// Crash-safe actuation: journal every cap/uncap; recover and
+	// reconcile the journal from a previous run. This process's machine
+	// is freshly simulated, so pre-restart caps have no surviving
+	// cgroups and reconcile as orphans — exactly what a real agent does
+	// with caps whose tasks vanished while it was down.
+	var recovered []core.CapJournalEntry
+	if *capJournal != "" {
+		j, rec, torn, err := agent.OpenCapJournal(*capJournal)
+		if err != nil {
+			log.Fatalf("cpi2agent: cap journal: %v", err)
+		}
+		defer j.Close()
+		a.Manager().SetJournal(j)
+		recovered = rec
+		if torn > 0 {
+			log.Printf("cpi2agent: cap journal: dropped %d torn line(s)", torn)
+		}
+	}
+
 	if *metricsAddr != "" {
 		admin := obs.NewAdminServer(reg, events)
 		admin.HandleJSON("/debug/incidents", func(q url.Values) (any, error) {
@@ -135,6 +156,13 @@ func main() {
 		})
 		admin.HandleJSON("/debug/specs", func(q url.Values) (any, error) {
 			return a.Manager().Detector().Specs(), nil
+		})
+		admin.HandleJSON("/debug/quarantine", func(q url.Values) (any, error) {
+			quar := a.Validator().Quarantine
+			return map[string]any{
+				"total":  quar.Total(),
+				"recent": quar.Recent(obs.IntParam(q, "n", 50)),
+			}, nil
 		})
 		addr, err := admin.Serve(*metricsAddr)
 		if err != nil {
@@ -207,6 +235,12 @@ func main() {
 
 	now := time.Now().UTC().Truncate(time.Second)
 	start := now
+	if *capJournal != "" {
+		adopted, orphaned := a.Reconcile(now, recovered)
+		if len(adopted)+len(orphaned) > 0 {
+			log.Printf("cpi2agent: cap journal reconciled: %d adopted, %d orphaned", len(adopted), len(orphaned))
+		}
+	}
 	antagonistPlaced := *antagonistAfter <= 0
 	antagID := model.TaskID{Job: "video-processing", Index: 0}
 	for {

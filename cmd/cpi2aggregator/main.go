@@ -82,6 +82,14 @@ func main() {
 	}
 	bus := pipeline.NewBus(builder)
 	bus.SetMetrics(pipeline.NewMetrics(reg))
+	// Ingress defense in depth: agents validate at egress, but a hostile
+	// or buggy agent can still ship garbage — quarantine it here before
+	// it poisons spec statistics. Now stays nil: agents run simulated
+	// clocks at -speed× wall time, so wall-clock timestamp bounds would
+	// misfire; structural and numeric checks still apply.
+	validator := core.NewSampleValidator("aggregator", 256)
+	validator.Metrics = core.NewMetrics(reg)
+	bus.SetValidator(validator)
 	srv := pipeline.NewServer(bus)
 	addr, err := srv.Serve(*listen)
 	if err != nil {
@@ -93,6 +101,12 @@ func main() {
 		admin := obs.NewAdminServer(reg, nil)
 		admin.HandleJSON("/debug/specs", func(q url.Values) (any, error) {
 			return builder.Specs(), nil
+		})
+		admin.HandleJSON("/debug/quarantine", func(q url.Values) (any, error) {
+			return map[string]any{
+				"total":  validator.Quarantine.Total(),
+				"recent": validator.Quarantine.Recent(obs.IntParam(q, "n", 50)),
+			}, nil
 		})
 		adminAddr, err := admin.Serve(*metricsAddr)
 		if err != nil {

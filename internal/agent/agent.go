@@ -29,6 +29,10 @@ type Agent struct {
 	sampler *perfcnt.Sampler
 	sink    pipeline.SampleSink
 	params  core.Params
+	// validator gates every sample at egress: garbage from a wrapped
+	// counter or zero-instruction window is quarantined here, before it
+	// can reach local detection or the wire. Never nil.
+	validator *core.SampleValidator
 	// readCounters is the bound counter reader handed to the sampler,
 	// built once so the per-tick hot path does not re-allocate the
 	// method-value closure.
@@ -61,9 +65,10 @@ func New(mach *machine.Machine, params core.Params, sink pipeline.SampleSink) *A
 			Duration: p.SamplingDuration,
 			Interval: p.SamplingInterval,
 		}),
-		sink:   sink,
-		params: p,
-		tasks:  make(map[string]taskInfo),
+		sink:      sink,
+		params:    p,
+		validator: core.NewSampleValidator("agent", 256),
+		tasks:     make(map[string]taskInfo),
 	}
 	a.readCounters = mach.Counters
 	a.metrics.Store(&Metrics{})
@@ -76,6 +81,17 @@ func (a *Agent) Machine() *machine.Machine { return a.mach }
 // Manager returns the agent's CPI² manager (operator tooling and
 // tests reach through this).
 func (a *Agent) Manager() *core.Manager { return a.manager }
+
+// Validator returns the agent's egress sample validator, for wiring
+// metrics/clock and inspecting the quarantine.
+func (a *Agent) Validator() *core.SampleValidator { return a.validator }
+
+// Reconcile replays a cap journal against the machine's live cgroup
+// state (see Enforcer.Reconcile). Call once at startup, after tasks
+// are registered and before the first Tick.
+func (a *Agent) Reconcile(now time.Time, entries []core.CapJournalEntry) (adopted, orphaned []model.TaskID) {
+	return a.manager.Enforcer().Reconcile(now, entries)
+}
 
 // RegisterTask tells the agent about a placed task; the scheduler (or
 // cluster harness) calls this alongside machine.AddTask.
@@ -142,7 +158,7 @@ func (a *Agent) Tick(now time.Time) []core.Incident {
 	measurements := a.sampler.Tick(now, a.readCounters)
 	var incidents []core.Incident
 	if len(measurements) > 0 {
-		samples := a.toSamples(now, measurements)
+		samples := a.validator.Filter(a.toSamples(now, measurements))
 		for _, s := range samples {
 			if inc := a.manager.Observe(s); inc != nil {
 				incidents = append(incidents, *inc)

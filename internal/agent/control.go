@@ -167,17 +167,7 @@ func (c *ControlServer) execute(line string) string {
 	}
 }
 
-func parseTaskID(s string) (model.TaskID, error) {
-	i := strings.LastIndexByte(s, '/')
-	if i <= 0 || i == len(s)-1 {
-		return model.TaskID{}, fmt.Errorf("bad task id %q (want job/index)", s)
-	}
-	idx, err := strconv.Atoi(s[i+1:])
-	if err != nil {
-		return model.TaskID{}, fmt.Errorf("bad task index in %q", s)
-	}
-	return model.TaskID{Job: model.JobName(s[:i]), Index: idx}, nil
-}
+func parseTaskID(s string) (model.TaskID, error) { return model.ParseTaskID(s) }
 
 func (c *ControlServer) status() string {
 	m := c.agent.Machine()

@@ -1,0 +1,172 @@
+// Cap journal persistence: the durable, append-only record of every
+// cap/uncap the enforcer performs, replayed at startup so a restarted
+// agent re-adopts the caps it owns and releases the ones it no longer
+// should hold (see core.CapJournal / Enforcer.Reconcile).
+package agent
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"repro/internal/core"
+)
+
+// journalCompactAt is the entry count at which the journal is folded
+// down to its live caps and rewritten. Appends between compactions are
+// O(1); compaction itself is the same atomic temp+fsync+rename
+// discipline as core.SaveCheckpoint, so a crash mid-compaction leaves
+// the previous journal intact.
+const journalCompactAt = 4096
+
+// FileCapJournal is a durable core.CapJournal: one JSON entry per
+// line, fsynced per append (an actuation record that vanishes in a
+// crash defeats the point). Safe for concurrent use.
+type FileCapJournal struct {
+	mu      sync.Mutex
+	path    string
+	f       *os.File
+	entries []core.CapJournalEntry // in-memory mirror, for compaction
+}
+
+// OpenCapJournal opens (or creates) the journal at path and returns it
+// along with the entries recovered from disk, oldest first, for
+// replay. Torn or corrupt trailing lines — the crash case — are
+// dropped with a count, never an error: recovery must proceed on
+// whatever prefix survived.
+func OpenCapJournal(path string) (j *FileCapJournal, recovered []core.CapJournalEntry, torn int, err error) {
+	if data, rerr := os.ReadFile(path); rerr == nil {
+		sc := bufio.NewScanner(bytes.NewReader(data))
+		sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+		for sc.Scan() {
+			line := sc.Bytes()
+			if len(line) == 0 {
+				continue
+			}
+			var e core.CapJournalEntry
+			if uerr := json.Unmarshal(line, &e); uerr != nil {
+				torn++
+				continue
+			}
+			recovered = append(recovered, e)
+		}
+	} else if !os.IsNotExist(rerr) {
+		return nil, nil, 0, fmt.Errorf("agent: read cap journal: %w", rerr)
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, nil, 0, fmt.Errorf("agent: open cap journal: %w", err)
+	}
+	j = &FileCapJournal{path: path, f: f}
+	j.entries = append(j.entries, recovered...)
+	return j, recovered, torn, nil
+}
+
+// Append implements core.CapJournal: one line, synced to disk.
+func (j *FileCapJournal) Append(e core.CapJournalEntry) error {
+	data, err := json.Marshal(e)
+	if err != nil {
+		return fmt.Errorf("agent: marshal journal entry: %w", err)
+	}
+	data = append(data, '\n')
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return fmt.Errorf("agent: cap journal closed")
+	}
+	if _, err := j.f.Write(data); err != nil {
+		return fmt.Errorf("agent: append cap journal: %w", err)
+	}
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("agent: sync cap journal: %w", err)
+	}
+	j.entries = append(j.entries, e)
+	if len(j.entries) >= journalCompactAt {
+		return j.compactLocked()
+	}
+	return nil
+}
+
+// Len returns the number of entries in the journal (post-compaction
+// entries only reflect live caps).
+func (j *FileCapJournal) Len() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return len(j.entries)
+}
+
+// compactLocked folds the journal down to its live caps and atomically
+// replaces the file. Callers hold j.mu.
+func (j *FileCapJournal) compactLocked() error {
+	live, _ := core.ReplayCapEntries(j.entries)
+	compacted := make([]core.CapJournalEntry, 0, len(live))
+	for _, e := range live {
+		compacted = append(compacted, e)
+	}
+	// Stable order: by task string, for reproducible files.
+	for i := 1; i < len(compacted); i++ {
+		for k := i; k > 0 && compacted[k].Task < compacted[k-1].Task; k-- {
+			compacted[k], compacted[k-1] = compacted[k-1], compacted[k]
+		}
+	}
+	dir := filepath.Dir(j.path)
+	tmp, err := os.CreateTemp(dir, ".capjournal-*.tmp")
+	if err != nil {
+		return fmt.Errorf("agent: compact cap journal: %w", err)
+	}
+	tmpName := tmp.Name()
+	defer os.Remove(tmpName) // no-op after successful rename
+	w := bufio.NewWriter(tmp)
+	for _, e := range compacted {
+		data, err := json.Marshal(e)
+		if err != nil {
+			tmp.Close()
+			return fmt.Errorf("agent: compact cap journal: %w", err)
+		}
+		data = append(data, '\n')
+		if _, err := w.Write(data); err != nil {
+			tmp.Close()
+			return fmt.Errorf("agent: compact cap journal: %w", err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("agent: compact cap journal: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("agent: compact cap journal: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("agent: compact cap journal: %w", err)
+	}
+	if err := os.Rename(tmpName, j.path); err != nil {
+		return fmt.Errorf("agent: publish compacted cap journal: %w", err)
+	}
+	// Reopen the (renamed-over) file for further appends.
+	old := j.f
+	f, err := os.OpenFile(j.path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("agent: reopen cap journal: %w", err)
+	}
+	old.Close()
+	j.f = f
+	j.entries = compacted
+	return nil
+}
+
+// Close flushes and closes the journal file.
+func (j *FileCapJournal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return nil
+	}
+	err := j.f.Close()
+	j.f = nil
+	return err
+}

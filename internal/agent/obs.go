@@ -74,7 +74,9 @@ func (a *Agent) SetMetrics(m *Metrics) {
 // internal/cluster does.
 func (a *Agent) Instrument(reg *obs.Registry, events core.EventSink) {
 	a.SetMetrics(NewMetrics(reg))
-	a.manager.SetMetrics(core.NewMetrics(reg))
+	cm := core.NewMetrics(reg)
+	a.manager.SetMetrics(cm)
+	a.validator.Metrics = cm
 	if events != nil {
 		a.manager.SetEvents(events)
 	}

@@ -15,10 +15,25 @@
 package cgroup
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"sort"
 	"time"
+)
+
+// Errors returned by Hierarchy.Remove, distinguishable with errors.Is:
+// a caller that removes an unknown group has a bookkeeping bug, while
+// removing a still-capped group is a normal lifecycle race (a capped
+// antagonist exiting) that the hierarchy resolves itself by clearing
+// the limit — but the caller may want to reconcile enforcer state.
+var (
+	// ErrNoGroup: the named group does not exist.
+	ErrNoGroup = errors.New("cgroup: no such group")
+	// ErrStillCapped: the group was removed, but it held an active
+	// bandwidth limit at the time; the limit (and any lease) has been
+	// cleared as part of the removal.
+	ErrStillCapped = errors.New("cgroup: removed group held an active limit")
 )
 
 // DefaultShares is the default cpu.shares weight, matching Linux.
@@ -81,6 +96,11 @@ type Group struct {
 
 	shares uint64
 	limit  Limit
+	// lease, when non-zero, is the instant at which the limit
+	// self-releases unless renewed — the crash-safety contract of §5
+	// enforcement: a cap whose owner vanished must limit the damage,
+	// never throttle forever.
+	lease time.Time
 
 	// cpuacct-style accounting.
 	usage          float64 // cumulative CPU-seconds consumed
@@ -105,11 +125,47 @@ func (g *Group) SetShares(s uint64) {
 }
 
 // SetLimit applies a CFS bandwidth limit — this is the hard-capping
-// operation CPI² performs on antagonists.
-func (g *Group) SetLimit(l Limit) { g.limit = l }
+// operation CPI² performs on antagonists. The limit has no lease: it
+// stays until explicitly cleared (an operator-style cap).
+func (g *Group) SetLimit(l Limit) {
+	g.limit = l
+	g.lease = time.Time{}
+}
 
-// ClearLimit removes any bandwidth limit.
-func (g *Group) ClearLimit() { g.limit = Unlimited }
+// SetLimitLease applies a bandwidth limit that self-releases at
+// expires unless renewed. The enforcer uses this so a cap survives
+// only as long as its owner keeps renewing it: if the owning agent
+// crashes, the next lease sweep clears the cap instead of throttling
+// the task indefinitely.
+func (g *Group) SetLimitLease(l Limit, expires time.Time) {
+	g.limit = l
+	g.lease = expires
+}
+
+// RenewLease extends a leased limit to expires. It reports whether a
+// leased limit was present to renew; an unleased (operator) limit or
+// an uncapped group is left untouched.
+func (g *Group) RenewLease(expires time.Time) bool {
+	if g.lease.IsZero() || !g.limit.IsLimited() {
+		return false
+	}
+	if expires.After(g.lease) {
+		g.lease = expires
+	}
+	return true
+}
+
+// LeaseExpiry returns the limit's lease expiry and whether the limit
+// is leased at all.
+func (g *Group) LeaseExpiry() (time.Time, bool) {
+	return g.lease, !g.lease.IsZero() && g.limit.IsLimited()
+}
+
+// ClearLimit removes any bandwidth limit (and its lease).
+func (g *Group) ClearLimit() {
+	g.limit = Unlimited
+	g.lease = time.Time{}
+}
 
 // Limit returns the group's own (not effective) limit.
 func (g *Group) Limit() Limit { return g.limit }
@@ -178,16 +234,43 @@ func (h *Hierarchy) NewGroup(name string, parent *Group) (*Group, error) {
 func (h *Hierarchy) Lookup(name string) *Group { return h.groups[name] }
 
 // Remove deletes a group (e.g. when its task exits). Removing the
-// root is an error.
+// root is an error; removing an unknown group returns ErrNoGroup.
+// Removing a group that still holds an active bandwidth limit clears
+// the limit and its lease (so no stale cap state survives the group)
+// and returns ErrStillCapped — the group IS removed, the error is a
+// signal for callers that track cap ownership elsewhere (the
+// enforcer) to reconcile their bookkeeping.
 func (h *Hierarchy) Remove(name string) error {
 	if name == "/" {
 		return fmt.Errorf("cgroup: cannot remove root")
 	}
-	if _, ok := h.groups[name]; !ok {
-		return fmt.Errorf("cgroup: no group %q", name)
+	g, ok := h.groups[name]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNoGroup, name)
 	}
 	delete(h.groups, name)
+	if g.limit.IsLimited() {
+		g.ClearLimit()
+		return fmt.Errorf("%w: %q", ErrStillCapped, name)
+	}
 	return nil
+}
+
+// SweepLeases clears every limit whose lease has expired at now and
+// returns the names of the groups released, sorted. Run it once per
+// accounting tick: it is the mechanism-level backstop that makes caps
+// crash-safe — enforcement state lost with a dead agent converges to
+// "uncapped" within one lease TTL.
+func (h *Hierarchy) SweepLeases(now time.Time) []string {
+	var released []string
+	for name, g := range h.groups {
+		if exp, ok := g.LeaseExpiry(); ok && !now.Before(exp) {
+			g.ClearLimit()
+			released = append(released, name)
+		}
+	}
+	sort.Strings(released)
+	return released
 }
 
 // Len returns the number of groups including the root.

@@ -1,6 +1,7 @@
 package cgroup
 
 import (
+	"errors"
 	"math"
 	"testing"
 	"testing/quick"
@@ -273,5 +274,112 @@ func TestCapThenUncapRestoresThroughput(t *testing.T) {
 	}
 	if !almostEqual(g.Usage(), 3+0.1+3, 1e-9) {
 		t.Errorf("cumulative usage = %v", g.Usage())
+	}
+}
+
+func TestLimitLeaseLifecycle(t *testing.T) {
+	h := NewHierarchy()
+	g := mustGroup(t, h, "task", nil)
+	now := time.Date(2011, 11, 1, 12, 0, 0, 0, time.UTC)
+
+	// Operator cap: no lease, never swept.
+	g.SetLimit(LimitFromRate(0.1))
+	if _, ok := g.LeaseExpiry(); ok {
+		t.Error("operator cap should not be leased")
+	}
+	if g.RenewLease(now.Add(time.Minute)) {
+		t.Error("RenewLease on unleased cap should report false")
+	}
+	if rel := h.SweepLeases(now.Add(24 * time.Hour)); len(rel) != 0 {
+		t.Errorf("sweep released operator cap: %v", rel)
+	}
+	if !g.Limit().IsLimited() {
+		t.Fatal("operator cap vanished")
+	}
+
+	// Leased cap: renewable, expires exactly at the deadline.
+	g.SetLimitLease(LimitFromRate(0.1), now.Add(time.Minute))
+	if exp, ok := g.LeaseExpiry(); !ok || !exp.Equal(now.Add(time.Minute)) {
+		t.Fatalf("LeaseExpiry = %v, %v", exp, ok)
+	}
+	if !g.RenewLease(now.Add(2 * time.Minute)) {
+		t.Fatal("RenewLease should succeed on a leased cap")
+	}
+	// Renewal never shortens a lease.
+	if g.RenewLease(now.Add(time.Second)); func() time.Time { e, _ := g.LeaseExpiry(); return e }().Before(now.Add(2 * time.Minute)) {
+		t.Error("RenewLease shortened the lease")
+	}
+	if rel := h.SweepLeases(now.Add(2*time.Minute - time.Second)); len(rel) != 0 {
+		t.Errorf("sweep fired before expiry: %v", rel)
+	}
+	if rel := h.SweepLeases(now.Add(2 * time.Minute)); len(rel) != 1 || rel[0] != "task" {
+		t.Errorf("sweep at expiry = %v, want [task]", rel)
+	}
+	if g.Limit().IsLimited() {
+		t.Error("expired lease left the limit in place")
+	}
+	if _, ok := g.LeaseExpiry(); ok {
+		t.Error("expired lease not cleared")
+	}
+
+	// SetLimit after a lease clears the lease (operator override).
+	g.SetLimitLease(LimitFromRate(0.2), now.Add(time.Minute))
+	g.SetLimit(LimitFromRate(0.2))
+	if _, ok := g.LeaseExpiry(); ok {
+		t.Error("SetLimit should drop any prior lease")
+	}
+	g.ClearLimit()
+}
+
+func TestSweepLeasesSortedMulti(t *testing.T) {
+	h := NewHierarchy()
+	now := time.Date(2011, 11, 1, 12, 0, 0, 0, time.UTC)
+	for _, name := range []string{"c", "a", "b"} {
+		g := mustGroup(t, h, name, nil)
+		g.SetLimitLease(LimitFromRate(0.1), now)
+	}
+	keep := mustGroup(t, h, "keep", nil)
+	keep.SetLimitLease(LimitFromRate(0.1), now.Add(time.Hour))
+	rel := h.SweepLeases(now.Add(time.Second))
+	if len(rel) != 3 || rel[0] != "a" || rel[1] != "b" || rel[2] != "c" {
+		t.Errorf("sweep = %v, want sorted [a b c]", rel)
+	}
+	if !keep.Limit().IsLimited() {
+		t.Error("unexpired lease swept")
+	}
+}
+
+func TestRemoveDistinguishesErrors(t *testing.T) {
+	h := NewHierarchy()
+	if err := h.Remove("/"); err == nil {
+		t.Error("removing root should fail")
+	}
+	if err := h.Remove("ghost"); !errors.Is(err, ErrNoGroup) {
+		t.Errorf("unknown group err = %v, want ErrNoGroup", err)
+	}
+
+	g := mustGroup(t, h, "capped", nil)
+	g.SetLimitLease(LimitFromRate(0.1), time.Date(2011, 11, 1, 13, 0, 0, 0, time.UTC))
+	err := h.Remove("capped")
+	if !errors.Is(err, ErrStillCapped) {
+		t.Fatalf("capped remove err = %v, want ErrStillCapped", err)
+	}
+	if errors.Is(err, ErrNoGroup) {
+		t.Error("errors must be distinct")
+	}
+	if h.Lookup("capped") != nil {
+		t.Error("group should be gone despite ErrStillCapped")
+	}
+	if g.Limit().IsLimited() {
+		t.Error("limit should be cleared on removal")
+	}
+	if _, ok := g.LeaseExpiry(); ok {
+		t.Error("lease should be cleared on removal")
+	}
+
+	plain := mustGroup(t, h, "plain", nil)
+	_ = plain
+	if err := h.Remove("plain"); err != nil {
+		t.Errorf("uncapped remove err = %v", err)
 	}
 }

@@ -3,12 +3,14 @@ package cluster
 import (
 	"errors"
 	"fmt"
+	"math"
 	"math/rand"
 	"sort"
 	"strconv"
 	"strings"
 	"time"
 
+	"repro/internal/agent"
 	"repro/internal/model"
 )
 
@@ -29,6 +31,28 @@ func (w Window) String() string { return fmt.Sprintf("%s+%s", w.From, w.To-w.Fro
 type CrashEvent struct {
 	At      time.Duration
 	Machine string
+}
+
+// RestartEvent schedules one agent restart: the daemon process dies
+// and is immediately replaced. All in-memory agent state — spec cache,
+// sampling windows, the active-cap table — is lost; the machine itself
+// (tasks, cgroups, caps, leases) survives. The replacement agent
+// re-registers resident tasks, refetches current specs, and reconciles
+// its cap journal against live cgroup state, so a cap applied by the
+// dead agent is either re-adopted (and keeps expiring on its original
+// schedule) or released as an orphan — never stranded.
+type RestartEvent struct {
+	At      time.Duration
+	Machine string
+}
+
+// SkewEvent gives one machine's agent a constant clock offset: the
+// agent ticks (and stamps samples) at cluster time + Offset while the
+// hardware stays on cluster time — a node with a broken NTP daemon.
+// When a machine appears in several skew directives, the last wins.
+type SkewEvent struct {
+	Machine string
+	Offset  time.Duration
 }
 
 // FaultPlan describes the failure timeline injected into a simulated
@@ -53,6 +77,19 @@ type FaultPlan struct {
 	// Crashes are scheduled machine failures (CrashMachine semantics:
 	// resident tasks die, RestartOnExit jobs re-place elsewhere).
 	Crashes []CrashEvent
+	// Restarts are scheduled agent restarts: agent state is lost, the
+	// machine survives, and the replacement reconciles the cap journal.
+	// When a crash and a restart land on the same tick, crashes apply
+	// first.
+	Restarts []RestartEvent
+	// CorruptRate is the per-machine per-tick probability that a hostile
+	// or buggy writer ships one batch of garbage samples (NaN/Inf/
+	// negative CPI or usage) to the aggregator. The ingress validator
+	// must quarantine every one of them; specs stay byte-identical to a
+	// corruption-free run. 0 ≤ CorruptRate ≤ 1.
+	CorruptRate float64
+	// Skews are per-machine agent clock offsets.
+	Skews []SkewEvent
 	// SpoolBatches / SpoolBytes budget each machine's sample spool
 	// (defaults: pipeline.SpoolConfig defaults).
 	SpoolBatches int
@@ -86,6 +123,22 @@ func (p *FaultPlan) Validate() error {
 			return errors.New("cluster: crash with empty machine name")
 		}
 	}
+	for _, r := range p.Restarts {
+		if r.At < 0 {
+			return fmt.Errorf("cluster: restart of %q at negative offset %v", r.Machine, r.At)
+		}
+		if r.Machine == "" {
+			return errors.New("cluster: restart with empty machine name")
+		}
+	}
+	if !(p.CorruptRate >= 0 && p.CorruptRate <= 1) { // rejects NaN too
+		return fmt.Errorf("cluster: corrupt rate %v outside [0,1]", p.CorruptRate)
+	}
+	for _, sk := range p.Skews {
+		if sk.Machine == "" {
+			return errors.New("cluster: skew with empty machine name")
+		}
+	}
 	return nil
 }
 
@@ -108,6 +161,15 @@ func (p *FaultPlan) String() string {
 	for _, cr := range p.Crashes {
 		parts = append(parts, fmt.Sprintf("crash=%s@%s", cr.Machine, cr.At))
 	}
+	for _, r := range p.Restarts {
+		parts = append(parts, fmt.Sprintf("restart=%s@%s", r.Machine, r.At))
+	}
+	if p.CorruptRate > 0 {
+		parts = append(parts, "corrupt="+strconv.FormatFloat(p.CorruptRate, 'g', -1, 64))
+	}
+	for _, sk := range p.Skews {
+		parts = append(parts, fmt.Sprintf("skew=%s@%s", sk.Machine, sk.Offset))
+	}
 	if p.SpoolBatches > 0 {
 		parts = append(parts, "spool="+strconv.Itoa(p.SpoolBatches))
 	}
@@ -124,6 +186,12 @@ func (p *FaultPlan) String() string {
 //	loss=FRACTION              per-batch sample loss in [0,1]
 //	specdelay=DURATION         delayed spec pushes
 //	crash=MACHINE@OFFSET       machine crash (repeatable)
+//	restart=MACHINE@OFFSET     agent restart: state lost, machine and
+//	                           cgroup caps survive, journal reconciled
+//	                           (repeatable)
+//	corrupt=FRACTION           per-machine per-tick garbage-batch
+//	                           injection probability in [0,1]
+//	skew=MACHINE@±DURATION     agent clock offset (repeatable)
 //	spool=N                    per-machine spool budget, batches
 //	spoolbytes=N               per-machine spool budget, bytes
 //
@@ -177,6 +245,32 @@ func ParseFaultPlan(s string) (*FaultPlan, error) {
 				return nil, fmt.Errorf("cluster: crash offset: %w", err)
 			}
 			p.Crashes = append(p.Crashes, CrashEvent{At: d, Machine: mach})
+		case "restart":
+			mach, at, ok := strings.Cut(val, "@")
+			if !ok || mach == "" {
+				return nil, fmt.Errorf("cluster: restart %q is not MACHINE@OFFSET", val)
+			}
+			d, err := time.ParseDuration(at)
+			if err != nil {
+				return nil, fmt.Errorf("cluster: restart offset: %w", err)
+			}
+			p.Restarts = append(p.Restarts, RestartEvent{At: d, Machine: mach})
+		case "corrupt":
+			f, err := strconv.ParseFloat(val, 64)
+			if err != nil {
+				return nil, fmt.Errorf("cluster: corrupt: %w", err)
+			}
+			p.CorruptRate = f
+		case "skew":
+			mach, off, ok := strings.Cut(val, "@")
+			if !ok || mach == "" {
+				return nil, fmt.Errorf("cluster: skew %q is not MACHINE@OFFSET", val)
+			}
+			d, err := time.ParseDuration(off)
+			if err != nil {
+				return nil, fmt.Errorf("cluster: skew offset: %w", err)
+			}
+			p.Skews = append(p.Skews, SkewEvent{Machine: mach, Offset: d})
 		case "spool":
 			n, err := strconv.Atoi(val)
 			if err != nil {
@@ -219,6 +313,18 @@ type FaultStats struct {
 	CrashesApplied int
 	TasksLost      int
 	TasksRestarted int
+	// RestartsApplied / CapsAdopted / CapsOrphaned account the executed
+	// RestartEvents: how many agents were restarted, and how their
+	// journalled caps reconciled (re-adopted against a live cgroup cap
+	// vs released as orphans).
+	RestartsApplied int
+	CapsAdopted     int
+	CapsOrphaned    int
+	// CorruptBatches counts garbage batches injected by CorruptRate;
+	// Quarantined counts samples the aggregator-side validator refused
+	// (every injected garbage sample must land here).
+	CorruptBatches int64
+	Quarantined    int64
 }
 
 // errAggregatorDown is what machine links report during a blackout;
@@ -266,6 +372,48 @@ func (p *FaultPlan) sortedCrashes() []CrashEvent {
 	return out
 }
 
+// sortedRestarts orders the plan's restarts by (At, Machine), like
+// sortedCrashes.
+func (p *FaultPlan) sortedRestarts() []RestartEvent {
+	out := append([]RestartEvent(nil), p.Restarts...)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].At != out[j].At {
+			return out[i].At < out[j].At
+		}
+		return out[i].Machine < out[j].Machine
+	})
+	return out
+}
+
+// garbageSample builds one hostile sample: structurally plausible
+// (model.Sample.Validate even passes the NaN variants — NaN compares
+// false against every bound) but numerically poisonous. The ingress
+// validator must catch every variant.
+func garbageSample(rng *rand.Rand, machineName string, now time.Time) model.Sample {
+	s := model.Sample{
+		Job:       "corrupt",
+		Task:      model.TaskID{Job: "corrupt", Index: rng.Intn(100)},
+		Platform:  model.PlatformA,
+		Timestamp: now,
+		CPUUsage:  1,
+		CPI:       1,
+		Machine:   machineName,
+	}
+	switch rng.Intn(5) {
+	case 0:
+		s.CPI = math.NaN()
+	case 1:
+		s.CPI = math.Inf(1)
+	case 2:
+		s.CPI = -rng.Float64()
+	case 3:
+		s.CPUUsage = math.NaN()
+	case 4:
+		s.CPUUsage = -1e6
+	}
+	return s
+}
+
 // applyFaultTimeline advances chaos state to now: blackout flag,
 // due machine crashes, and due delayed spec pushes. Called from the
 // commit phase, before queues drain.
@@ -305,11 +453,74 @@ func (c *Cluster) applyFaultTimeline(now time.Time) {
 		})
 	}
 
+	for c.restartIdx < len(c.agentRestarts) && c.agentRestarts[c.restartIdx].At <= offset {
+		r := c.agentRestarts[c.restartIdx]
+		c.restartIdx++
+		i, ok := c.midx[r.Machine]
+		if !ok {
+			continue // unknown machine name in the plan: skip, don't wedge
+		}
+		adopted, orphaned := c.restartAgent(i, now)
+		c.fstats.RestartsApplied++
+		c.fstats.CapsAdopted += adopted
+		c.fstats.CapsOrphaned += orphaned
+		c.cfg.Events.Emit(now, "agent_restart", map[string]any{
+			"machine": r.Machine, "caps_adopted": adopted, "caps_orphaned": orphaned,
+		})
+	}
+
 	for len(c.delayed) > 0 && !c.delayed[0].at.After(now) {
 		c.bus.Push(c.delayed[0].specs)
 		c.fstats.DelayedSpecPushes++
 		c.delayed = c.delayed[1:]
 	}
+}
+
+// restartAgent replaces machine i's agent with a fresh one, as if the
+// daemon process crashed and the init system brought it back: every
+// piece of in-memory agent state (spec cache, sampling windows, the
+// active-cap table) is gone, while the machine — tasks, cgroups, caps,
+// leases — survives untouched. The replacement re-registers the
+// resident tasks, refetches the current spec table (a restarted real
+// daemon re-subscribes and receives a snapshot), and reconciles the
+// machine's cap journal against live cgroup state, re-adopting caps
+// the dead agent applied and releasing orphans. Called only from the
+// serial commit phase.
+func (c *Cluster) restartAgent(i int, now time.Time) (adopted, orphaned int) {
+	m := c.machs[i]
+	old := c.agents[i]
+	c.bus.Unwatch(old)
+
+	a := agent.New(m, c.cfg.Params, c.queues[i])
+	if c.eventBufs != nil {
+		a.Manager().SetEvents(c.eventBufs[i])
+	}
+	if c.coreShards != nil {
+		a.SetMetrics(c.agentShards[i])
+		a.Manager().SetMetrics(c.coreShards[i])
+		a.Validator().Metrics = c.coreShards[i]
+		// The old agent's task registrations and active caps died with
+		// it, but their contribution has already been drained into the
+		// shared gauges; re-registration and re-adoption below would
+		// double-count them, so cancel the stale contribution first.
+		c.agentShards[i].Tasks.Add(-float64(len(m.Tasks())))
+		c.coreShards[i].CapsActive.Add(-float64(len(old.Manager().Enforcer().ActiveCaps())))
+	}
+	for _, id := range m.Tasks() {
+		a.RegisterTask(id, m.Task(id).Job)
+	}
+	for _, spec := range c.bus.Builder().Specs() {
+		if a.WantSpec(spec.Key()) {
+			a.DeliverSpec(spec)
+		}
+	}
+	j := c.journals[i]
+	a.Manager().SetJournal(j)
+	ad, or := a.Reconcile(now, j.Entries())
+	c.agents[i] = a
+	c.agent[m.Name()] = a
+	c.bus.Watch(a)
+	return len(ad), len(or)
 }
 
 // FaultStats returns the cumulative fault accounting for this run
@@ -321,6 +532,9 @@ func (c *Cluster) FaultStats() FaultStats {
 		st.SpoolDropped += s.Dropped
 		st.SpoolReplayed += s.Replayed
 		st.SpooledBatches += int64(s.Batches)
+	}
+	if v := c.bus.Validator(); v != nil {
+		st.Quarantined = v.Quarantine.Total()
 	}
 	return st
 }

@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"encoding/json"
+	"fmt"
 	"reflect"
 	"sync"
 	"testing"
@@ -189,6 +190,103 @@ func TestChaosDegradation(t *testing.T) {
 	assertNoFalseCaps(t, chaos, "chaos")
 }
 
+// TestChaosAgentRestartReconciliation is the crash-safe actuation
+// acceptance run: every agent in the fleet is restarted mid-incident
+// (state lost; machines, cgroups, and leased caps survive). One tick
+// later no cap may be stranded — every mechanism-level cap is owned by
+// its machine's (new) agent, every agent-level cap exists at the
+// mechanism — and adopted caps keep their original expiry schedule.
+func TestChaosAgentRestartReconciliation(t *testing.T) {
+	machines := 100
+	if testing.Short() {
+		machines = 16
+	}
+	warm := 10 * time.Minute
+	restartAt := warm + 5*time.Minute
+	faults := &FaultPlan{}
+	for i := 0; i < machines; i++ {
+		faults.Restarts = append(faults.Restarts,
+			RestartEvent{At: restartAt, Machine: fmt.Sprintf("machine-%04d", i)})
+	}
+	c := chaosRun(t, 99, machines, 0, warm, 5*time.Minute+2*time.Second, faults)
+
+	st := c.FaultStats()
+	if st.RestartsApplied != machines {
+		t.Fatalf("restarts applied = %d, want %d", st.RestartsApplied, machines)
+	}
+	if st.CapsAdopted == 0 {
+		t.Fatal("no caps were live across the restart; the experiment is vacuous")
+	}
+	stranded, phantom := 0, 0
+	for i := 0; i < machines; i++ {
+		m, a := c.machs[i], c.agents[i]
+		active := a.Manager().Enforcer().ActiveCaps()
+		for _, id := range m.Tasks() {
+			_, owned := active[id]
+			switch {
+			case m.IsCapped(id) && !owned:
+				stranded++
+				t.Errorf("stranded cap: %v capped on %s but unknown to its agent", id, m.Name())
+			case !m.IsCapped(id) && owned:
+				phantom++
+				t.Errorf("phantom cap: agent of %s thinks %v is capped", m.Name(), id)
+			}
+		}
+	}
+	if stranded+phantom > 0 {
+		t.Fatalf("%d stranded + %d phantom caps one tick after fleet-wide restart", stranded, phantom)
+	}
+
+	// The run keeps going sanely after the fleet-wide restart: caps
+	// stay antagonist-only and nothing wedges. (That adopted caps keep
+	// their original expiry schedule is pinned by the enforcer and
+	// agent-level reconciliation unit tests.)
+	c.Run(5 * time.Minute)
+	assertNoFalseCaps(t, c, "restart")
+}
+
+// TestChaosCorruptQuarantined: a hostile writer spraying garbage
+// batches (NaN/Inf/negative CPI and usage) at the aggregator changes
+// NOTHING — incidents, final specs, and accepted-sample counts are
+// byte-identical to the corruption-free run — while the quarantine
+// proves the garbage actually arrived and was refused.
+func TestChaosCorruptQuarantined(t *testing.T) {
+	machines := 16
+	warm, dur := 10*time.Minute, 10*time.Minute
+	baseline := chaosRun(t, 77, machines, 0, warm, dur, nil)
+	corrupt := chaosRun(t, 77, machines, 0, warm, dur, &FaultPlan{CorruptRate: 0.05})
+
+	st := corrupt.FaultStats()
+	if st.CorruptBatches == 0 {
+		t.Fatal("corrupt=0.05 injected nothing; the experiment is vacuous")
+	}
+	if st.Quarantined < st.CorruptBatches {
+		t.Errorf("quarantined %d < injected batches %d: garbage reached the builder",
+			st.Quarantined, st.CorruptBatches)
+	}
+	if len(baseline.Incidents()) == 0 {
+		t.Fatal("baseline raised no incidents; comparison is vacuous")
+	}
+
+	bi, _ := json.Marshal(baseline.Incidents())
+	ci, _ := json.Marshal(corrupt.Incidents())
+	if string(bi) != string(ci) {
+		t.Errorf("incident streams diverge under corruption: %d vs %d incidents",
+			len(baseline.Incidents()), len(corrupt.Incidents()))
+	}
+	bs, _ := json.Marshal(baseline.RecomputeSpecs())
+	cs, _ := json.Marshal(corrupt.RecomputeSpecs())
+	if string(bs) != string(cs) {
+		t.Errorf("specs diverge under corruption:\nbaseline: %.300s\ncorrupt:  %.300s", bs, cs)
+	}
+	br, _ := baseline.Bus().Stats()
+	cr, _ := corrupt.Bus().Stats()
+	if br != cr {
+		t.Errorf("accepted sample counts differ: baseline %d, corrupt %d", br, cr)
+	}
+	assertNoFalseCaps(t, corrupt, "corrupt")
+}
+
 // stalenessTable records every spec push an agent-side watcher sees,
 // keyed by the spec's own (simulation-time) UpdatedAt stamp.
 type stalenessTable struct {
@@ -264,6 +362,9 @@ func chaosFingerprint(t *testing.T, workers int) []byte {
 		SampleLoss:          0.05,
 		SpecPushDelay:       30 * time.Second,
 		Crashes:             []CrashEvent{{At: warm + 5*time.Minute, Machine: "machine-0001"}},
+		Restarts:            []RestartEvent{{At: warm + 5*time.Minute + 30*time.Second, Machine: "machine-0002"}},
+		CorruptRate:         0.02,
+		Skews:               []SkewEvent{{Machine: "machine-0003", Offset: -15 * time.Second}},
 		SpoolBatches:        64,
 	}
 	c := New(Config{
@@ -319,10 +420,14 @@ func TestChaosDeterminismAcrossWorkerCounts(t *testing.T) {
 	if fp.Stats.LostBatches == 0 || fp.Stats.BlackoutTicks == 0 || fp.Stats.CrashesApplied != 1 {
 		t.Errorf("fault machinery not exercised: %+v", fp.Stats)
 	}
+	if fp.Stats.RestartsApplied != 1 || fp.Stats.CorruptBatches == 0 || fp.Stats.Quarantined == 0 {
+		t.Errorf("restart/corrupt machinery not exercised: %+v", fp.Stats)
+	}
 }
 
 func TestParseFaultPlan(t *testing.T) {
-	p, err := ParseFaultPlan("blackout=30m+10m,loss=0.05,specdelay=2m,crash=machine-0003@20m,spool=256,spoolbytes=1048576")
+	p, err := ParseFaultPlan("blackout=30m+10m,loss=0.05,specdelay=2m,crash=machine-0003@20m," +
+		"restart=machine-0001@25m,corrupt=0.02,skew=machine-0002@-30s,spool=256,spoolbytes=1048576")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -331,6 +436,9 @@ func TestParseFaultPlan(t *testing.T) {
 		SampleLoss:          0.05,
 		SpecPushDelay:       2 * time.Minute,
 		Crashes:             []CrashEvent{{At: 20 * time.Minute, Machine: "machine-0003"}},
+		Restarts:            []RestartEvent{{At: 25 * time.Minute, Machine: "machine-0001"}},
+		CorruptRate:         0.02,
+		Skews:               []SkewEvent{{Machine: "machine-0002", Offset: -30 * time.Second}},
 		SpoolBatches:        256,
 		SpoolBytes:          1 << 20,
 	}
@@ -351,6 +459,9 @@ func TestParseFaultPlan(t *testing.T) {
 	for _, bad := range []string{
 		"nope", "loss=2", "loss=x", "blackout=10m", "blackout=10m+-5m",
 		"crash=@10m", "crash=machine-1", "specdelay=-1m", "spool=-1", "frobnicate=1",
+		"restart=@10m", "restart=machine-1", "restart=m@-5m",
+		"corrupt=2", "corrupt=x", "corrupt=-0.1",
+		"skew=@30s", "skew=machine-1", "skew=m@bogus",
 	} {
 		if _, err := ParseFaultPlan(bad); err == nil {
 			t.Errorf("accepted %q", bad)

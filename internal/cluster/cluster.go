@@ -7,6 +7,7 @@ package cluster
 
 import (
 	"fmt"
+	"math/rand"
 	"runtime"
 	"time"
 
@@ -170,6 +171,18 @@ type Cluster struct {
 	crashes  []CrashEvent // sorted by (At, Machine)
 	crashIdx int
 	delayed  []delayedSpecs
+	// journals hold each machine's cap journal (crash-safe actuation:
+	// restartAgent reconciles a fresh agent against its machine's
+	// journal). faultRNGs are the per-machine fault streams shared with
+	// the chaosLinks; midx maps machine name → fleet index. skewByIdx
+	// is each agent's constant clock offset (read from the parallel
+	// phase, written only at New — no races).
+	journals      []*core.MemCapJournal
+	faultRNGs     []*rand.Rand
+	midx          map[string]int
+	agentRestarts []RestartEvent // sorted by (At, Machine)
+	restartIdx    int
+	skewByIdx     []time.Duration
 
 	onTick    []func(now time.Time)
 	incidents []core.Incident
@@ -236,6 +249,19 @@ func New(cfg Config) *Cluster {
 	if cfg.Faults != nil {
 		c.spools = make([]*pipeline.Spooler, cfg.Machines)
 		c.crashes = cfg.Faults.sortedCrashes()
+		c.agentRestarts = cfg.Faults.sortedRestarts()
+		c.journals = make([]*core.MemCapJournal, cfg.Machines)
+		c.faultRNGs = make([]*rand.Rand, cfg.Machines)
+		c.midx = make(map[string]int, cfg.Machines)
+		c.skewByIdx = make([]time.Duration, cfg.Machines)
+		// Ingress defense in depth, same shape as cmd/cpi2aggregator:
+		// hostile samples (CorruptRate) quarantine at the bus before
+		// they can poison spec statistics.
+		v := core.NewSampleValidator("aggregator", 256)
+		if cfg.Registry != nil {
+			v.Metrics = core.NewMetrics(cfg.Registry)
+		}
+		c.bus.SetValidator(v)
 	}
 	for i := 0; i < cfg.Machines; i++ {
 		name := fmt.Sprintf("machine-%04d", i)
@@ -272,6 +298,7 @@ func New(cfg Config) *Cluster {
 			a.SetMetrics(c.agentShards[i])
 			c.coreShards[i] = core.NewLocalMetrics()
 			a.Manager().SetMetrics(c.coreShards[i])
+			a.Validator().Metrics = c.coreShards[i]
 		}
 		if sink != nil {
 			a.Manager().SetEvents(sink)
@@ -282,11 +309,17 @@ func New(cfg Config) *Cluster {
 			// so the whole chain stays deterministic.
 			// No registry instrumentation here: many spools sharing one
 			// gauge would fight over Set; FaultStats aggregates instead.
-			link := &chaosLink{c: c, rng: rng.Stream("fault/" + name)}
+			c.faultRNGs[i] = rng.Stream("fault/" + name)
+			link := &chaosLink{c: c, rng: c.faultRNGs[i]}
 			c.spools[i] = pipeline.NewSpooler(link, pipeline.SpoolConfig{
 				MaxBatches: cfg.Faults.SpoolBatches,
 				MaxBytes:   cfg.Faults.SpoolBytes,
 			})
+			// Every enforcement decision journals; restartAgent replays
+			// this against live cgroup state after an agent restart.
+			c.journals[i] = &core.MemCapJournal{}
+			a.Manager().SetJournal(c.journals[i])
+			c.midx[name] = i
 		}
 		c.mach[name] = m
 		c.agent[name] = a
@@ -296,6 +329,13 @@ func New(cfg Config) *Cluster {
 		c.bus.Watch(a)
 		if err := c.sched.AddMachine(name, platform, float64(cfg.CPUsPerMachine)); err != nil {
 			panic(err) // unique generated names: cannot happen
+		}
+	}
+	if cfg.Faults != nil {
+		for _, sk := range cfg.Faults.Skews {
+			if i, ok := c.midx[sk.Machine]; ok {
+				c.skewByIdx[i] = sk.Offset // last directive wins
+			}
 		}
 	}
 	return c
@@ -552,6 +592,16 @@ func (c *Cluster) Step() {
 			// behind it — arrival order at the bus stays publish order.
 			_, _ = c.spools[i].TryDrain()
 			_ = c.queues[i].DrainTo(c.spools[i])
+			// Hostile-writer injection: with probability CorruptRate a
+			// garbage batch arrives at the bus claiming to be from this
+			// machine. It bypasses the spool (a hostile writer doesn't
+			// queue politely) but not ingress validation, which must
+			// quarantine every sample. Skipped during blackouts — an
+			// unreachable aggregator is unreachable to attackers too.
+			if p := c.cfg.Faults.CorruptRate; p > 0 && !c.blackout && c.faultRNGs[i].Float64() < p {
+				c.fstats.CorruptBatches++
+				_ = c.bus.Publish([]model.Sample{garbageSample(c.faultRNGs[i], c.machs[i].Name(), now)})
+			}
 		} else {
 			_ = c.queues[i].DrainTo(c.bus)
 		}
@@ -619,7 +669,14 @@ func (c *Cluster) tickMachine(i int, now time.Time, dt time.Duration) {
 		// removal happens at commit.
 		a.TaskExited(id)
 	}
-	incs := a.Tick(now)
+	// A skewed agent runs its whole cycle — sample timestamps, window
+	// boundaries, cap expiry — on its broken clock; the hardware stays
+	// on cluster time.
+	agentNow := now
+	if c.skewByIdx != nil {
+		agentNow = now.Add(c.skewByIdx[i])
+	}
+	incs := a.Tick(agentNow)
 	slot := &c.slots[i]
 	slot.exited = append(slot.exited[:0], exited...)
 	slot.incidents = append(slot.incidents[:0], incs...)

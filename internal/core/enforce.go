@@ -17,6 +17,23 @@ type Capper interface {
 	Uncap(task model.TaskID) error
 }
 
+// LeaseCapper is the crash-safe extension of Capper: caps carry a TTL
+// lease the mechanism self-releases when it stops being renewed. The
+// enforcer uses it when the Capper provides it (machine.Machine does);
+// plain Cappers fall back to unleased caps, losing the backstop but
+// keeping the policy identical.
+type LeaseCapper interface {
+	Capper
+	CapLease(task model.TaskID, quota float64, expires time.Time) error
+	RenewCapLease(task model.TaskID, expires time.Time) bool
+}
+
+// cappedChecker lets reconciliation interrogate live mechanism state
+// (machine.Machine implements it); optional for test fakes.
+type cappedChecker interface {
+	IsCapped(task model.TaskID) bool
+}
+
 // ActionType classifies what the enforcer decided to do.
 type ActionType int
 
@@ -81,11 +98,21 @@ type Enforcer struct {
 	metrics *Metrics  // never nil
 	events  EventSink // never nil
 
-	mu     sync.Mutex
-	active map[model.TaskID]*activeCap
+	mu      sync.Mutex
+	journal CapJournal // never nil; nopJournal = unjournalled
+	active  map[model.TaskID]*activeCap
 	// history remembers victim→task cap rounds even after expiry so
 	// feedback throttling can escalate on repeat offenders.
 	rounds map[string]int
+	// lastNow is the most recent simulation/decision time the enforcer
+	// has seen (Decide/Tick/Reconcile). Externally triggered releases
+	// (TaskExited) stamp their events with it so event logs stay
+	// deterministic under simulated clocks.
+	lastNow time.Time
+	// journalErrs counts failed journal appends; enforcement proceeds
+	// regardless (leases bound the damage), but the count is surfaced
+	// so a dead disk is visible.
+	journalErrs int64
 }
 
 // NewEnforcer returns an enforcer applying caps through capper.
@@ -95,8 +122,44 @@ func NewEnforcer(p Params, capper Capper) *Enforcer {
 		capper:  capper,
 		metrics: &Metrics{},
 		events:  nopSink{},
+		journal: nopJournal{},
 		active:  make(map[model.TaskID]*activeCap),
 		rounds:  make(map[string]int),
+	}
+}
+
+// SetJournal directs actuation records to j (nil disables). Locked
+// like SetMetrics: Decide/Tick append under e.mu.
+func (e *Enforcer) SetJournal(j CapJournal) {
+	if j == nil {
+		j = nopJournal{}
+	}
+	e.mu.Lock()
+	e.journal = j
+	e.mu.Unlock()
+}
+
+// JournalErrors returns the count of failed journal appends.
+func (e *Enforcer) JournalErrors() int64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.journalErrs
+}
+
+// applyCap drives the mechanism, leasing the cap when the capper
+// supports it. Callers hold e.mu.
+func (e *Enforcer) applyCap(now time.Time, task model.TaskID, quota float64) error {
+	if lc, ok := e.capper.(LeaseCapper); ok {
+		return lc.CapLease(task, quota, now.Add(e.params.CapLeaseTTL))
+	}
+	return e.capper.Cap(task, quota)
+}
+
+// appendJournal records one actuation, counting (not propagating)
+// failures. Callers hold e.mu.
+func (e *Enforcer) appendJournal(entry CapJournalEntry) {
+	if err := e.journal.Append(entry); err != nil {
+		e.journalErrs++
 	}
 }
 
@@ -132,6 +195,7 @@ type capEvent struct {
 	Quota  float64    `json:"quota,omitempty"`
 	Until  *time.Time `json:"until,omitempty"`
 	Round  int        `json:"round,omitempty"`
+	Reason string     `json:"reason,omitempty"`
 }
 
 // JobResolver supplies job metadata for suspects; provided by the
@@ -152,6 +216,7 @@ func (e *Enforcer) Decide(now time.Time, victim model.TaskID, victimJob model.Jo
 
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	e.lastNow = now
 
 	// Find the best eligible antagonist.
 	var chosen *Suspect
@@ -201,7 +266,7 @@ func (e *Enforcer) Decide(now time.Time, victim model.TaskID, victimJob model.Jo
 	}
 
 	quota := e.quotaFor(chosenJob, victim, chosen.Task)
-	if err := e.capper.Cap(chosen.Task, quota); err != nil {
+	if err := e.applyCap(now, chosen.Task, quota); err != nil {
 		return Decision{
 			Action: ActionReport,
 			Target: chosen.Task,
@@ -218,6 +283,10 @@ func (e *Enforcer) Decide(now time.Time, victim model.TaskID, victimJob model.Jo
 		expires: until,
 		round:   e.rounds[key],
 	}
+	e.appendJournal(CapJournalEntry{
+		Op: CapOpCap, Time: now, Task: chosen.Task.String(),
+		Victim: victim.String(), Quota: quota, Expires: until, Round: e.rounds[key],
+	})
 	e.metrics.CapsApplied.Inc()
 	e.metrics.CapsActive.Inc()
 	e.events.Emit(now, "cap_applied", capEvent{
@@ -265,6 +334,7 @@ func (e *Enforcer) DecideGroup(now time.Time, victim model.TaskID, victimJob mod
 
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	e.lastNow = now
 	var out []Decision
 	for _, s := range group.Members {
 		if s.Task == victim {
@@ -293,7 +363,7 @@ func (e *Enforcer) DecideGroup(now time.Time, victim model.TaskID, victimJob mod
 			continue
 		}
 		quota := e.quotaFor(job, victim, s.Task)
-		if err := e.capper.Cap(s.Task, quota); err != nil {
+		if err := e.applyCap(now, s.Task, quota); err != nil {
 			out = append(out, Decision{
 				Action: ActionReport,
 				Target: s.Task,
@@ -308,6 +378,10 @@ func (e *Enforcer) DecideGroup(now time.Time, victim model.TaskID, victimJob mod
 			task: s.Task, victim: victim, quota: quota, expires: until,
 			round: e.rounds[key],
 		}
+		e.appendJournal(CapJournalEntry{
+			Op: CapOpCap, Time: now, Task: s.Task.String(),
+			Victim: victim.String(), Quota: quota, Expires: until, Round: e.rounds[key],
+		})
 		e.metrics.CapsApplied.Inc()
 		e.metrics.CapsActive.Inc()
 		e.events.Emit(now, "cap_applied", capEvent{
@@ -337,10 +411,20 @@ func (e *Enforcer) DecideGroup(now time.Time, victim model.TaskID, victimJob mod
 func (e *Enforcer) Tick(now time.Time) []model.TaskID {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	e.lastNow = now
+	lc, leased := e.capper.(LeaseCapper)
 	var expired []*activeCap
 	for _, ac := range e.active {
 		if !now.Before(ac.expires) {
 			expired = append(expired, ac)
+		} else if leased {
+			// Renew the mechanism lease on every live cap: the lease is
+			// the crash backstop, renewal is the liveness signal. If the
+			// machine already swept the lease (we stalled past the TTL),
+			// re-assert the cap — it is still policy until ac.expires.
+			if !lc.RenewCapLease(ac.task, now.Add(e.params.CapLeaseTTL)) {
+				_ = lc.CapLease(ac.task, ac.quota, now.Add(e.params.CapLeaseTTL))
+			}
 		}
 	}
 	sort.Slice(expired, func(i, j int) bool {
@@ -351,12 +435,123 @@ func (e *Enforcer) Tick(now time.Time) []model.TaskID {
 		if err := e.capper.Uncap(ac.task); err == nil {
 			released = append(released, ac.task)
 			delete(e.active, ac.task)
+			e.appendJournal(CapJournalEntry{
+				Op: CapOpUncap, Time: now, Task: ac.task.String(), Reason: "expired",
+			})
 			e.metrics.CapsExpired.Inc()
 			e.metrics.CapsActive.Dec()
 			e.events.Emit(now, "cap_expired", capEvent{Task: ac.task.String(), Victim: ac.victim.String()})
 		}
 	}
 	return released
+}
+
+// TaskExited releases the active cap on a departed task immediately,
+// without driving the mechanism (the task's cgroup is already gone —
+// Hierarchy.Remove cleared the limit with it). Without this, the cap
+// would linger in ActiveCaps until TTL/CapDuration expiry and its
+// Uncap would fail forever against the missing group. The release is
+// journalled and logged like any other; the event timestamp is the
+// enforcer's last decision time, keeping simulated-clock event logs
+// deterministic.
+func (e *Enforcer) TaskExited(task model.TaskID) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	ac, ok := e.active[task]
+	if !ok {
+		return
+	}
+	delete(e.active, task)
+	e.appendJournal(CapJournalEntry{
+		Op: CapOpUncap, Time: e.lastNow, Task: task.String(), Reason: "task_exited",
+	})
+	e.metrics.CapsReleased.Inc()
+	e.metrics.CapsActive.Dec()
+	e.events.Emit(e.lastNow, "cap_released", capEvent{
+		Task: task.String(), Victim: ac.victim.String(), Reason: "task_exited",
+	})
+}
+
+// Reconcile replays a cap journal against live mechanism state after
+// a restart: caps that are still in force and unexpired are re-adopted
+// (resuming their original expiry and feedback-throttling round), and
+// everything else — expired entries, caps whose task vanished, caps
+// the machine already swept — is released as an orphan. It returns the
+// re-adopted and orphaned tasks, each in sorted order.
+//
+// Reconcile is for startup, before the enforcer makes decisions;
+// already-active in-memory caps are left alone (a journalled cap never
+// downgrades a live one).
+func (e *Enforcer) Reconcile(now time.Time, entries []CapJournalEntry) (adopted, orphaned []model.TaskID) {
+	live, _ := ReplayCapEntries(entries)
+	type pending struct {
+		task  model.TaskID
+		entry CapJournalEntry
+	}
+	caps := make([]pending, 0, len(live))
+	for task, entry := range live {
+		caps = append(caps, pending{task, entry})
+	}
+	sort.Slice(caps, func(i, j int) bool {
+		return caps[i].task.String() < caps[j].task.String()
+	})
+
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.lastNow = now
+	checker, canCheck := e.capper.(cappedChecker)
+	for _, p := range caps {
+		if _, ok := e.active[p.task]; ok {
+			continue // live in-memory cap wins
+		}
+		liveCapped := !canCheck || checker.IsCapped(p.task)
+		if now.Before(p.entry.Expires) && liveCapped {
+			// Re-adopt: reassert the cap (refreshing its lease) and
+			// resume bookkeeping exactly where the dead agent left it.
+			victim, _ := model.ParseTaskID(p.entry.Victim)
+			if err := e.applyCap(now, p.task, p.entry.Quota); err != nil {
+				// Mechanism refused (task raced away): orphan instead.
+				e.orphanLocked(now, p.task, false)
+				orphaned = append(orphaned, p.task)
+				continue
+			}
+			e.active[p.task] = &activeCap{
+				task: p.task, victim: victim, quota: p.entry.Quota,
+				expires: p.entry.Expires, round: p.entry.Round,
+			}
+			if p.entry.Round > 0 && p.entry.Victim != "" {
+				key := p.entry.Victim + "→" + p.entry.Task
+				if e.rounds[key] < p.entry.Round {
+					e.rounds[key] = p.entry.Round
+				}
+			}
+			e.metrics.CapsAdopted.Inc()
+			e.metrics.CapsActive.Inc()
+			until := p.entry.Expires
+			e.events.Emit(now, "cap_adopted", capEvent{
+				Task: p.task.String(), Victim: p.entry.Victim,
+				Quota: p.entry.Quota, Until: &until, Round: p.entry.Round,
+			})
+			adopted = append(adopted, p.task)
+			continue
+		}
+		e.orphanLocked(now, p.task, liveCapped)
+		orphaned = append(orphaned, p.task)
+	}
+	return adopted, orphaned
+}
+
+// orphanLocked releases one journalled cap that cannot be re-adopted.
+// Callers hold e.mu.
+func (e *Enforcer) orphanLocked(now time.Time, task model.TaskID, liveCapped bool) {
+	if liveCapped {
+		_ = e.capper.Uncap(task) // best effort; the lease sweep backstops failure
+	}
+	e.appendJournal(CapJournalEntry{
+		Op: CapOpUncap, Time: now, Task: task.String(), Reason: "orphaned",
+	})
+	e.metrics.CapsOrphaned.Inc()
+	e.events.Emit(now, "cap_orphaned", capEvent{Task: task.String(), Reason: "orphaned"})
 }
 
 // ActiveCaps returns the currently capped tasks and their quotas.
@@ -389,6 +584,9 @@ func (e *Enforcer) ReleaseAll() []model.TaskID {
 		if err := e.capper.Uncap(ac.task); err == nil {
 			released = append(released, ac.task)
 			delete(e.active, ac.task)
+			e.appendJournal(CapJournalEntry{
+				Op: CapOpUncap, Time: e.lastNow, Task: ac.task.String(), Reason: "released",
+			})
 			e.metrics.CapsReleased.Inc()
 			e.metrics.CapsActive.Dec()
 			// Operator action, not simulation-driven: wall time is the

@@ -116,14 +116,21 @@ func (m *Manager) Detector() *Detector { return m.detector }
 // (manual capping, release-all).
 func (m *Manager) Enforcer() *Enforcer { return m.enforcer }
 
-// TaskExited clears all state for a departed task.
+// TaskExited clears all state for a departed task, including any
+// active cap on it — an exited antagonist's cap must drop out of
+// ActiveCaps (and the journal) immediately, not linger until expiry
+// failing to uncap a cgroup that no longer exists.
 func (m *Manager) TaskExited(task model.TaskID) {
 	m.mu.Lock()
 	delete(m.cpi, task)
 	delete(m.usage, task)
 	m.mu.Unlock()
 	m.detector.Forget(task)
+	m.enforcer.TaskExited(task)
 }
+
+// SetJournal directs the enforcer's actuation records to j.
+func (m *Manager) SetJournal(j CapJournal) { m.enforcer.SetJournal(j) }
 
 // Observe ingests one CPI sample and runs the full local loop:
 // record → detect → (maybe) correlate → (maybe) enforce. It returns a

@@ -44,6 +44,13 @@ type Metrics struct {
 	CapsReleased *obs.Counter // cpi2_caps_released_total
 	CapsActive   *obs.Gauge   // cpi2_caps_active
 
+	// Restart reconciliation (cap journal replay).
+	CapsAdopted  *obs.Counter // cpi2_caps_readopted_total
+	CapsOrphaned *obs.Counter // cpi2_caps_orphaned_total
+
+	// Input integrity.
+	SamplesQuarantined *obs.CounterVec // cpi2_samples_quarantined_total{reason}
+
 	// Spec aggregation.
 	SpecsComputed *obs.Counter // cpi2_specs_computed_total
 	SpecBacklog   *obs.Gauge   // cpi2_spec_backlog_samples
@@ -78,6 +85,12 @@ func NewMetrics(r *obs.Registry) *Metrics {
 			"hard caps released early (operator release-all)"),
 		CapsActive: r.Gauge("cpi2_caps_active",
 			"hard caps currently in force"),
+		CapsAdopted: r.Counter("cpi2_caps_readopted_total",
+			"caps re-adopted from the journal after an agent restart"),
+		CapsOrphaned: r.Counter("cpi2_caps_orphaned_total",
+			"journalled caps released as orphans during reconciliation"),
+		SamplesQuarantined: r.CounterVec("cpi2_samples_quarantined_total",
+			"samples rejected by the validator, by reason", "reason"),
 		SpecsComputed: r.Counter("cpi2_specs_computed_total",
 			"robust CPI specs produced by recomputations"),
 		SpecBacklog: r.Gauge("cpi2_spec_backlog_samples",
@@ -107,6 +120,9 @@ func NewLocalMetrics() *Metrics {
 		CapsExpired:         &obs.Counter{},
 		CapsReleased:        &obs.Counter{},
 		CapsActive:          &obs.Gauge{},
+		CapsAdopted:         &obs.Counter{},
+		CapsOrphaned:        &obs.Counter{},
+		SamplesQuarantined:  obs.NewCounterVec("reason"),
 		SpecsComputed:       &obs.Counter{},
 		SpecBacklog:         &obs.Gauge{},
 	}
@@ -134,6 +150,9 @@ func (m *Metrics) DrainTo(dst *Metrics) {
 	m.CapsExpired.Drain(dst.CapsExpired)
 	m.CapsReleased.Drain(dst.CapsReleased)
 	m.CapsActive.Drain(dst.CapsActive)
+	m.CapsAdopted.Drain(dst.CapsAdopted)
+	m.CapsOrphaned.Drain(dst.CapsOrphaned)
+	m.SamplesQuarantined.Drain(dst.SamplesQuarantined)
 	m.SpecsComputed.Drain(dst.SpecsComputed)
 }
 

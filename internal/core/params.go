@@ -48,6 +48,12 @@ type Params struct {
 	AnalysisRateLimit time.Duration
 	// CapDuration is how long a hard cap stays applied.
 	CapDuration time.Duration
+	// CapLeaseTTL is the cgroup-layer lease granted on each cap and
+	// renewed every enforcer Tick. If the enforcer vanishes (agent
+	// crash) the machine self-releases the cap within one TTL — the
+	// crash-safety bound on stranded caps. Must exceed the tick
+	// interval comfortably; it is a backstop, not the expiry mechanism.
+	CapLeaseTTL time.Duration
 	// BestEffortQuota is the cap (CPU-sec/sec) for best-effort jobs.
 	BestEffortQuota float64
 	// BatchQuota is the cap (CPU-sec/sec) for other batch jobs.
@@ -89,6 +95,7 @@ func DefaultParams() Params {
 		CorrelationThreshold:  0.35,
 		AnalysisRateLimit:     time.Second,
 		CapDuration:           5 * time.Minute,
+		CapLeaseTTL:           time.Minute,
 		BestEffortQuota:       0.01,
 		BatchQuota:            0.1,
 	}
@@ -139,6 +146,9 @@ func (p Params) Sanitize() Params {
 	}
 	if p.CapDuration <= 0 {
 		p.CapDuration = d.CapDuration
+	}
+	if p.CapLeaseTTL <= 0 {
+		p.CapLeaseTTL = d.CapLeaseTTL
 	}
 	if p.BestEffortQuota <= 0 {
 		p.BestEffortQuota = d.BestEffortQuota

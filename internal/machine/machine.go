@@ -10,6 +10,7 @@
 package machine
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -79,6 +80,10 @@ type Machine struct {
 
 	counters map[string]*perfcnt.Counters
 	now      time.Time
+
+	// leasesExpired counts caps the machine itself released because
+	// their lease ran out — the crash-safety backstop firing.
+	leasesExpired int64
 
 	// Per-tick scratch buffers, reused across Ticks so steady-state
 	// ticking allocates nothing. Sized to the resident task count; the
@@ -171,7 +176,13 @@ func (m *Machine) RemoveTask(id model.TaskID) error {
 		}
 	}
 	delete(m.counters, t.cg)
-	return m.hier.Remove(t.cg)
+	if err := m.hier.Remove(t.cg); err != nil && !errors.Is(err, cgroup.ErrStillCapped) {
+		// A capped task exiting is a normal lifecycle race — the
+		// hierarchy already cleared the limit with the group. Anything
+		// else (unknown group) is a bookkeeping bug worth surfacing.
+		return err
+	}
+	return nil
 }
 
 // pickSocket assigns a NUMA domain to a new task: the socket with the
@@ -219,6 +230,42 @@ func (m *Machine) IsCapped(id model.TaskID) bool {
 	t, ok := m.tasks[id]
 	return ok && t.group.Limit().IsLimited()
 }
+
+// CapLease applies a CFS bandwidth cap that self-releases at expires
+// unless renewed (implements core.LeaseCapper). Operator caps applied
+// via Cap are unaffected: only leased caps expire.
+func (m *Machine) CapLease(id model.TaskID, quota float64, expires time.Time) error {
+	t, ok := m.tasks[id]
+	if !ok {
+		return fmt.Errorf("machine %s: cap-lease: no task %v", m.name, id)
+	}
+	t.group.SetLimitLease(cgroup.LimitFromRate(quota), expires)
+	return nil
+}
+
+// RenewCapLease extends the lease on a task's cap (implements
+// core.LeaseCapper). It reports whether a leased cap was present.
+func (m *Machine) RenewCapLease(id model.TaskID, expires time.Time) bool {
+	t, ok := m.tasks[id]
+	if !ok {
+		return false
+	}
+	return t.group.RenewLease(expires)
+}
+
+// CapLeaseExpiry returns a task's cap-lease expiry, and whether the
+// task currently holds a leased cap at all.
+func (m *Machine) CapLeaseExpiry(id model.TaskID) (time.Time, bool) {
+	t, ok := m.tasks[id]
+	if !ok {
+		return time.Time{}, false
+	}
+	return t.group.LeaseExpiry()
+}
+
+// LeasesExpired returns the cumulative number of caps this machine
+// self-released because their lease expired without renewal.
+func (m *Machine) LeasesExpired() int64 { return m.leasesExpired }
 
 // Utilization returns the machine CPU utilization of the last tick
 // (granted CPU / capacity), in [0, 1].
@@ -273,6 +320,10 @@ func (m *Machine) Counters() map[string]perfcnt.Counters {
 // SAME machine.
 func (m *Machine) Tick(now time.Time, dt time.Duration) ([]TaskTick, []model.TaskID) {
 	m.now = now
+	// Lease sweep first: the mechanism layer runs even when the agent
+	// that applied a cap is dead, so an orphaned cap self-releases here
+	// within one TTL of its last renewal.
+	m.leasesExpired += int64(len(m.hier.SweepLeases(now)))
 	n := len(m.order)
 	if n == 0 {
 		return nil, nil

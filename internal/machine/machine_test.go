@@ -285,3 +285,89 @@ func TestNegativeDemandClamped(t *testing.T) {
 		t.Errorf("tick = %+v", ticks[0])
 	}
 }
+
+func TestCapLeaseSweepInTick(t *testing.T) {
+	m := newTestMachine(8)
+	w, victim := addTask(t, m, "victim", 0, 2.0)
+	_ = w
+	_, ant := addTask(t, m, "antag", 0, 6.0)
+
+	// Lease a cap on the antagonist, expiring in 3 ticks.
+	if err := m.CapLease(ant, 0.5, t0.Add(3*time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if !m.IsCapped(ant) {
+		t.Fatal("CapLease did not cap")
+	}
+	if exp, ok := m.CapLeaseExpiry(ant); !ok || !exp.Equal(t0.Add(3*time.Second)) {
+		t.Fatalf("CapLeaseExpiry = %v, %v", exp, ok)
+	}
+
+	// While renewed, the cap persists past its original expiry.
+	for i := 1; i <= 5; i++ {
+		now := t0.Add(time.Duration(i) * time.Second)
+		if !m.RenewCapLease(ant, now.Add(3*time.Second)) {
+			t.Fatalf("tick %d: renew failed", i)
+		}
+		m.Tick(now, time.Second)
+		if !m.IsCapped(ant) {
+			t.Fatalf("tick %d: renewed cap swept", i)
+		}
+	}
+
+	// Stop renewing (the owner "crashed"): the cap self-releases at
+	// the lease deadline, and only then.
+	for i := 6; i <= 7; i++ {
+		m.Tick(t0.Add(time.Duration(i)*time.Second), time.Second)
+		if !m.IsCapped(ant) {
+			t.Fatalf("tick %d: cap released before lease expiry", i)
+		}
+	}
+	m.Tick(t0.Add(8*time.Second), time.Second)
+	if m.IsCapped(ant) {
+		t.Error("orphaned leased cap not swept at expiry")
+	}
+	if m.LeasesExpired() != 1 {
+		t.Errorf("LeasesExpired = %d, want 1", m.LeasesExpired())
+	}
+	if m.IsCapped(victim) {
+		t.Error("victim was never capped")
+	}
+
+	// Operator caps (plain Cap) never expire.
+	if err := m.Cap(ant, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if m.RenewCapLease(ant, t0.Add(time.Hour)) {
+		t.Error("RenewCapLease on operator cap should report false")
+	}
+	m.Tick(t0.Add(24*time.Hour), time.Second)
+	if !m.IsCapped(ant) {
+		t.Error("operator cap expired")
+	}
+}
+
+func TestRemoveCappedTaskClearsCap(t *testing.T) {
+	m := newTestMachine(8)
+	_, id := addTask(t, m, "j", 0, 1)
+	if err := m.CapLease(id, 0.5, t0.Add(time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+	// Removing a still-capped task is a normal lifecycle race and must
+	// succeed (the hierarchy clears the limit with the group).
+	if err := m.RemoveTask(id); err != nil {
+		t.Fatalf("RemoveTask of capped task = %v", err)
+	}
+	if m.NumTasks() != 0 {
+		t.Error("task not removed")
+	}
+	if err := m.CapLease(id, 0.5, t0.Add(time.Hour)); err == nil {
+		t.Error("CapLease on missing task should fail")
+	}
+	if m.RenewCapLease(id, t0.Add(time.Hour)) {
+		t.Error("RenewCapLease on missing task should report false")
+	}
+	if _, ok := m.CapLeaseExpiry(id); ok {
+		t.Error("CapLeaseExpiry on missing task should report false")
+	}
+}

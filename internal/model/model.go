@@ -12,6 +12,8 @@ package model
 
 import (
 	"fmt"
+	"strconv"
+	"strings"
 	"time"
 )
 
@@ -40,6 +42,20 @@ type TaskID struct {
 
 // String renders "job/index", the conventional task notation.
 func (t TaskID) String() string { return fmt.Sprintf("%s/%d", t.Job, t.Index) }
+
+// ParseTaskID parses the "job/index" form String produces. The split
+// is on the LAST slash, so job names containing slashes round-trip.
+func ParseTaskID(s string) (TaskID, error) {
+	i := strings.LastIndexByte(s, '/')
+	if i <= 0 || i == len(s)-1 {
+		return TaskID{}, fmt.Errorf("model: bad task id %q (want job/index)", s)
+	}
+	idx, err := strconv.Atoi(s[i+1:])
+	if err != nil {
+		return TaskID{}, fmt.Errorf("model: bad task index in %q", s)
+	}
+	return TaskID{Job: JobName(s[:i]), Index: idx}, nil
+}
 
 // Priority is the scheduling band of a job. The paper's clusters
 // classify jobs as "production" (latency-sensitive services) and

@@ -281,3 +281,88 @@ func TestCountersDeltaProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestSubWraparound: a counter reset between two reads (PMU wrap,
+// machine reboot) makes the current cumulative values smaller than the
+// snapshot. Sub must report the negative deltas honestly — it is the
+// derived rates that must degrade to zero instead of emitting garbage.
+func TestSubWraparound(t *testing.T) {
+	var before, after Counters
+	before.Accumulate(10, 2.0, 5, 2.6)
+	after.Accumulate(1, 2.0, 5, 2.6) // counters reset, then 1s of work
+	d := after.Sub(before)
+	if d.Cycles >= 0 || d.Instructions >= 0 || d.CPUSeconds >= 0 || d.L3Misses >= 0 {
+		t.Fatalf("wraparound delta should be negative across the board: %+v", d)
+	}
+	if d.CPI() != 0 {
+		t.Errorf("CPI of a negative-instruction delta = %v, want 0", d.CPI())
+	}
+	if d.L3MPKI() != 0 {
+		t.Errorf("L3MPKI of a negative-instruction delta = %v, want 0", d.L3MPKI())
+	}
+}
+
+// TestZeroInstructionWindow: a window in which nothing retired (idle
+// cgroup, halted CPU) has no defined CPI. The derivations must return
+// exactly 0 — never NaN or Inf from the 0/0 and x/0 divisions.
+func TestZeroInstructionWindow(t *testing.T) {
+	for _, d := range []Counters{
+		{},                // all-zero window
+		{Cycles: 1e9},     // cycles but nothing retired
+		{L3Misses: 12345}, // misses attributed with nothing retired
+	} {
+		if got := d.CPI(); got != 0 || math.IsNaN(got) || math.IsInf(got, 0) {
+			t.Errorf("CPI(%+v) = %v, want 0", d, got)
+		}
+		if got := d.L3MPKI(); got != 0 || math.IsNaN(got) || math.IsInf(got, 0) {
+			t.Errorf("L3MPKI(%+v) = %v, want 0", d, got)
+		}
+	}
+}
+
+// TestNegativeCycleDelta: cycles wrapped but instructions did not (the
+// counters wrap independently in real PMUs). The resulting CPI is
+// negative — defined, finite, and exactly what the egress sample
+// validator quarantines as negative_cpi. This pins the division-layer
+// contract the validator relies on: garbage in, finite garbage out.
+func TestNegativeCycleDelta(t *testing.T) {
+	d := Counters{Cycles: -1e9, Instructions: 1e8}
+	got := d.CPI()
+	if got >= 0 || math.IsNaN(got) || math.IsInf(got, 0) {
+		t.Errorf("CPI = %v, want finite negative", got)
+	}
+}
+
+// TestSamplerSkipsWrappedAndIdleWindows: the sampler must drop a
+// window whose counters went backwards (wrap/reset) or retired nothing,
+// rather than emit a poisoned Measurement.
+func TestSamplerSkipsWrappedAndIdleWindows(t *testing.T) {
+	s := NewSampler(Config{Duration: 2 * time.Second, Interval: 4 * time.Second})
+	base := time.Date(2011, 11, 1, 0, 0, 0, 0, time.UTC)
+	big := map[string]Counters{"/a": {Cycles: 1e12, Instructions: 1e11, CPUSeconds: 100}}
+	small := map[string]Counters{"/a": {Cycles: 1e9, Instructions: 1e8, CPUSeconds: 1}}
+
+	if ms := s.Tick(base, func() map[string]Counters { return big }); len(ms) != 0 {
+		t.Fatalf("window open emitted %v", ms)
+	}
+	// Counters went backwards across the window: wrapped, skip.
+	if ms := s.Tick(base.Add(2*time.Second), func() map[string]Counters { return small }); len(ms) != 0 {
+		t.Fatalf("wrapped window emitted %v", ms)
+	}
+	// Next window: no progress at all (idle) — also skipped.
+	if ms := s.Tick(base.Add(4*time.Second), func() map[string]Counters { return small }); len(ms) != 0 {
+		t.Fatalf("window open emitted %v", ms)
+	}
+	if ms := s.Tick(base.Add(6*time.Second), func() map[string]Counters { return small }); len(ms) != 0 {
+		t.Fatalf("idle window emitted %v", ms)
+	}
+	// Sanity: a healthy window still measures.
+	bigger := map[string]Counters{"/a": {Cycles: 2e9, Instructions: 1.5e8, CPUSeconds: 2}}
+	if ms := s.Tick(base.Add(8*time.Second), func() map[string]Counters { return small }); len(ms) != 0 {
+		t.Fatalf("window open emitted %v", ms)
+	}
+	ms := s.Tick(base.Add(10*time.Second), func() map[string]Counters { return bigger })
+	if len(ms) != 1 || ms[0].CPI <= 0 {
+		t.Fatalf("healthy window: %v", ms)
+	}
+}

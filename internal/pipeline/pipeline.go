@@ -61,6 +61,10 @@ type Bus struct {
 	watchers []SpecWatcher
 	received int64
 	dropped  int64
+	// validator, when set, gates every inbound sample before the
+	// builder sees it — the aggregator-side half of defense in depth
+	// (the agent validates at egress too, but the wire is untrusted).
+	validator *core.SampleValidator
 }
 
 // NewBus creates a pipeline around the given spec builder.
@@ -87,6 +91,22 @@ func (b *Bus) Metrics() *Metrics {
 	return b.metrics
 }
 
+// SetValidator installs an ingress sample validator (nil disables).
+// Call before traffic flows; quarantined samples are counted in the
+// validator's own metrics and never reach the spec builder.
+func (b *Bus) SetValidator(v *core.SampleValidator) {
+	b.mu.Lock()
+	b.validator = v
+	b.mu.Unlock()
+}
+
+// Validator returns the installed ingress validator (nil if none).
+func (b *Bus) Validator() *core.SampleValidator {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.validator
+}
+
 // Publish implements SampleSink: invalid samples are counted and
 // dropped, valid ones are folded into the builder.
 func (b *Bus) Publish(samples []model.Sample) error {
@@ -97,9 +117,16 @@ func (b *Bus) Publish(samples []model.Sample) error {
 // is folded into the builder, then the stats and metrics are updated
 // once — one b.mu acquisition per drain instead of one per batch.
 func (b *Bus) PublishBatches(batches [][]model.Sample) error {
+	b.mu.Lock()
+	v := b.validator
+	b.mu.Unlock()
 	var received, dropped int64
 	for _, samples := range batches {
 		for _, s := range samples {
+			if v != nil && !v.Admit(s) {
+				dropped++
+				continue
+			}
 			if err := b.builder.AddSample(s); err != nil {
 				dropped++
 				continue
