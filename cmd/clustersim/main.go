@@ -31,6 +31,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net/url"
 	"time"
 
 	"repro/internal/cluster"
@@ -85,6 +86,13 @@ func main() {
 		// (/debug/events?type=incident) rather than cluster state, which
 		// the simulation loop mutates without locking.
 		admin := obs.NewAdminServer(reg, events)
+		admin.HandleJSON("/debug/trace", func(q url.Values) (any, error) {
+			tr := c.AggregatorTrace()
+			if id := q.Get("id"); id != "" {
+				return tr.ByTrace(id), nil
+			}
+			return tr.Recent(obs.IntParam(q, "n", 100)), nil
+		})
 		addr, err := admin.Serve(*metricsAddr)
 		if err != nil {
 			log.Fatal(err)
@@ -171,6 +179,11 @@ func main() {
 	// (NewMetrics is idempotent: these are the same series every agent
 	// wrote to).
 	mm := core.NewMetrics(reg)
+	stalenessN, stalenessSum := mm.SpecStaleness.Snapshot()
+	stalenessMean := 0.0
+	if stalenessN > 0 {
+		stalenessMean = stalenessSum / float64(stalenessN)
+	}
 	summary := map[string]any{
 		"incidents":               len(incs),
 		"caps_applied":            mm.CapsApplied.Value(),
@@ -180,6 +193,14 @@ func main() {
 		"samples_observed":        mm.SamplesObserved.Value(),
 		"correlation_p50_seconds": mm.CorrelationSeconds.Quantile(0.5),
 		"correlation_p99_seconds": mm.CorrelationSeconds.Quantile(0.99),
+		// Control-loop reaction-time SLIs (simulated seconds).
+		"sample_to_spec_p50_seconds":  mm.SampleToSpec.Quantile(0.5),
+		"sample_to_spec_p99_seconds":  mm.SampleToSpec.Quantile(0.99),
+		"detect_to_cap_p50_seconds":   mm.DetectToCap.Quantile(0.5),
+		"detect_to_cap_p99_seconds":   mm.DetectToCap.Quantile(0.99),
+		"spec_staleness_observations": stalenessN,
+		"spec_staleness_mean_seconds": stalenessMean,
+		"trace_spans_by_stage":        c.SpanCounts(),
 	}
 	if faults != nil {
 		summary["fault_stats"] = c.FaultStats()

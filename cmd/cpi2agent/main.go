@@ -24,9 +24,10 @@
 // outage costs nothing but spec staleness.
 //
 // The admin HTTP server on -metrics-addr serves /metrics (Prometheus
-// text format), /healthz, /debug/incidents, /debug/specs, and
-// /debug/events; -incident-log appends every structured event as one
-// JSON line.
+// text format), /healthz, /buildinfo, /debug/incidents, /debug/specs,
+// /debug/events, and /debug/trace (the causal span ring: ?id=<trace>
+// for one chain, ?n=<count> for the most recent spans); -incident-log
+// appends every structured event as one JSON line.
 package main
 
 import (
@@ -46,6 +47,7 @@ import (
 	"repro/internal/machine"
 	"repro/internal/model"
 	"repro/internal/obs"
+	"repro/internal/obs/trace"
 	"repro/internal/pipeline"
 	"repro/internal/stats"
 	"repro/internal/workload"
@@ -97,6 +99,10 @@ func main() {
 	var sink pipeline.SampleSink
 	params := core.Params{ReportOnly: *reportOnly, MinSamplesPerTask: 5}
 	var a *agent.Agent
+	// One span ring for the whole daemon: sample/detect/decision spans
+	// from the agent, spec_recv from pushes, spool from replays.
+	tr := trace.NewStore(0)
+	var sp *pipeline.Spooler
 
 	if *aggregator != "" {
 		// The redialer survives aggregator restarts: it re-dials with
@@ -113,11 +119,12 @@ func main() {
 		// The spool rides between the agent and the redialer: while the
 		// aggregator is down, sample batches buffer (bounded, drop-oldest)
 		// instead of vanishing, and replay in order on reconnect.
-		sp := pipeline.NewSpooler(rd, pipeline.SpoolConfig{
+		sp = pipeline.NewSpooler(rd, pipeline.SpoolConfig{
 			MaxBatches: *spoolBatches,
 			MaxBytes:   *spoolBytes,
 		})
 		sp.SetMetrics(pipeline.NewMetrics(reg))
+		sp.SetTrace(tr)
 		sp.Start()
 		rd.SetOnConnect(sp.Kick)
 		sink = sp
@@ -125,6 +132,7 @@ func main() {
 	}
 	a = agent.New(m, params, sink)
 	a.Instrument(reg, events)
+	a.SetTrace(tr)
 
 	// Crash-safe actuation: journal every cap/uncap; recover and
 	// reconcile the journal from a previous run. This process's machine
@@ -163,6 +171,12 @@ func main() {
 				"total":  quar.Total(),
 				"recent": quar.Recent(obs.IntParam(q, "n", 50)),
 			}, nil
+		})
+		admin.HandleJSON("/debug/trace", func(q url.Values) (any, error) {
+			if id := q.Get("id"); id != "" {
+				return tr.ByTrace(id), nil
+			}
+			return tr.Recent(obs.IntParam(q, "n", 100)), nil
 		})
 		addr, err := admin.Serve(*metricsAddr)
 		if err != nil {
@@ -267,6 +281,14 @@ func main() {
 		m.Tick(now, time.Second)
 		incidents := a.Tick(now)
 		state.Unlock()
+		if sp != nil {
+			// Caller-paced replay on the simulated clock, alongside the
+			// Start loop's backoff-paced drains: only this path can stamp
+			// spool spans with the spool-induced delay, because only the
+			// tick loop knows simulated time (sample timestamps are
+			// simulated too, so mixing in wall time would be nonsense).
+			_, _ = sp.TryDrainAt(now)
+		}
 		for _, inc := range incidents {
 			top := ""
 			if len(inc.Suspects) > 0 {

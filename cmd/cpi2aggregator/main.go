@@ -11,8 +11,10 @@
 //
 // The paper recomputed specs every 24h with a goal of hourly; the
 // default here is hourly. The admin HTTP server on -metrics-addr
-// serves /metrics, /healthz, and /debug/specs (the current spec
-// table).
+// serves /metrics, /healthz, /buildinfo, /debug/specs (the current
+// spec table), and /debug/trace (aggregator-side causal spans:
+// ingest, spec_build, spec_push; ?id=<trace> for one chain,
+// ?n=<count> for the most recent spans).
 //
 // -checkpoint makes the aggregator durable across restarts: the full
 // builder state (age-weighted spec history, pending samples, current
@@ -35,6 +37,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/obs"
+	"repro/internal/obs/trace"
 	"repro/internal/pipeline"
 )
 
@@ -82,6 +85,8 @@ func main() {
 	}
 	bus := pipeline.NewBus(builder)
 	bus.SetMetrics(pipeline.NewMetrics(reg))
+	tr := trace.NewStore(0)
+	bus.SetTrace(tr)
 	// Ingress defense in depth: agents validate at egress, but a hostile
 	// or buggy agent can still ship garbage — quarantine it here before
 	// it poisons spec statistics. Now stays nil: agents run simulated
@@ -107,6 +112,12 @@ func main() {
 				"total":  validator.Quarantine.Total(),
 				"recent": validator.Quarantine.Recent(obs.IntParam(q, "n", 50)),
 			}, nil
+		})
+		admin.HandleJSON("/debug/trace", func(q url.Values) (any, error) {
+			if id := q.Get("id"); id != "" {
+				return tr.ByTrace(id), nil
+			}
+			return tr.Recent(obs.IntParam(q, "n", 100)), nil
 		})
 		adminAddr, err := admin.Serve(*metricsAddr)
 		if err != nil {

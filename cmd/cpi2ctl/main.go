@@ -12,11 +12,18 @@
 //	cpi2ctl [-agent host:7422] uncap <job>/<index>
 //	cpi2ctl [-agent host:7422] release-all
 //	cpi2ctl [-agent host:7422] incidents [n]
+//	cpi2ctl [-agent host:7422] trace <trace-id|job/index>
+//
+// trace renders the causal chain behind a trace context — sample →
+// spool → detection → decision spans plus the incidents they produced
+// — answering "why was this task capped?". Given a task ID it starts
+// from the most recent incident involving that task.
 //
 // With -metrics, status reads the daemon's admin HTTP server instead
 // of the control port: it summarises /metrics (every cpi2_* series,
-// label sets summed per family) and lists the most recent records
-// from /debug/incidents.
+// label sets summed per family; histogram families render as
+// p50/p95/p99 quantiles) and lists the most recent records from
+// /debug/incidents.
 package main
 
 import (
@@ -32,10 +39,12 @@ import (
 	"strconv"
 	"strings"
 	"time"
+
+	"repro/internal/obs"
 )
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: cpi2ctl [-agent host:7422] [-metrics host:7423] <status|tasks|caps|cap|uncap|release-all|incidents> [args…]")
+	fmt.Fprintln(os.Stderr, "usage: cpi2ctl [-agent host:7422] [-metrics host:7423] <status|tasks|caps|cap|uncap|release-all|incidents|trace> [args…]")
 	os.Exit(2)
 }
 
@@ -65,7 +74,7 @@ func main() {
 		if len(args) != 3 {
 			usage()
 		}
-	case "UNCAP":
+	case "UNCAP", "TRACE":
 		if len(args) != 2 {
 			usage()
 		}
@@ -126,9 +135,13 @@ func httpStatus(addr string, timeout time.Duration) error {
 		return err
 	}
 
-	// Sum series per metric family (labels and histogram suffixes
-	// stripped keep gauges/counters; buckets are skipped).
+	// Sum series per metric family, labels stripped. Histogram bucket
+	// lines are folded into per-family cumulative bucket counts (summed
+	// across label sets — cumulative counts stay cumulative under
+	// addition) and rendered as p50/p95/p99 instead of raw buckets.
 	totals := make(map[string]float64)
+	buckets := make(map[string]map[float64]float64) // family → finite le → cumulative count
+	infs := make(map[string]float64)                // family → +Inf cumulative count (= total)
 	for _, line := range strings.Split(body, "\n") {
 		if line == "" || strings.HasPrefix(line, "#") {
 			continue
@@ -137,25 +150,42 @@ func httpStatus(addr string, timeout time.Duration) error {
 		if len(fields) != 2 {
 			continue
 		}
-		name := fields[0]
+		name, labels := fields[0], ""
 		if i := strings.IndexByte(name, '{'); i >= 0 {
-			if strings.HasPrefix(name[:i], "cpi2_") && strings.HasSuffix(name[:i], "_bucket") {
-				continue
-			}
-			name = name[:i]
-		}
-		if strings.HasSuffix(name, "_bucket") {
-			continue
+			name, labels = name[:i], name[i:]
 		}
 		v, err := strconv.ParseFloat(fields[1], 64)
 		if err != nil {
 			continue
 		}
+		if strings.HasSuffix(name, "_bucket") {
+			fam, le := strings.TrimSuffix(name, "_bucket"), leLabel(labels)
+			if le == "" {
+				continue
+			}
+			if le == "+Inf" {
+				infs[fam] += v
+			} else if bound, err := strconv.ParseFloat(le, 64); err == nil {
+				if buckets[fam] == nil {
+					buckets[fam] = make(map[float64]float64)
+				}
+				buckets[fam][bound] += v
+			}
+			continue
+		}
 		totals[name] += v
+	}
+	isHistPart := func(n string) bool {
+		fam, ok := strings.CutSuffix(n, "_sum")
+		if !ok {
+			fam, ok = strings.CutSuffix(n, "_count")
+		}
+		_, hist := infs[fam]
+		return ok && hist
 	}
 	names := make([]string, 0, len(totals))
 	for n := range totals {
-		if strings.HasPrefix(n, "cpi2_") {
+		if strings.HasPrefix(n, "cpi2_") && !isHistPart(n) {
 			names = append(names, n)
 		}
 	}
@@ -163,6 +193,33 @@ func httpStatus(addr string, timeout time.Duration) error {
 	fmt.Printf("metrics (%s):\n", addr)
 	for _, n := range names {
 		fmt.Printf("  %-44s %g\n", n, totals[n])
+	}
+	fams := make([]string, 0, len(infs))
+	for f := range infs {
+		if strings.HasPrefix(f, "cpi2_") {
+			fams = append(fams, f)
+		}
+	}
+	if len(fams) > 0 {
+		sort.Strings(fams)
+		fmt.Println("\nhistograms (p50 / p95 / p99):")
+		for _, f := range fams {
+			bounds := make([]float64, 0, len(buckets[f]))
+			for b := range buckets[f] {
+				bounds = append(bounds, b)
+			}
+			sort.Float64s(bounds)
+			cum := make([]uint64, 0, len(bounds)+1)
+			for _, b := range bounds {
+				cum = append(cum, uint64(buckets[f][b]))
+			}
+			cum = append(cum, uint64(infs[f]))
+			fmt.Printf("  %-44s %g / %g / %g  (n=%g)\n", f,
+				obs.QuantileFromBuckets(bounds, cum, 0.5),
+				obs.QuantileFromBuckets(bounds, cum, 0.95),
+				obs.QuantileFromBuckets(bounds, cum, 0.99),
+				infs[f])
+		}
 	}
 
 	body, err = httpGet(client, "http://"+addr+"/debug/incidents?n=10")
@@ -184,6 +241,20 @@ func httpStatus(addr string, timeout time.Duration) error {
 		fmt.Println(line)
 	}
 	return nil
+}
+
+// leLabel extracts the le="…" value from a rendered label set.
+func leLabel(labels string) string {
+	i := strings.Index(labels, `le="`)
+	if i < 0 {
+		return ""
+	}
+	rest := labels[i+4:]
+	j := strings.IndexByte(rest, '"')
+	if j < 0 {
+		return ""
+	}
+	return rest[:j]
 }
 
 func httpGet(client *http.Client, url string) (string, error) {

@@ -11,6 +11,7 @@
 package agent
 
 import (
+	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -18,6 +19,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/machine"
 	"repro/internal/model"
+	"repro/internal/obs/trace"
 	"repro/internal/perfcnt"
 	"repro/internal/pipeline"
 )
@@ -40,11 +42,17 @@ type Agent struct {
 
 	mu    sync.Mutex
 	tasks map[string]taskInfo // cgroup name → identity
+	// seq counts sample batches built by this agent; together with the
+	// machine name it derives the deterministic per-batch trace ID.
+	seq uint64
 	// metrics is read lock-free on every tick (the cluster's parallel
 	// phase ticks thousands of agents; taking a.mu per tick just to
 	// snapshot this handle showed up in profiles). Never nil; a zero
 	// Metrics means uninstrumented.
 	metrics atomic.Pointer[Metrics]
+	// tracer is read lock-free for the same reason; nil inside means
+	// untraced (the default).
+	tracer atomic.Pointer[trace.Store]
 }
 
 type taskInfo struct {
@@ -132,8 +140,31 @@ func (a *Agent) WantSpec(key model.SpecKey) bool {
 	return false
 }
 
+// SetTrace directs the agent's causal spans to store and forwards the
+// store to the manager (detect/decision spans). Nil disables tracing.
+func (a *Agent) SetTrace(store *trace.Store) {
+	a.tracer.Store(store)
+	a.manager.SetTrace(store)
+}
+
+// Trace returns the agent's span store (nil when untraced); control
+// and admin endpoints render the causal chain from it.
+func (a *Agent) Trace() *trace.Store { return a.tracer.Load() }
+
 // DeliverSpec implements pipeline.SpecWatcher.
-func (a *Agent) DeliverSpec(spec model.Spec) { a.manager.UpdateSpec(spec) }
+func (a *Agent) DeliverSpec(spec model.Spec) {
+	if tr := a.tracer.Load(); tr != nil && !spec.UpdatedAt.IsZero() {
+		tr.Add(trace.Span{
+			TraceID: trace.SpecTraceID(spec.Key().String(), spec.UpdatedAt),
+			Stage:   trace.StageSpecRecv,
+			Machine: a.mach.Name(),
+			Key:     spec.Key().String(),
+			Time:    spec.UpdatedAt,
+			Detail:  fmt.Sprintf("cpi mean %.3f stddev %.3f", spec.CPIMean, spec.CPIStddev),
+		})
+	}
+	a.manager.UpdateSpec(spec)
+}
 
 // Tick runs one agent cycle at now: sample counters, analyse, publish,
 // and expire caps. It returns the incidents raised this tick. Call it
@@ -178,6 +209,11 @@ func (a *Agent) Tick(now time.Time) []core.Incident {
 func (a *Agent) toSamples(now time.Time, ms []perfcnt.Measurement) []model.Sample {
 	a.mu.Lock()
 	defer a.mu.Unlock()
+	// One trace context per batch, derived from (machine, batch seq):
+	// agent ticks are serial per machine, so the ID sequence is
+	// identical at any cluster worker count and under any fault plan.
+	a.seq++
+	tid := trace.SampleTraceID(a.mach.Name(), a.seq)
 	out := make([]model.Sample, 0, len(ms))
 	for _, m := range ms {
 		info, ok := a.tasks[m.Cgroup]
@@ -192,6 +228,16 @@ func (a *Agent) toSamples(now time.Time, ms []perfcnt.Measurement) []model.Sampl
 			CPUUsage:  m.CPUUsage,
 			CPI:       m.CPI,
 			Machine:   a.mach.Name(),
+			TraceID:   tid,
+		})
+	}
+	if tr := a.tracer.Load(); tr != nil && len(out) > 0 {
+		tr.Add(trace.Span{
+			TraceID: tid,
+			Stage:   trace.StageSample,
+			Machine: a.mach.Name(),
+			Time:    now,
+			Detail:  fmt.Sprintf("%d samples", len(out)),
 		})
 	}
 	return out

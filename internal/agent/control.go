@@ -30,6 +30,7 @@ import (
 //	UNCAP <job>/<index>
 //	RELEASE-ALL
 //	INCIDENTS <n>
+//	TRACE <trace-id|job/index>
 type ControlServer struct {
 	agent *Agent
 	// state guards the agent/machine against the driving loop: the
@@ -162,6 +163,11 @@ func (c *ControlServer) execute(line string) string {
 			}
 		}
 		return c.incidents(n)
+	case "TRACE":
+		if len(fields) != 2 {
+			return "err usage: TRACE <trace-id|job/index>"
+		}
+		return c.trace(fields[1])
 	default:
 		return "err unknown command " + cmd
 	}
@@ -209,6 +215,75 @@ func (c *ControlServer) caps() string {
 		} else {
 			fmt.Fprintf(&sb, "%s - operator\n", id)
 		}
+	}
+	sb.WriteString(".")
+	return sb.String()
+}
+
+// trace renders the full causal chain for one trace context: every
+// span the agent recorded under the trace ID (sample → spool → detect
+// → decision, whatever reached this machine) plus the incidents it
+// produced. The argument is either a raw trace ID or a task ID; a
+// task resolves to the most recent incident naming it as victim or
+// cap target — the operator's "why was this task capped?" entry
+// point.
+func (c *ControlServer) trace(arg string) string {
+	incs := c.agent.Manager().Incidents()
+	id := arg
+	if task, err := parseTaskID(arg); err == nil {
+		// Task form: find the newest incident involving the task.
+		id = ""
+		for i := len(incs) - 1; i >= 0; i-- {
+			if incs[i].Victim == task || incs[i].Decision.Target == task {
+				id = incs[i].TraceID
+				break
+			}
+		}
+		if id == "" {
+			return fmt.Sprintf("err no incident involves %v", task)
+		}
+	}
+	var sb strings.Builder
+	sb.WriteString("ok\n")
+	lines := 0
+	for _, sp := range c.agent.Trace().ByTrace(id) {
+		b, err := json.Marshal(sp)
+		if err != nil {
+			continue
+		}
+		sb.Write(b)
+		sb.WriteByte('\n')
+		lines++
+	}
+	for _, inc := range incs {
+		if inc.TraceID != id {
+			continue
+		}
+		row := map[string]interface{}{
+			"stage":      "incident",
+			"trace_id":   inc.TraceID,
+			"time":       inc.Time,
+			"victim":     inc.Victim.String(),
+			"victim_cpi": inc.VictimCPI,
+			"threshold":  inc.Threshold,
+			"action":     inc.Decision.Action.String(),
+			"target":     inc.Decision.Target.String(),
+			"reason":     inc.Decision.Reason,
+		}
+		if len(inc.Suspects) > 0 {
+			row["top_suspect"] = inc.Suspects[0].Task.String()
+			row["correlation"] = inc.Suspects[0].Correlation
+		}
+		b, err := json.Marshal(row)
+		if err != nil {
+			continue
+		}
+		sb.Write(b)
+		sb.WriteByte('\n')
+		lines++
+	}
+	if lines == 0 {
+		return "err no spans or incidents for trace " + id
 	}
 	sb.WriteString(".")
 	return sb.String()

@@ -492,6 +492,11 @@ func (c *Cluster) restartAgent(i int, now time.Time) (adopted, orphaned int) {
 	c.bus.Unwatch(old)
 
 	a := agent.New(m, c.cfg.Params, c.queues[i])
+	// The span store survives the restart (it models central ring
+	// storage, not daemon memory); the fresh agent keeps appending to
+	// the same ring. Its batch-sequence counter does reset, like a real
+	// daemon's would.
+	a.SetTrace(c.traces[i])
 	if c.eventBufs != nil {
 		a.Manager().SetEvents(c.eventBufs[i])
 	}

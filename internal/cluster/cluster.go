@@ -18,6 +18,7 @@ import (
 	"repro/internal/machine"
 	"repro/internal/model"
 	"repro/internal/obs"
+	"repro/internal/obs/trace"
 	"repro/internal/pipeline"
 	"repro/internal/scheduler"
 	"repro/internal/stats"
@@ -149,6 +150,15 @@ type Cluster struct {
 	slots     []stepSlot // preallocated per-machine result slots
 	eventBufs []*obs.EventBuffer
 
+	// Causal tracing is always on: per-agent span stores keep writes
+	// machine-local during the parallel phase (an agent only appends to
+	// its own ring), and the aggregator-side store is only written from
+	// the serial commit phase — so span content is as worker-count-
+	// independent as everything else. IDs are content hashes, never
+	// clocks, so fingerprints stay byte-identical (see obs/trace).
+	traces   []*trace.Store
+	aggTrace *trace.Store
+
 	// pool runs the parallel phase (nil when cfg.Workers == 1).
 	pool *pool
 
@@ -226,7 +236,11 @@ func New(cfg Config) *Cluster {
 		pairCounts: make(map[[2]model.JobName]int),
 		capCounts:  make(map[model.TaskID]int),
 		avoided:    make(map[[2]model.JobName]bool),
+
+		traces:   make([]*trace.Store, cfg.Machines),
+		aggTrace: trace.NewStore(0),
 	}
+	c.bus.SetTrace(c.aggTrace)
 	if cfg.Registry != nil {
 		c.bus.SetMetrics(pipeline.NewMetrics(cfg.Registry))
 		c.bus.Builder().SetMetrics(core.NewMetrics(cfg.Registry))
@@ -280,6 +294,8 @@ func New(cfg Config) *Cluster {
 		// the byte-exact specs — independent of the worker count.
 		q := pipeline.NewQueue()
 		a := agent.New(m, cfg.Params, q)
+		c.traces[i] = trace.NewStore(0)
+		a.SetTrace(c.traces[i])
 		// Events go through a per-machine staging buffer: agents emit
 		// during the parallel phase, the commit phase drains buffers in
 		// machine-index order into the shared log.
@@ -315,6 +331,11 @@ func New(cfg Config) *Cluster {
 				MaxBatches: cfg.Faults.SpoolBatches,
 				MaxBytes:   cfg.Faults.SpoolBytes,
 			})
+			// Spool-replay spans land in the owning machine's store. The
+			// replay runs in the serial commit phase, after the parallel
+			// phase has joined, so the append order within each store is
+			// deterministic at any worker count.
+			c.spools[i].SetTrace(c.traces[i])
 			// Every enforcement decision journals; restartAgent replays
 			// this against live cgroup state after an agent restart.
 			c.journals[i] = &core.MemCapJournal{}
@@ -352,6 +373,25 @@ func (c *Cluster) Bus() *pipeline.Bus { return c.bus }
 
 // Store returns the forensics incident store.
 func (c *Cluster) Store() *forensics.Store { return c.store }
+
+// AggregatorTrace returns the aggregator-side span store (ingest,
+// spec_build, spec_push stages). Per-machine stores hang off each
+// agent: Cluster.Agent(name).Trace().
+func (c *Cluster) AggregatorTrace() *trace.Store { return c.aggTrace }
+
+// SpanCounts sums per-stage span counts across every store in the
+// cluster (all agents plus the aggregator). Deterministic for a given
+// seed at any worker count.
+func (c *Cluster) SpanCounts() map[string]uint64 {
+	out := make(map[string]uint64, len(trace.Stages))
+	stores := append([]*trace.Store{c.aggTrace}, c.traces...)
+	for _, st := range stores {
+		for _, stage := range trace.Stages {
+			out[stage] += st.StageCount(stage)
+		}
+	}
+	return out
+}
 
 // Machine returns a machine by name (nil if unknown).
 func (c *Cluster) Machine(name string) *machine.Machine { return c.mach[name] }
@@ -590,7 +630,9 @@ func (c *Cluster) Step() {
 		if c.spools != nil {
 			// Replay any spooled backlog first, then this tick's samples
 			// behind it — arrival order at the bus stays publish order.
-			_, _ = c.spools[i].TryDrain()
+			// TryDrainAt (not TryDrain) so replayed batches get spool
+			// spans recording how long the outage delayed them.
+			_, _ = c.spools[i].TryDrainAt(now)
 			_ = c.queues[i].DrainTo(c.spools[i])
 			// Hostile-writer injection: with probability CorruptRate a
 			// garbage batch arrives at the bus claiming to be from this

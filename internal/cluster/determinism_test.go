@@ -11,6 +11,7 @@ import (
 	"repro/internal/machine"
 	"repro/internal/model"
 	"repro/internal/obs"
+	"repro/internal/obs/trace"
 	"repro/internal/stats"
 	"repro/internal/workload"
 )
@@ -41,6 +42,19 @@ type fingerprint struct {
 	MetricAnalyses  float64
 	MetricCaps      float64
 	MetricTasks     float64
+	// Causal-tracing surface: per-stage span counts summed across every
+	// store, and the count+sum of the reaction-time SLI histograms. All
+	// of it is simulation-time data — trace IDs are content hashes and
+	// the SLIs observe sim-clock durations — so it must be bit-identical
+	// at any worker count, with tracing always on. (Wall-clock histograms
+	// stay deliberately absent, as above.)
+	SpansByStage     map[string]uint64
+	SampleToSpecN    uint64
+	SampleToSpecSum  float64
+	DetectToCapN     uint64
+	DetectToCapSum   float64
+	SpecStalenessN   uint64
+	SpecStalenessSum float64
 }
 
 // detRun builds a busy cluster — search tree, quiet service, batch,
@@ -115,6 +129,10 @@ func detRun(t *testing.T, workers, machines int, warm, dur time.Duration) []byte
 	fp.MetricAnalyses = cm.AnalysesRun.Value()
 	fp.MetricCaps = cm.CapsApplied.Value()
 	fp.MetricTasks = am.Tasks.Value()
+	fp.SpansByStage = c.SpanCounts()
+	fp.SampleToSpecN, fp.SampleToSpecSum = cm.SampleToSpec.Count(), cm.SampleToSpec.Sum()
+	fp.DetectToCapN, fp.DetectToCapSum = cm.DetectToCap.Count(), cm.DetectToCap.Sum()
+	fp.SpecStalenessN, fp.SpecStalenessSum = cm.SpecStaleness.Snapshot()
 	b, err := json.Marshal(fp)
 	if err != nil {
 		t.Fatal(err)
@@ -167,6 +185,16 @@ func TestStepDeterminismAcrossWorkerCounts(t *testing.T) {
 	if fp.MetricSamples == 0 || fp.MetricAnalyses == 0 {
 		t.Errorf("metric shards drained nothing: samples=%v analyses=%v",
 			fp.MetricSamples, fp.MetricAnalyses)
+	}
+	for _, stage := range []string{trace.StageSample, trace.StageIngest, trace.StageSpecBuild,
+		trace.StageSpecPush, trace.StageSpecRecv, trace.StageDetect, trace.StageDecision} {
+		if fp.SpansByStage[stage] == 0 {
+			t.Errorf("no %s spans recorded: tracing not exercised", stage)
+		}
+	}
+	if fp.SampleToSpecN == 0 || fp.SpecStalenessN == 0 || fp.DetectToCapN == 0 {
+		t.Errorf("reaction-time SLIs unobserved: sample_to_spec=%d staleness=%d detect_to_cap=%d",
+			fp.SampleToSpecN, fp.SpecStalenessN, fp.DetectToCapN)
 	}
 }
 

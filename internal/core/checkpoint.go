@@ -54,6 +54,11 @@ type CheckpointPending struct {
 	CPI      stats.MomentsState `json:"cpi"`
 	CPUUsage stats.MomentsState `json:"cpu_usage"`
 	Tasks    []CheckpointTask   `json:"tasks,omitempty"`
+	// Oldest/Newest bound the interval's sample timestamps (the
+	// sample-to-spec SLI anchor). Absent in pre-SLI checkpoints, which
+	// restore with zero bounds and simply skip the first observation.
+	Oldest time.Time `json:"oldest,omitempty"`
+	Newest time.Time `json:"newest,omitempty"`
 }
 
 // CheckpointTask records a task's sample count within a pending
@@ -93,6 +98,8 @@ func (b *SpecBuilder) Checkpoint(now time.Time) Checkpoint {
 			Job: key.Job, Platform: key.Platform,
 			CPI:      agg.cpi.State(),
 			CPUUsage: agg.cpuUsage.State(),
+			Oldest:   agg.oldest,
+			Newest:   agg.newest,
 		}
 		for task, n := range agg.tasks {
 			p.Tasks = append(p.Tasks, CheckpointTask{Task: task, Samples: n})
@@ -177,6 +184,8 @@ func (b *SpecBuilder) Restore(cp Checkpoint) error {
 			cpi:      stats.MomentsFromState(p.CPI),
 			cpuUsage: stats.MomentsFromState(p.CPUUsage),
 			tasks:    make(map[model.TaskID]int64, len(p.Tasks)),
+			oldest:   p.Oldest,
+			newest:   p.Newest,
 		}
 		for _, t := range p.Tasks {
 			if t.Samples < 0 {

@@ -28,6 +28,14 @@ type Assessment struct {
 	// SigmasAbove is how many spec standard deviations the sample sits
 	// above the spec mean (0 when at or below the mean, or no spec).
 	SigmasAbove float64
+	// SpecAge is how stale the spec used for the judgement was at the
+	// sample's timestamp (zero when the spec carries no UpdatedAt, as
+	// bootstrap specs do) — the cpi2_spec_staleness_seconds SLI.
+	SpecAge time.Duration
+	// FirstOutlierAt is when the task's current outlier episode began
+	// (the first violation still inside the window). Zero unless the
+	// sample is an outlier. It anchors the detect-to-cap SLI.
+	FirstOutlierAt time.Time
 }
 
 // Detector performs the local anomaly detection that runs on every
@@ -40,14 +48,19 @@ type Detector struct {
 	mu    sync.Mutex
 	specs map[model.SpecKey]model.Spec
 	flags map[model.TaskID]*timeseries.Series
+	// episodes tracks, per task, when the current run of outlier
+	// violations started; it is the anchor for the detect-to-cap
+	// reaction-time SLI and is cleared when the window goes quiet.
+	episodes map[model.TaskID]time.Time
 }
 
 // NewDetector returns a detector using p (sanitized).
 func NewDetector(p Params) *Detector {
 	return &Detector{
-		params: p.Sanitize(),
-		specs:  make(map[model.SpecKey]model.Spec),
-		flags:  make(map[model.TaskID]*timeseries.Series),
+		params:   p.Sanitize(),
+		specs:    make(map[model.SpecKey]model.Spec),
+		flags:    make(map[model.TaskID]*timeseries.Series),
+		episodes: make(map[model.TaskID]time.Time),
 	}
 }
 
@@ -104,6 +117,11 @@ func (d *Detector) Observe(s model.Sample) Assessment {
 	if spec.CPIStddev > 0 && s.CPI > spec.CPIMean {
 		a.SigmasAbove = (s.CPI - spec.CPIMean) / spec.CPIStddev
 	}
+	if !spec.UpdatedAt.IsZero() {
+		if age := s.Timestamp.Sub(spec.UpdatedAt); age > 0 {
+			a.SpecAge = age
+		}
+	}
 	if s.CPUUsage < d.params.MinCPUUsage {
 		// CPI spikes at near-zero CPU usage are usually self-inflicted
 		// (Case 3); don't flag, and don't record a violation.
@@ -129,6 +147,21 @@ func (d *Detector) Observe(s model.Sample) Assessment {
 	violations := fl.CountSince(windowStart, s.Timestamp.Add(time.Nanosecond),
 		func(x float64) bool { return x == 1 })
 	a.Anomalous = violations >= d.params.ViolationsRequired
+
+	// Episode bookkeeping for the detect-to-cap SLI. An episode opens
+	// on the first outlier and closes once the window holds no
+	// violations at all (so a one-off blip that ages out resets the
+	// anchor rather than inflating the next episode's latency).
+	if outlier {
+		start, open := d.episodes[s.Task]
+		if !open || start.Before(windowStart) && violations == 1 {
+			start = s.Timestamp
+			d.episodes[s.Task] = start
+		}
+		a.FirstOutlierAt = start
+	} else if violations == 0 {
+		delete(d.episodes, s.Task)
+	}
 	return a
 }
 
@@ -138,6 +171,7 @@ func (d *Detector) Forget(task model.TaskID) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	delete(d.flags, task)
+	delete(d.episodes, task)
 }
 
 // TrackedTasks returns how many tasks currently have flag history.

@@ -1,10 +1,12 @@
 package core
 
 import (
+	"fmt"
 	"sync"
 	"time"
 
 	"repro/internal/model"
+	"repro/internal/obs/trace"
 	"repro/internal/timeseries"
 )
 
@@ -26,6 +28,10 @@ type Incident struct {
 	// member actions.
 	Group          *GroupSuspect
 	GroupDecisions []Decision
+	// TraceID is the causal-tracing context of the sample batch that
+	// triggered the incident, joining it to the obs/trace span stores
+	// and the forensics table ("why was this task capped?").
+	TraceID string
 }
 
 // Manager is the per-machine CPI² engine: it ingests the local
@@ -39,8 +45,9 @@ type Manager struct {
 	machine  string
 	detector *Detector
 	enforcer *Enforcer
-	metrics  *Metrics  // never nil; zero Metrics = uninstrumented
-	events   EventSink // never nil; nopSink = unlogged
+	metrics  *Metrics     // never nil; zero Metrics = uninstrumented
+	events   EventSink    // never nil; nopSink = unlogged
+	tracer   *trace.Store // nil = untraced
 
 	mu           sync.Mutex
 	jobs         map[model.JobName]model.Job
@@ -97,6 +104,15 @@ func (m *Manager) SetEvents(sink EventSink) {
 	m.enforcer.SetEvents(sink)
 }
 
+// SetTrace directs the manager's causal spans (detect, decision) to
+// store. Nil disables tracing (the default). Locked like SetMetrics —
+// Observe/analyse snapshot the field under m.mu.
+func (m *Manager) SetTrace(store *trace.Store) {
+	m.mu.Lock()
+	m.tracer = store
+	m.mu.Unlock()
+}
+
 // RegisterJob installs job metadata for tasks on this machine. The
 // cluster scheduler calls this when placing a task.
 func (m *Manager) RegisterJob(j model.Job) {
@@ -149,7 +165,7 @@ func (m *Manager) Observe(s model.Sample) *Incident {
 	}
 	_ = cs.Append(s.Timestamp, s.CPI)
 	_ = us.Append(s.Timestamp, s.CPUUsage)
-	metrics := m.metrics // snapshot under m.mu; SetMetrics may race otherwise
+	metrics, tracer := m.metrics, m.tracer // snapshot under m.mu; setters may race otherwise
 	m.mu.Unlock()
 
 	a := m.detector.Observe(s)
@@ -160,15 +176,27 @@ func (m *Manager) Observe(s model.Sample) *Incident {
 	if a.Outlier {
 		metrics.Outliers.Inc()
 	}
+	if a.HasSpec && a.SpecAge > 0 {
+		metrics.SpecStaleness.With(string(s.Job)).Observe(a.SpecAge.Seconds())
+	}
 	if !a.Anomalous {
 		return nil
 	}
 	metrics.Anomalies.Inc()
-	return m.analyse(s, a)
+	tracer.Add(trace.Span{
+		TraceID:      s.TraceID,
+		Stage:        trace.StageDetect,
+		Machine:      m.machine,
+		Key:          s.Task.String(),
+		Time:         s.Timestamp,
+		QueueSeconds: a.SpecAge.Seconds(),
+		Detail:       fmt.Sprintf("cpi %.3f > threshold %.3f", s.CPI, a.Threshold),
+	})
+	return m.analyse(s, a, tracer)
 }
 
 // analyse runs one rate-limited antagonist-identification round.
-func (m *Manager) analyse(s model.Sample, a Assessment) *Incident {
+func (m *Manager) analyse(s model.Sample, a Assessment, tracer *trace.Store) *Incident {
 	m.mu.Lock()
 	metrics, events := m.metrics, m.events // snapshot under m.mu
 	// §4.2: at most one analysis per AnalysisRateLimit per machine, so
@@ -204,6 +232,7 @@ func (m *Manager) analyse(s model.Sample, a Assessment) *Incident {
 	// Wall-clock reads only when the latency histogram is actually
 	// wired — uninstrumented runs pay nothing for timing.
 	var wallStart time.Time
+	var wallSeconds float64
 	timed := metrics.CorrelationSeconds != nil
 	if timed {
 		wallStart = time.Now()
@@ -211,7 +240,8 @@ func (m *Manager) analyse(s model.Sample, a Assessment) *Incident {
 	ranked := RankSuspects(victimCPI, a.Threshold, suspects,
 		now, m.params.CorrelationWindow, m.params.SamplingInterval)
 	if timed {
-		metrics.CorrelationSeconds.Observe(time.Since(wallStart).Seconds())
+		wallSeconds = time.Since(wallStart).Seconds()
+		metrics.CorrelationSeconds.Observe(wallSeconds)
 	}
 	decision := m.enforcer.Decide(s.Timestamp, s.Task, victimJob, ranked, m.resolveJob)
 
@@ -246,11 +276,34 @@ func (m *Manager) analyse(s model.Sample, a Assessment) *Incident {
 		Decision:       decision,
 		Group:          group,
 		GroupDecisions: groupDecisions,
+		TraceID:        s.TraceID,
 	}
 	if group != nil {
 		metrics.GroupDetections.Inc()
 	}
 	metrics.Incidents.With(decision.Action.String()).Inc()
+	// Detect-to-cap reaction time: first outlier of the episode → this
+	// cap decision, in simulation time.
+	var reaction time.Duration
+	if decision.Action == ActionCap && !a.FirstOutlierAt.IsZero() {
+		if reaction = s.Timestamp.Sub(a.FirstOutlierAt); reaction >= 0 {
+			metrics.DetectToCap.Observe(reaction.Seconds())
+		}
+	}
+	detail := decision.Action.String()
+	if decision.Action != ActionNone {
+		detail = fmt.Sprintf("%s %s", detail, decision.Target)
+	}
+	tracer.Add(trace.Span{
+		TraceID:      s.TraceID,
+		Stage:        trace.StageDecision,
+		Machine:      m.machine,
+		Key:          s.Task.String(),
+		Time:         s.Timestamp,
+		QueueSeconds: reaction.Seconds(),
+		ProcSeconds:  wallSeconds,
+		Detail:       detail,
+	})
 	events.Emit(inc.Time, "incident", inc.Record())
 	m.mu.Lock()
 	m.incidents = append(m.incidents, *inc)

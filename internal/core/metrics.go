@@ -54,6 +54,12 @@ type Metrics struct {
 	// Spec aggregation.
 	SpecsComputed *obs.Counter // cpi2_specs_computed_total
 	SpecBacklog   *obs.Gauge   // cpi2_spec_backlog_samples
+
+	// Reaction-time SLIs (simulation/decision-time durations, so they
+	// stay deterministic under the cluster's fingerprint tests).
+	SampleToSpec  *obs.Histogram    // cpi2_sample_to_spec_seconds
+	SpecStaleness *obs.HistogramVec // cpi2_spec_staleness_seconds{job}
+	DetectToCap   *obs.Histogram    // cpi2_detect_to_cap_seconds
 }
 
 // NewMetrics registers (or fetches) the core metric set on r.
@@ -95,6 +101,15 @@ func NewMetrics(r *obs.Registry) *Metrics {
 			"robust CPI specs produced by recomputations"),
 		SpecBacklog: r.Gauge("cpi2_spec_backlog_samples",
 			"samples accumulated since the last spec recompute"),
+		SampleToSpec: r.Histogram("cpi2_sample_to_spec_seconds",
+			"age of the oldest pending sample folded into a spec recompute",
+			obs.StalenessBuckets),
+		SpecStaleness: r.HistogramVec("cpi2_spec_staleness_seconds",
+			"age of the installed spec each time it judges a sample",
+			obs.StalenessBuckets, "job"),
+		DetectToCap: r.Histogram("cpi2_detect_to_cap_seconds",
+			"latency from a task's first outlier to a cap decision",
+			obs.ReactionBuckets),
 	}
 }
 
@@ -125,6 +140,9 @@ func NewLocalMetrics() *Metrics {
 		SamplesQuarantined:  obs.NewCounterVec("reason"),
 		SpecsComputed:       &obs.Counter{},
 		SpecBacklog:         &obs.Gauge{},
+		SampleToSpec:        obs.NewHistogram(obs.StalenessBuckets),
+		SpecStaleness:       obs.NewHistogramVec(obs.StalenessBuckets, "job"),
+		DetectToCap:         obs.NewHistogram(obs.ReactionBuckets),
 	}
 }
 
@@ -154,6 +172,9 @@ func (m *Metrics) DrainTo(dst *Metrics) {
 	m.CapsOrphaned.Drain(dst.CapsOrphaned)
 	m.SamplesQuarantined.Drain(dst.SamplesQuarantined)
 	m.SpecsComputed.Drain(dst.SpecsComputed)
+	m.SampleToSpec.Drain(dst.SampleToSpec)
+	m.SpecStaleness.Drain(dst.SpecStaleness)
+	m.DetectToCap.Drain(dst.DetectToCap)
 }
 
 // SuspectRecord is the JSON rendering of one ranked suspect.
@@ -181,6 +202,7 @@ type IncidentRecord struct {
 	TopSuspects      []SuspectRecord `json:"top_suspects,omitempty"`
 	GroupSize        int             `json:"group_size,omitempty"`
 	GroupCorrelation float64         `json:"group_correlation,omitempty"`
+	TraceID          string          `json:"trace_id,omitempty"`
 }
 
 // maxRecordSuspects bounds the suspects carried in one record (the §6
@@ -198,6 +220,7 @@ func (inc Incident) Record() IncidentRecord {
 		Threshold: inc.Threshold,
 		Action:    inc.Decision.Action.String(),
 		Reason:    inc.Decision.Reason,
+		TraceID:   inc.TraceID,
 	}
 	if inc.Decision.Action != ActionNone {
 		rec.Target = inc.Decision.Target.String()

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/model"
+	"repro/internal/obs/trace"
 	"repro/internal/stats"
 )
 
@@ -21,7 +22,8 @@ import (
 // samples from many machines while the push component reads specs.
 type SpecBuilder struct {
 	params  Params
-	metrics *Metrics // never nil
+	metrics *Metrics     // never nil
+	tracer  *trace.Store // nil = untraced
 
 	mu            sync.Mutex
 	pending       map[model.SpecKey]*pendingAgg
@@ -35,6 +37,9 @@ type pendingAgg struct {
 	cpi      stats.Moments
 	cpuUsage stats.Moments
 	tasks    map[model.TaskID]int64 // samples per task
+	// oldest/newest bound the sample timestamps in the interval; the
+	// age of oldest at recompute time is the sample-to-spec SLI.
+	oldest, newest time.Time
 }
 
 // specHistory is the age-weighted carry-over from prior intervals.
@@ -68,6 +73,14 @@ func (b *SpecBuilder) SetMetrics(m *Metrics) {
 	b.mu.Unlock()
 }
 
+// SetTrace directs the builder's spec_build spans to store (nil
+// disables, the default).
+func (b *SpecBuilder) SetTrace(store *trace.Store) {
+	b.mu.Lock()
+	b.tracer = store
+	b.mu.Unlock()
+}
+
 // AddSample folds one sample into the pending aggregation. Invalid
 // samples are rejected. Samples from tasks using almost no CPU are
 // still aggregated — the spec describes the job's whole population —
@@ -90,6 +103,12 @@ func (b *SpecBuilder) AddSample(s model.Sample) error {
 	agg.cpi.Add(s.CPI)
 	agg.cpuUsage.Add(s.CPUUsage)
 	agg.tasks[s.Task]++
+	if agg.oldest.IsZero() || s.Timestamp.Before(agg.oldest) {
+		agg.oldest = s.Timestamp
+	}
+	if s.Timestamp.After(agg.newest) {
+		agg.newest = s.Timestamp
+	}
 	b.metrics.SpecBacklog.Inc()
 	return nil
 }
@@ -114,6 +133,39 @@ func (b *SpecBuilder) Recompute(now time.Time) []model.Spec {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	b.lastRecompute = now
+
+	// Reaction-time SLI and spec_build spans, in sorted key order so
+	// float accumulation and span ordering are deterministic regardless
+	// of map iteration order.
+	freshKeys := make([]model.SpecKey, 0, len(b.pending))
+	for key := range b.pending {
+		freshKeys = append(freshKeys, key)
+	}
+	sort.Slice(freshKeys, func(i, j int) bool {
+		if freshKeys[i].Job != freshKeys[j].Job {
+			return freshKeys[i].Job < freshKeys[j].Job
+		}
+		return freshKeys[i].Platform < freshKeys[j].Platform
+	})
+	for _, key := range freshKeys {
+		agg := b.pending[key]
+		if agg.cpi.N() == 0 || agg.oldest.IsZero() {
+			continue
+		}
+		age := now.Sub(agg.oldest)
+		if age < 0 {
+			age = 0
+		}
+		b.metrics.SampleToSpec.Observe(age.Seconds())
+		b.tracer.Add(trace.Span{
+			TraceID:      trace.SpecTraceID(key.String(), now),
+			Stage:        trace.StageSpecBuild,
+			Key:          key.String(),
+			Time:         now,
+			QueueSeconds: age.Seconds(),
+			Detail:       fmt.Sprintf("%d samples", agg.cpi.N()),
+		})
+	}
 
 	for key, agg := range b.pending {
 		h := b.history[key]

@@ -48,6 +48,7 @@ var Columns = []string{
 	"correlation", // top suspect's correlation
 	"action",      // none | report | cap
 	"quota",       // applied cap quota (0 unless capped)
+	"trace_id",    // causal trace context ("" on pre-tracing incidents)
 }
 
 // Store is an append-only incident log with a fixed schema.
@@ -94,6 +95,7 @@ func (s *Store) Add(inc core.Incident) {
 		correlation,
 		inc.Decision.Action.String(),
 		inc.Decision.Quota,
+		inc.TraceID,
 	}
 	s.mu.Lock()
 	s.rows = append(s.rows, row)

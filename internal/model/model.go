@@ -157,6 +157,10 @@ type Sample struct {
 	CPUUsage  float64   `json:"cpu_usage"` // CPU-sec/sec during the window
 	CPI       float64   `json:"cpi"`
 	Machine   string    `json:"machine"`
+	// TraceID is the causal-tracing context stamped on the batch the
+	// sample was reported in (obs/trace). Optional: absent on frames
+	// from older agents, and Validate deliberately ignores it.
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // Validate checks a sample for structural sanity before aggregation.

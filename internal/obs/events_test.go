@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"sync"
 	"testing"
 	"time"
 )
@@ -26,6 +27,124 @@ func TestEventLogRingBound(t *testing.T) {
 	}
 	if l.Total() != 10 {
 		t.Errorf("total = %d, want 10", l.Total())
+	}
+}
+
+// TestEventLogWrapAtExactCapacity pins the wrap boundary: after
+// exactly capacity emits the ring is full but nothing has been
+// dropped yet, and the very next emit evicts only the oldest entry.
+func TestEventLogWrapAtExactCapacity(t *testing.T) {
+	const capacity = 4
+	l := NewEventLog(capacity, nil)
+	for i := 0; i < capacity; i++ {
+		l.Emit(sampleTime().Add(time.Duration(i)*time.Second), "tick", i)
+	}
+	evs := l.Recent(0, "")
+	if len(evs) != capacity {
+		t.Fatalf("at capacity: retained %d events, want %d", len(evs), capacity)
+	}
+	for i, ev := range evs {
+		if ev.Data != i {
+			t.Errorf("at capacity: evs[%d].Data = %v, want %d (nothing should be dropped yet)", i, ev.Data, i)
+		}
+	}
+	l.Emit(sampleTime().Add(capacity*time.Second), "tick", capacity)
+	evs = l.Recent(0, "")
+	if len(evs) != capacity {
+		t.Fatalf("past capacity: retained %d events, want %d", len(evs), capacity)
+	}
+	if evs[0].Data != 1 || evs[capacity-1].Data != capacity {
+		t.Errorf("past capacity: window = %v..%v, want 1..%d", evs[0].Data, evs[capacity-1].Data, capacity)
+	}
+	if l.Total() != capacity+1 {
+		t.Errorf("total = %d, want %d", l.Total(), capacity+1)
+	}
+}
+
+// TestEventBufferEmitAfterDrain: a drained buffer is empty and
+// reusable, and a second drain delivers only the events staged after
+// the first drain, in emission order, appended after the earlier
+// events in the destination log.
+func TestEventBufferEmitAfterDrain(t *testing.T) {
+	b := NewEventBuffer()
+	l := NewEventLog(16, nil)
+	b.Emit(sampleTime(), "tick", 0)
+	b.Emit(sampleTime().Add(time.Second), "tick", 1)
+	if n := b.DrainTo(l); n != 2 {
+		t.Fatalf("first drain moved %d events, want 2", n)
+	}
+	if b.Len() != 0 {
+		t.Fatalf("buffer holds %d events after drain, want 0", b.Len())
+	}
+	if n := b.DrainTo(l); n != 0 {
+		t.Fatalf("drain of empty buffer moved %d events", n)
+	}
+	b.Emit(sampleTime().Add(2*time.Second), "tick", 2)
+	b.Emit(sampleTime().Add(3*time.Second), "tick", 3)
+	if n := b.DrainTo(l); n != 2 {
+		t.Fatalf("second drain moved %d events, want 2", n)
+	}
+	evs := l.Recent(0, "")
+	if len(evs) != 4 {
+		t.Fatalf("log holds %d events, want 4", len(evs))
+	}
+	for i, ev := range evs {
+		if ev.Data != i {
+			t.Errorf("evs[%d].Data = %v, want %d (order across drains broken)", i, ev.Data, i)
+		}
+	}
+}
+
+// TestEventBufferConcurrentEmitDrain hammers one buffer with parallel
+// emitters while a coordinator drains it repeatedly — the cluster's
+// staging pattern under -race. Every event must arrive in the log
+// exactly once.
+func TestEventBufferConcurrentEmitDrain(t *testing.T) {
+	const writers, perWriter = 8, 200
+	b := NewEventBuffer()
+	l := NewEventLog(writers*perWriter, nil)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				b.Emit(sampleTime(), "tick", w*perWriter+i)
+			}
+		}(w)
+	}
+	stopCh := make(chan struct{})
+	done := make(chan struct{})
+	drained := 0
+	go func() {
+		defer close(done)
+		for {
+			drained += b.DrainTo(l)
+			select {
+			case <-stopCh:
+				drained += b.DrainTo(l) // final sweep after all writers stop
+				return
+			default:
+			}
+		}
+	}()
+	wg.Wait()
+	close(stopCh)
+	<-done
+	if drained != writers*perWriter {
+		t.Fatalf("drained %d events, want %d", drained, writers*perWriter)
+	}
+	seen := make(map[int]int)
+	for _, ev := range l.Recent(0, "") {
+		seen[ev.Data.(int)]++
+	}
+	if len(seen) != writers*perWriter {
+		t.Fatalf("log holds %d distinct events, want %d", len(seen), writers*perWriter)
+	}
+	for k, n := range seen {
+		if n != 1 {
+			t.Fatalf("event %d delivered %d times", k, n)
+		}
 	}
 }
 

@@ -149,6 +149,21 @@ var LatencyBuckets = []float64{
 	1e-3, 5e-3, 0.01, 0.05, 0.1, 0.5, 1, 5, 10,
 }
 
+// StalenessBuckets spans 1s–24h, for data-age SLIs like spec
+// staleness and sample-to-spec latency: the healthy regime is one
+// recompute interval, and the tail must resolve multi-hour blackouts.
+var StalenessBuckets = []float64{
+	1, 5, 15, 60, 300, 900, 1800, 3600,
+	2 * 3600, 6 * 3600, 12 * 3600, 24 * 3600,
+}
+
+// ReactionBuckets spans 1s–1h, for end-to-end reaction-time SLIs
+// (detection-to-cap): sub-minute when the loop is healthy, bounded by
+// the CPI sampling/analysis cadence when it is not.
+var ReactionBuckets = []float64{
+	1, 2, 5, 10, 30, 60, 120, 300, 600, 1200, 1800, 3600,
+}
+
 // NewHistogram creates a standalone histogram with the given bucket
 // upper bounds (sorted ascending; +Inf implicit), not attached to any
 // registry. Standalone histograms are the per-machine shards of the
@@ -223,7 +238,27 @@ func (h *Histogram) Quantile(q float64) float64 {
 	if h == nil || len(h.bounds) == 0 {
 		return 0
 	}
-	total := h.count.Load()
+	cum := make([]uint64, len(h.counts))
+	var c uint64
+	for i := range h.counts {
+		c += h.counts[i].Load()
+		cum[i] = c
+	}
+	return QuantileFromBuckets(h.bounds, cum, q)
+}
+
+// QuantileFromBuckets computes the same estimate as Histogram.Quantile
+// from raw cumulative bucket counts, as scraped from the text
+// exposition format: bounds are the finite `le` bounds ascending, and
+// cum the cumulative counts with one extra trailing entry for the +Inf
+// bucket (so cum[len(bounds)] is the total). It lets CLI tools render
+// quantiles from a /metrics scrape without access to the live
+// Histogram. Returns 0 on empty or malformed input.
+func QuantileFromBuckets(bounds []float64, cum []uint64, q float64) float64 {
+	if len(bounds) == 0 || len(cum) != len(bounds)+1 {
+		return 0
+	}
+	total := cum[len(cum)-1]
 	if total == 0 {
 		return 0
 	}
@@ -234,22 +269,22 @@ func (h *Histogram) Quantile(q float64) float64 {
 		q = 1
 	}
 	rank := q * float64(total)
-	var cum float64
-	for i, b := range h.bounds {
-		n := float64(h.counts[i].Load())
-		if cum+n >= rank {
+	var prev uint64
+	for i, b := range bounds {
+		if float64(cum[i]) >= rank {
 			lower := 0.0
 			if i > 0 {
-				lower = h.bounds[i-1]
+				lower = bounds[i-1]
 			}
+			n := float64(cum[i] - prev)
 			if n == 0 {
 				return b
 			}
-			return lower + (b-lower)*((rank-cum)/n)
+			return lower + (b-lower)*((rank-float64(prev))/n)
 		}
-		cum += n
+		prev = cum[i]
 	}
-	return h.bounds[len(h.bounds)-1]
+	return bounds[len(bounds)-1]
 }
 
 // family is one registered metric name: its metadata plus every
@@ -360,6 +395,14 @@ func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
 	return f.histogram("")
 }
 
+// HistogramVec registers (or fetches) a histogram family with labels;
+// every series shares the same bucket layout.
+func (r *Registry) HistogramVec(name, help string, bounds []float64, labels ...string) *HistogramVec {
+	b := append([]float64(nil), bounds...)
+	sort.Float64s(b)
+	return &HistogramVec{fam: r.register(name, help, "histogram", labels, b)}
+}
+
 // CounterVec is a labelled counter family.
 type CounterVec struct{ fam *family }
 
@@ -410,6 +453,86 @@ func (v *CounterVec) Drain(dst *CounterVec) {
 		}
 		c.Drain(dst.With(vals...))
 	}
+}
+
+// HistogramVec is a labelled histogram family.
+type HistogramVec struct{ fam *family }
+
+// With returns the histogram for the given label values (created on
+// first use from the family's bucket layout). len(values) must match
+// the registered label names.
+func (v *HistogramVec) With(values ...string) *Histogram {
+	if v == nil {
+		return nil
+	}
+	f := v.fam
+	s := f.lookup(values, func() any {
+		return &Histogram{bounds: f.bounds, counts: make([]atomic.Uint64, len(f.bounds)+1)}
+	})
+	return s.(*Histogram)
+}
+
+// NewHistogramVec creates a standalone labelled histogram family, not
+// attached to any registry — the vec analogue of NewHistogram, for
+// per-machine shards of labelled latency series.
+func NewHistogramVec(bounds []float64, labels ...string) *HistogramVec {
+	b := append([]float64(nil), bounds...)
+	sort.Float64s(b)
+	return &HistogramVec{fam: &family{
+		typ:    "histogram",
+		labels: append([]string(nil), labels...),
+		bounds: b,
+		series: make(map[string]any),
+	}}
+}
+
+// Drain atomically moves every series accumulated in v into the
+// matching series of dst (created there on first use) and resets v's
+// series to empty, visiting series in sorted label order like
+// CounterVec.Drain. Both vecs must share bucket layout and label
+// arity. Nil v or dst is a no-op.
+func (v *HistogramVec) Drain(dst *HistogramVec) {
+	if v == nil || dst == nil {
+		return
+	}
+	v.fam.mu.Lock()
+	keys := make([]string, 0, len(v.fam.series))
+	for k := range v.fam.series {
+		keys = append(keys, k)
+	}
+	v.fam.mu.Unlock()
+	sort.Strings(keys)
+	for _, k := range keys {
+		v.fam.mu.Lock()
+		h := v.fam.series[k].(*Histogram)
+		v.fam.mu.Unlock()
+		vals := decodeLabels(k)
+		for len(vals) < len(v.fam.labels) {
+			vals = append(vals, "") // all-empty label values decode short
+		}
+		h.Drain(dst.With(vals...))
+	}
+}
+
+// Snapshot returns the total observation count and value sum across
+// every series of the family, for fingerprinting and quick health
+// checks. Nil-safe.
+func (v *HistogramVec) Snapshot() (count uint64, sum float64) {
+	if v == nil {
+		return 0, 0
+	}
+	v.fam.mu.Lock()
+	series := make([]any, 0, len(v.fam.series))
+	for _, s := range v.fam.series {
+		series = append(series, s)
+	}
+	v.fam.mu.Unlock()
+	for _, s := range series {
+		h := s.(*Histogram)
+		count += h.Count()
+		sum += h.Sum()
+	}
+	return count, sum
 }
 
 // GaugeVec is a labelled gauge family.

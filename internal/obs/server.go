@@ -7,6 +7,8 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"net/url"
+	"runtime"
+	"runtime/debug"
 	"strconv"
 	"sync"
 	"time"
@@ -16,6 +18,7 @@ import (
 //
 //	GET /metrics          Prometheus text exposition of the registry
 //	GET /healthz          liveness JSON: {"status":"ok","uptime_seconds":…}
+//	GET /buildinfo        Go version, VCS revision, and start time
 //	GET /debug/events     recent structured events (?n=100&type=incident)
 //	GET /debug/pprof/     Go runtime profiles (cpu, heap, goroutine, …)
 //
@@ -66,7 +69,48 @@ func NewAdminServer(reg *Registry, events *EventLog) *AdminServer {
 		}
 		return evs, nil
 	})
+	s.HandleJSON("/buildinfo", func(url.Values) (any, error) {
+		return buildInfo(s.start), nil
+	})
+	if reg != nil {
+		// Registered here (idempotently — GaugeFunc re-registration
+		// just swaps the closure) so every daemon exports uptime
+		// without per-daemon wiring.
+		reg.GaugeFunc("cpi2_uptime_seconds",
+			"seconds since this daemon's admin server was created",
+			func() float64 { return time.Since(s.start).Seconds() })
+	}
 	return s
+}
+
+// buildInfo assembles the /buildinfo payload: toolchain, module, and
+// VCS stamp from runtime/debug.ReadBuildInfo plus the process start
+// time. Fields missing from the build (e.g. `go test` binaries carry
+// no VCS stamp) are simply absent.
+func buildInfo(start time.Time) map[string]any {
+	out := map[string]any{
+		"go_version": runtime.Version(),
+		"start_time": start.UTC().Format(time.RFC3339),
+	}
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return out
+	}
+	out["main_module"] = bi.Main.Path
+	if bi.Main.Version != "" {
+		out["module_version"] = bi.Main.Version
+	}
+	for _, kv := range bi.Settings {
+		switch kv.Key {
+		case "vcs.revision":
+			out["vcs_revision"] = kv.Value
+		case "vcs.time":
+			out["vcs_time"] = kv.Value
+		case "vcs.modified":
+			out["vcs_modified"] = kv.Value == "true"
+		}
+	}
+	return out
 }
 
 // HandleJSON registers a GET endpoint whose result is marshalled as

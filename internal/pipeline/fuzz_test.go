@@ -23,11 +23,18 @@ func FuzzWireDecode(f *testing.F) {
 		Platform: model.PlatformA, Timestamp: time.Date(2011, 11, 1, 0, 0, 0, 0, time.UTC),
 		CPUUsage: 1.5, CPI: 2.25, Machine: "m1",
 	}
+	traced := sample
+	traced.TraceID = "00c0ffee00c0ffee"
 	for _, msg := range []wireMsg{
+		// Old shape: no trace fields anywhere (pre-tracing agents).
 		{Type: msgSamples, Samples: []model.Sample{sample}},
 		{Type: msgSubscribe},
 		{Type: msgSubscribe, Jobs: []model.SpecKey{{Job: "websearch", Platform: model.PlatformA}}},
 		{Type: msgSpec, Spec: &model.Spec{Job: "websearch", Platform: model.PlatformA, CPIMean: 1.6, CPIStddev: 0.2}},
+		// New shape: trace context on the sample and on the envelope.
+		{Type: msgSamples, Samples: []model.Sample{traced}},
+		{Type: msgSpec, TraceID: "feedfacefeedface",
+			Spec: &model.Spec{Job: "websearch", Platform: model.PlatformA, CPIMean: 1.6, CPIStddev: 0.2}},
 	} {
 		b, err := json.Marshal(msg)
 		if err != nil {
@@ -58,7 +65,7 @@ func FuzzWireDecode(f *testing.F) {
 	f.Fuzz(func(t *testing.T, frame []byte) {
 		msg, err := decodeFrame(frame)
 		if err != nil {
-			if msg.Type != "" || msg.Samples != nil || msg.Jobs != nil || msg.Spec != nil {
+			if msg.Type != "" || msg.Samples != nil || msg.Jobs != nil || msg.Spec != nil || msg.TraceID != "" {
 				t.Fatalf("error %v returned non-zero message %+v", err, msg)
 			}
 			return

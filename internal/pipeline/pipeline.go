@@ -17,12 +17,14 @@
 package pipeline
 
 import (
+	"fmt"
 	"sort"
 	"sync"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/model"
+	"repro/internal/obs/trace"
 )
 
 // SampleSink consumes CPI samples (machine → aggregator direction).
@@ -57,7 +59,8 @@ type Bus struct {
 	builder *core.SpecBuilder
 
 	mu       sync.Mutex
-	metrics  *Metrics // never nil; zero Metrics = uninstrumented
+	metrics  *Metrics     // never nil; zero Metrics = uninstrumented
+	tracer   *trace.Store // nil = untraced
 	watchers []SpecWatcher
 	received int64
 	dropped  int64
@@ -91,6 +94,16 @@ func (b *Bus) Metrics() *Metrics {
 	return b.metrics
 }
 
+// SetTrace directs the bus's aggregator-side spans (ingest, spec
+// push) to store and forwards the store to the spec builder for its
+// spec_build spans. Nil disables tracing (the default).
+func (b *Bus) SetTrace(store *trace.Store) {
+	b.mu.Lock()
+	b.tracer = store
+	b.mu.Unlock()
+	b.builder.SetTrace(store)
+}
+
 // SetValidator installs an ingress sample validator (nil disables).
 // Call before traffic flows; quarantined samples are counted in the
 // validator's own metrics and never reach the spec builder.
@@ -118,10 +131,11 @@ func (b *Bus) Publish(samples []model.Sample) error {
 // once — one b.mu acquisition per drain instead of one per batch.
 func (b *Bus) PublishBatches(batches [][]model.Sample) error {
 	b.mu.Lock()
-	v := b.validator
+	v, tracer := b.validator, b.tracer
 	b.mu.Unlock()
 	var received, dropped int64
 	for _, samples := range batches {
+		var admitted int
 		for _, s := range samples {
 			if v != nil && !v.Admit(s) {
 				dropped++
@@ -132,6 +146,17 @@ func (b *Bus) PublishBatches(batches [][]model.Sample) error {
 				continue
 			}
 			received++
+			admitted++
+		}
+		if tracer != nil && admitted > 0 {
+			first := samples[0]
+			tracer.Add(trace.Span{
+				TraceID: first.TraceID,
+				Stage:   trace.StageIngest,
+				Machine: first.Machine,
+				Time:    first.Timestamp,
+				Detail:  fmt.Sprintf("%d/%d samples admitted", admitted, len(samples)),
+			})
 		}
 	}
 	if received == 0 && dropped == 0 {
@@ -196,14 +221,25 @@ func (b *Bus) Push(specs []model.Spec) {
 	b.mu.Lock()
 	watchers := make([]SpecWatcher, len(b.watchers))
 	copy(watchers, b.watchers)
-	m := b.metrics
+	m, tracer := b.metrics, b.tracer
 	b.mu.Unlock()
 	for _, spec := range specs {
+		delivered := 0
 		for _, w := range watchers {
 			if w.WantSpec(spec.Key()) {
 				w.DeliverSpec(spec)
 				m.SpecPushes.Inc()
+				delivered++
 			}
+		}
+		if tracer != nil && delivered > 0 {
+			tracer.Add(trace.Span{
+				TraceID: trace.SpecTraceID(spec.Key().String(), spec.UpdatedAt),
+				Stage:   trace.StageSpecPush,
+				Key:     spec.Key().String(),
+				Time:    spec.UpdatedAt,
+				Detail:  fmt.Sprintf("%d watchers", delivered),
+			})
 		}
 	}
 }

@@ -1,11 +1,13 @@
 package pipeline
 
 import (
+	"fmt"
 	"math/rand"
 	"sync"
 	"time"
 
 	"repro/internal/model"
+	"repro/internal/obs/trace"
 )
 
 // approxSampleBytes is the budget-accounting estimate for one wire
@@ -92,7 +94,8 @@ type Spooler struct {
 	cfg  SpoolConfig
 
 	mu       sync.Mutex
-	metrics  *Metrics // never nil
+	metrics  *Metrics     // never nil
+	tracer   *trace.Store // nil = untraced
 	q        []spooledBatch
 	qBytes   int64
 	dropped  int64
@@ -126,6 +129,14 @@ func (s *Spooler) SetMetrics(m *Metrics) {
 	s.metrics = m
 	m.SpooledBatches.Set(float64(len(s.q)))
 	m.SpooledBytes.Set(float64(s.qBytes))
+	s.mu.Unlock()
+}
+
+// SetTrace directs spool-replay spans — which carry the spool-induced
+// delay the batch suffered — to store (nil disables, the default).
+func (s *Spooler) SetTrace(store *trace.Store) {
+	s.mu.Lock()
+	s.tracer = store
 	s.mu.Unlock()
 }
 
@@ -182,7 +193,15 @@ func (s *Spooler) enqueueLocked(samples []model.Sample) {
 // replayed and the error that stopped it (nil when drained dry).
 // Concurrent Publish calls are serialized behind the drain, so replay
 // order is exactly publish order.
-func (s *Spooler) TryDrain() (int, error) {
+func (s *Spooler) TryDrain() (int, error) { return s.TryDrainAt(time.Time{}) }
+
+// TryDrainAt is TryDrain with a replay clock: when now is non-zero,
+// each successfully replayed batch records a spool span whose
+// QueueSeconds is the delay the batch suffered (now minus the newest
+// sample timestamp in the batch) — how spool-induced latency becomes
+// visible in the causal trace. The cluster simulation passes its
+// deterministic commit-phase clock; callers without one use TryDrain.
+func (s *Spooler) TryDrainAt(now time.Time) (int, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	n := 0
@@ -198,6 +217,26 @@ func (s *Spooler) TryDrain() (int, error) {
 		s.replayed++
 		s.metrics.SpoolReplayed.Inc()
 		n++
+		if s.tracer != nil && !now.IsZero() && len(head.samples) > 0 {
+			newest := head.samples[0].Timestamp
+			for _, smp := range head.samples[1:] {
+				if smp.Timestamp.After(newest) {
+					newest = smp.Timestamp
+				}
+			}
+			delay := now.Sub(newest)
+			if delay < 0 {
+				delay = 0
+			}
+			s.tracer.Add(trace.Span{
+				TraceID:      head.samples[0].TraceID,
+				Stage:        trace.StageSpool,
+				Machine:      head.samples[0].Machine,
+				Time:         now,
+				QueueSeconds: delay.Seconds(),
+				Detail:       fmt.Sprintf("replayed %d samples", len(head.samples)),
+			})
+		}
 	}
 	if len(s.q) == 0 {
 		s.q = nil // release the backing array after a full drain

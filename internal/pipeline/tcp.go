@@ -11,18 +11,24 @@ import (
 	"time"
 
 	"repro/internal/model"
+	"repro/internal/obs/trace"
 )
 
 // Wire protocol: newline-delimited JSON messages, symmetric envelope.
 //
 //	agent → aggregator:  {"type":"samples", "samples":[…]}
 //	agent → aggregator:  {"type":"subscribe", "jobs":[…]} (empty = all)
-//	aggregator → agent:  {"type":"spec", "spec":{…}}
+//	aggregator → agent:  {"type":"spec", "spec":{…}, "trace_id":"…"}
+//
+// trace_id carries the causal-tracing context on spec frames. It (and
+// the per-sample trace_id) is optional: frames without it — from
+// pre-tracing peers — decode identically, which FuzzWireDecode pins.
 type wireMsg struct {
 	Type    string          `json:"type"`
 	Samples []model.Sample  `json:"samples,omitempty"`
 	Jobs    []model.SpecKey `json:"jobs,omitempty"`
 	Spec    *model.Spec     `json:"spec,omitempty"`
+	TraceID string          `json:"trace_id,omitempty"`
 }
 
 const (
@@ -194,7 +200,12 @@ func (c *serverConn) DeliverSpec(spec model.Spec) {
 	c.writeMu.Lock()
 	defer c.writeMu.Unlock()
 	_ = c.conn.SetWriteDeadline(time.Now().Add(5 * time.Second))
-	if err := c.enc.Encode(wireMsg{Type: msgSpec, Spec: &spec}); err != nil {
+	msg := wireMsg{
+		Type:    msgSpec,
+		Spec:    &spec,
+		TraceID: trace.SpecTraceID(spec.Key().String(), spec.UpdatedAt),
+	}
+	if err := c.enc.Encode(msg); err != nil {
 		c.m.PushErrors.Inc()
 		c.conn.Close() // readLoop will clean up
 		return
