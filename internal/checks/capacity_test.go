@@ -1,0 +1,102 @@
+package checks
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// tinyCapacity keeps probe cost trivial: a handful of machines and a
+// few ticks per probe.
+func tinyCapacity() CapacityConfig {
+	return CapacityConfig{
+		MinMachines: 2,
+		MaxMachines: 8,
+		ProbeTicks:  5,
+		WarmupTicks: 1,
+		Tick:        time.Second,
+		Seed:        3,
+	}
+}
+
+func TestSearchCapacitySmallBounds(t *testing.T) {
+	res, err := SearchCapacity(tinyCapacity())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SchemaVersion != CapacitySchemaVersion {
+		t.Errorf("schema_version = %d", res.SchemaVersion)
+	}
+	if res.MinMachines != 2 || res.MaxMachines != 8 {
+		t.Errorf("bounds = [%d, %d]", res.MinMachines, res.MaxMachines)
+	}
+	if len(res.Probes) == 0 {
+		t.Fatal("no probes recorded")
+	}
+	if res.Probes[0].Machines != 2 {
+		t.Errorf("first probe at %d machines, want MinMachines", res.Probes[0].Machines)
+	}
+	if res.LargestSustained < 0 || res.LargestSustained > 8 {
+		t.Errorf("largest_sustained = %d outside [0, 8]", res.LargestSustained)
+	}
+	// The answer must agree with the probes: the largest sustained probe.
+	best := 0
+	for _, p := range res.Probes {
+		if p.Sustained && p.Machines > best {
+			best = p.Machines
+		}
+		if p.WallSeconds <= 0 || (p.Sustained && p.RealtimeFactor < 1) {
+			t.Errorf("inconsistent probe %+v", p)
+		}
+	}
+	if res.LargestSustained != best {
+		t.Errorf("largest_sustained = %d, best sustained probe = %d", res.LargestSustained, best)
+	}
+}
+
+func TestSearchCapacityDegenerate(t *testing.T) {
+	cfg := tinyCapacity()
+	cfg.MaxMachines = cfg.MinMachines // single-point search
+	res, err := SearchCapacity(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Probes) != 1 {
+		t.Errorf("single-point search ran %d probes", len(res.Probes))
+	}
+
+	cfg = tinyCapacity()
+	cfg.MinMachines = 10
+	cfg.MaxMachines = 5
+	if _, err := SearchCapacity(cfg); err == nil {
+		t.Error("min > max accepted")
+	}
+}
+
+func TestCapacityResultWriteFile(t *testing.T) {
+	res, err := SearchCapacity(tinyCapacity())
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "BENCH_capacity.json")
+	if err := res.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back CapacityResult
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.SchemaVersion != res.SchemaVersion || back.LargestSustained != res.LargestSustained ||
+		len(back.Probes) != len(res.Probes) {
+		t.Errorf("result did not round-trip: %+v vs %+v", back, res)
+	}
+	if back.Summary() == "" {
+		t.Error("empty summary")
+	}
+}

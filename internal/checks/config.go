@@ -1,0 +1,365 @@
+package checks
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/cluster"
+)
+
+// MachineClass is the decoded machine.yaml: the resource envelope a
+// class of hosts offers, and the defaults its cases inherit.
+type MachineClass struct {
+	// Name identifies the class (defaults to the directory name; when
+	// both are present they must agree).
+	Name string
+	// Description is free-form prose for humans.
+	Description string
+	// MinCPUs is the smallest logical CPU count a host needs to count
+	// as this class. `cpi2bench check` auto-selects the most demanding
+	// class the host satisfies.
+	MinCPUs int
+	// GOMAXPROCS, when > 0, pins the Go scheduler while this class's
+	// cases run — a 4-core class measured on a 64-core build host must
+	// not borrow the extra cores.
+	GOMAXPROCS int
+	// MaxPeakRSSMB, when > 0, is the class-wide default for the
+	// max_peak_rss_mb budget, inherited by cases that do not set their
+	// own.
+	MaxPeakRSSMB float64
+}
+
+// Validate checks structural sanity.
+func (mc *MachineClass) Validate() error {
+	if mc.Name == "" {
+		return errors.New("machine class needs a name")
+	}
+	if mc.MinCPUs < 0 || mc.GOMAXPROCS < 0 || mc.MaxPeakRSSMB < 0 {
+		return fmt.Errorf("machine class %q: negative resource bound", mc.Name)
+	}
+	return nil
+}
+
+// decodeMachineClass decodes a parsed machine.yaml tree.
+func decodeMachineClass(n yNode) (*MachineClass, error) {
+	d, err := newDec("", n)
+	if err != nil {
+		return nil, err
+	}
+	mc := &MachineClass{
+		Name:         d.str("name", ""),
+		Description:  d.str("description", ""),
+		MinCPUs:      d.intval("min_cpus", 1),
+		GOMAXPROCS:   d.intval("gomaxprocs", 0),
+		MaxPeakRSSMB: d.float("max_peak_rss_mb", 0),
+	}
+	if err := d.finish(); err != nil {
+		return nil, err
+	}
+	return mc, mc.Validate()
+}
+
+// Fleet is the simulated cluster shape a case runs against.
+type Fleet struct {
+	Machines          int
+	CPUsPerMachine    int
+	PlatformBFraction float64
+	// Workers is the cluster's parallel tick width (0 = GOMAXPROCS).
+	Workers int
+}
+
+// WorkloadEntry is one declarative element of a case's workload mix,
+// mapping onto the cluster job catalog. Kind selects the constructor:
+//
+//	websearch      three-tier search tree (Leaves/Mixers/Roots tasks)
+//	quiet_service  well-behaved latency-sensitive tenant (Tasks, CPU)
+//	batch          best-effort throughput batch (Tasks, CPU)
+//	mapreduce      MapReduce workers, lame-duck cap reaction (Tasks, CPU)
+//	bimodal        the Case 3 self-inflicted bimodal service (Tasks)
+//	antagonist     heavy cache-thrashing batch (Tasks, CPU); implicitly
+//	               expected to be capped
+type WorkloadEntry struct {
+	Kind string
+	// Name is the job name (websearch entries derive -leaf/-mixer/-root
+	// job names from it). Must be unique within the case.
+	Name string
+	// Tasks is the task count for single-job kinds.
+	Tasks int
+	// CPU is the per-task CPU request where the kind takes one.
+	CPU float64
+	// Leaves/Mixers/Roots size the websearch kind.
+	Leaves, Mixers, Roots int
+	// AfterWarmup delays placement until after the warmup phase and
+	// spec push — the canonical "antagonist lands on a warmed fleet"
+	// shape. Default true for antagonist, false otherwise.
+	AfterWarmup bool
+	// ExpectCaps marks this job's tasks as legitimate cap targets:
+	// caps on any other job count against the false-cap budget.
+	// Default true for antagonist, false otherwise.
+	ExpectCaps bool
+}
+
+// Budgets are the per-case pass/fail limits. Every field is optional:
+// nil means "not checked". Field names mirror the YAML keys.
+type Budgets struct {
+	// MinStepsPerSec is the floor on simulation throughput (wall-clock
+	// Steps per second over the measured run).
+	MinStepsPerSec *float64 `json:"min_steps_per_sec,omitempty"`
+	// MinRealtimeFactor is the floor on simulated-seconds per wall
+	// second (steps/sec × tick). 1.0 = "keeps up with real time", the
+	// capacity-search criterion.
+	MinRealtimeFactor *float64 `json:"min_realtime_factor,omitempty"`
+	// MaxAllocsPerStep caps heap allocations per Step (runtime
+	// MemStats.Mallocs delta / steps).
+	MaxAllocsPerStep *float64 `json:"max_allocs_per_step,omitempty"`
+	// MaxPeakRSSMB caps the peak Go-runtime memory footprint
+	// (MemStats.Sys high-water mark) in MiB.
+	MaxPeakRSSMB *float64 `json:"max_peak_rss_mb,omitempty"`
+	// MaxSpoolDrops caps FaultStats.SpoolDropped (sample batches lost
+	// to spool overflow).
+	MaxSpoolDrops *float64 `json:"max_spool_drops,omitempty"`
+	// MaxFalseCaps caps cap decisions targeting jobs not marked
+	// expect_caps.
+	MaxFalseCaps *float64 `json:"max_false_caps,omitempty"`
+	// MaxQuarantined / MinQuarantined bound the aggregator-ingress
+	// quarantine counter: zero tolerance on clean runs, a non-zero
+	// floor on corrupt-injection runs (proving the validator works).
+	MaxQuarantined *float64 `json:"max_quarantined,omitempty"`
+	MinQuarantined *float64 `json:"min_quarantined,omitempty"`
+	// MaxSpecStalenessP95Seconds caps the p95 of
+	// cpi2_spec_staleness_seconds across all jobs.
+	MaxSpecStalenessP95Seconds *float64 `json:"max_spec_staleness_p95_seconds,omitempty"`
+	// MinIncidents floors the incident count — a capacity case that
+	// detected nothing is not exercising the control loop it claims to.
+	MinIncidents *float64 `json:"min_incidents,omitempty"`
+}
+
+// Case is one decoded case.yaml.
+type Case struct {
+	// Name is the case name (the cases/<name>/ directory).
+	Name        string
+	Description string
+	// Seed roots all randomness (default 1).
+	Seed int64
+	// Fleet is the cluster shape.
+	Fleet Fleet
+	// Warmup runs (and then forces a spec recompute) before measuring.
+	Warmup time.Duration
+	// Duration is the measured simulated run length.
+	Duration time.Duration
+	// Tick is the simulation step (default 1s).
+	Tick time.Duration
+	// Chaos is a cluster.FaultPlan in the -chaos directive syntax
+	// (empty: no faults; the plan is still installed so spool/quarantine
+	// accounting exists).
+	Chaos string
+	// MinSamplesPerTask / ReportOnly feed core.Params.
+	MinSamplesPerTask int64
+	ReportOnly        bool
+	// Workload is the mix.
+	Workload []WorkloadEntry
+	// Budgets are the verdict limits.
+	Budgets Budgets
+}
+
+// faultPlan parses the case's chaos directives (always non-nil so
+// every case runs with spool + quarantine accounting installed).
+func (cs *Case) faultPlan() (*cluster.FaultPlan, error) {
+	return cluster.ParseFaultPlan(cs.Chaos)
+}
+
+// expectedCapJobs returns the set of job names legitimately capped.
+func (cs *Case) expectedCapJobs() map[string]bool {
+	out := map[string]bool{}
+	for _, w := range cs.Workload {
+		if w.ExpectCaps {
+			out[w.Name] = true
+		}
+	}
+	return out
+}
+
+// Validate checks the case for structural sanity beyond what decoding
+// already enforced.
+func (cs *Case) Validate() error {
+	var errs []string
+	bad := func(format string, args ...any) { errs = append(errs, fmt.Sprintf(format, args...)) }
+	if cs.Name == "" {
+		bad("case needs a name")
+	}
+	if cs.Fleet.Machines <= 0 {
+		bad("fleet.machines must be positive")
+	}
+	if cs.Fleet.CPUsPerMachine < 0 || cs.Fleet.Workers < 0 {
+		bad("negative fleet field")
+	}
+	if cs.Fleet.PlatformBFraction < 0 || cs.Fleet.PlatformBFraction > 1 {
+		bad("fleet.platform_b_fraction outside [0,1]")
+	}
+	if cs.Duration <= 0 {
+		bad("duration must be positive")
+	}
+	if cs.Warmup < 0 {
+		bad("negative warmup")
+	}
+	if cs.Tick <= 0 {
+		bad("tick must be positive")
+	}
+	if len(cs.Workload) == 0 {
+		bad("workload mix is empty")
+	}
+	if _, err := cs.faultPlan(); err != nil {
+		bad("chaos: %v", err)
+	}
+	seen := map[string]bool{}
+	for i, w := range cs.Workload {
+		where := fmt.Sprintf("workload[%d] (%s)", i, w.Kind)
+		if w.Name == "" {
+			bad("%s: needs a name", where)
+			continue
+		}
+		if seen[w.Name] {
+			bad("%s: duplicate job name %q", where, w.Name)
+		}
+		seen[w.Name] = true
+		switch w.Kind {
+		case "websearch":
+			if w.Leaves <= 0 || w.Mixers <= 0 || w.Roots <= 0 {
+				bad("%s: leaves/mixers/roots must be positive", where)
+			}
+		case "quiet_service", "batch", "mapreduce", "antagonist":
+			if w.Tasks <= 0 {
+				bad("%s: tasks must be positive", where)
+			}
+			if w.CPU <= 0 {
+				bad("%s: cpu must be positive", where)
+			}
+		case "bimodal":
+			if w.Tasks <= 0 {
+				bad("%s: tasks must be positive", where)
+			}
+		default:
+			bad("%s: unknown workload kind %q", where, w.Kind)
+		}
+	}
+	for name, limit := range map[string]*float64{
+		"min_steps_per_sec":              cs.Budgets.MinStepsPerSec,
+		"min_realtime_factor":            cs.Budgets.MinRealtimeFactor,
+		"max_allocs_per_step":            cs.Budgets.MaxAllocsPerStep,
+		"max_peak_rss_mb":                cs.Budgets.MaxPeakRSSMB,
+		"max_spool_drops":                cs.Budgets.MaxSpoolDrops,
+		"max_false_caps":                 cs.Budgets.MaxFalseCaps,
+		"max_quarantined":                cs.Budgets.MaxQuarantined,
+		"min_quarantined":                cs.Budgets.MinQuarantined,
+		"max_spec_staleness_p95_seconds": cs.Budgets.MaxSpecStalenessP95Seconds,
+		"min_incidents":                  cs.Budgets.MinIncidents,
+	} {
+		if limit != nil && *limit < 0 {
+			bad("budgets.%s: negative limit", name)
+		}
+	}
+	if len(errs) == 0 {
+		return nil
+	}
+	sortStrings(errs)
+	return errors.New(strings.Join(errs, "; "))
+}
+
+// decodeCase decodes a parsed case.yaml tree. dirName is the
+// cases/<name>/ directory, which names the case; a `name:` key in the
+// file must agree (guards against copy-paste drift between file and
+// directory).
+func decodeCase(dirName string, n yNode) (*Case, error) {
+	d, err := newDec("", n)
+	if err != nil {
+		return nil, err
+	}
+	cs := &Case{
+		Name:              dirName,
+		Description:       d.str("description", ""),
+		Seed:              d.int64val("seed", 1),
+		Warmup:            d.duration("warmup", 0),
+		Duration:          d.duration("duration", 0),
+		Tick:              d.duration("tick", time.Second),
+		Chaos:             d.str("chaos", ""),
+		MinSamplesPerTask: d.int64val("min_samples_per_task", 8),
+		ReportOnly:        d.boolean("report_only", false),
+	}
+	if name := d.str("name", ""); name != "" && dirName != "" && name != dirName {
+		d.errf("name", "%q does not match case directory %q", name, dirName)
+	} else if cs.Name == "" {
+		cs.Name = name
+	}
+	if fd, ok := d.sub("fleet"); ok {
+		cs.Fleet = Fleet{
+			Machines:          fd.intval("machines", 0),
+			CPUsPerMachine:    fd.intval("cpus_per_machine", 16),
+			PlatformBFraction: fd.float("platform_b_fraction", 0),
+			Workers:           fd.intval("workers", 0),
+		}
+		if err := fd.finish(); err != nil {
+			d.errs = append(d.errs, err)
+		}
+	} else {
+		d.errf("fleet", "missing required block")
+	}
+	if ws, ok := d.seq("workload"); ok {
+		for i, wn := range ws {
+			wd, err := newDec(fmt.Sprintf("workload[%d]", i), wn)
+			if err != nil {
+				d.errs = append(d.errs, err)
+				continue
+			}
+			kind := wd.str("kind", "")
+			w := WorkloadEntry{
+				Kind:        kind,
+				Name:        wd.str("name", ""),
+				Tasks:       wd.intval("tasks", 0),
+				CPU:         wd.float("cpu", 0),
+				Leaves:      wd.intval("leaves", 0),
+				Mixers:      wd.intval("mixers", 0),
+				Roots:       wd.intval("roots", 0),
+				AfterWarmup: wd.boolean("after_warmup", kind == "antagonist"),
+				ExpectCaps:  wd.boolean("expect_caps", kind == "antagonist"),
+			}
+			if err := wd.finish(); err != nil {
+				d.errs = append(d.errs, err)
+			}
+			cs.Workload = append(cs.Workload, w)
+		}
+	} else {
+		d.errf("workload", "missing required list")
+	}
+	if bd, ok := d.sub("budgets"); ok {
+		cs.Budgets = Budgets{
+			MinStepsPerSec:             bd.optFloat("min_steps_per_sec"),
+			MinRealtimeFactor:          bd.optFloat("min_realtime_factor"),
+			MaxAllocsPerStep:           bd.optFloat("max_allocs_per_step"),
+			MaxPeakRSSMB:               bd.optFloat("max_peak_rss_mb"),
+			MaxSpoolDrops:              bd.optFloat("max_spool_drops"),
+			MaxFalseCaps:               bd.optFloat("max_false_caps"),
+			MaxQuarantined:             bd.optFloat("max_quarantined"),
+			MinQuarantined:             bd.optFloat("min_quarantined"),
+			MaxSpecStalenessP95Seconds: bd.optFloat("max_spec_staleness_p95_seconds"),
+			MinIncidents:               bd.optFloat("min_incidents"),
+		}
+		if err := bd.finish(); err != nil {
+			d.errs = append(d.errs, err)
+		}
+	}
+	if err := d.finish(); err != nil {
+		return nil, err
+	}
+	return cs, cs.Validate()
+}
+
+// inheritDefaults fills case budgets the machine class provides
+// class-wide defaults for.
+func (cs *Case) inheritDefaults(mc *MachineClass) {
+	if cs.Budgets.MaxPeakRSSMB == nil && mc.MaxPeakRSSMB > 0 {
+		v := mc.MaxPeakRSSMB
+		cs.Budgets.MaxPeakRSSMB = &v
+	}
+}

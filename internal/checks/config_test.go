@@ -1,0 +1,172 @@
+package checks
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+const minimalCase = `
+description: demo
+duration: 2m
+fleet:
+  machines: 4
+workload:
+  - kind: quiet_service
+    name: svc
+    tasks: 4
+    cpu: 0.5
+`
+
+func decodeCaseSrc(t *testing.T, dirName, src string) (*Case, error) {
+	t.Helper()
+	n, err := parseYAML(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return decodeCase(dirName, n)
+}
+
+func TestDecodeCaseDefaults(t *testing.T) {
+	cs, err := decodeCaseSrc(t, "demo", minimalCase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs.Name != "demo" || cs.Seed != 1 || cs.Tick != time.Second {
+		t.Errorf("defaults: name=%q seed=%d tick=%v", cs.Name, cs.Seed, cs.Tick)
+	}
+	if cs.Fleet.CPUsPerMachine != 16 {
+		t.Errorf("cpus_per_machine default = %d", cs.Fleet.CPUsPerMachine)
+	}
+	if cs.MinSamplesPerTask != 8 {
+		t.Errorf("min_samples_per_task default = %d", cs.MinSamplesPerTask)
+	}
+	w := cs.Workload[0]
+	if w.AfterWarmup || w.ExpectCaps {
+		t.Errorf("quiet_service defaults: after_warmup=%v expect_caps=%v", w.AfterWarmup, w.ExpectCaps)
+	}
+}
+
+func TestDecodeCaseAntagonistDefaults(t *testing.T) {
+	cs, err := decodeCaseSrc(t, "demo", `
+duration: 1m
+fleet:
+  machines: 2
+workload:
+  - kind: antagonist
+    name: video
+    tasks: 2
+    cpu: 7
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := cs.Workload[0]
+	if !w.AfterWarmup || !w.ExpectCaps {
+		t.Errorf("antagonist defaults: after_warmup=%v expect_caps=%v", w.AfterWarmup, w.ExpectCaps)
+	}
+	if !cs.expectedCapJobs()["video"] {
+		t.Error("video not in expected cap set")
+	}
+}
+
+func TestDecodeCaseErrors(t *testing.T) {
+	cases := []struct {
+		name, src, wantErr string
+	}{
+		{"name mismatch", "name: other\n" + minimalCase, "does not match"},
+		{"missing fleet", "duration: 1m\nworkload:\n  - kind: bimodal\n    name: b\n    tasks: 1\n", "fleet"},
+		{"missing workload", "duration: 1m\nfleet:\n  machines: 2\n", "workload"},
+		{"unknown budget", minimalCase + "budgets:\n  max_typo: 3\n", "max_typo"},
+		{"bad chaos", minimalCase + "chaos: frobnicate=1\n", "chaos"},
+		{"zero machines", "duration: 1m\nfleet:\n  machines: 0\nworkload:\n  - kind: bimodal\n    name: b\n    tasks: 1\n", "machines"},
+		{"negative budget", minimalCase + "budgets:\n  max_false_caps: -1\n", "negative"},
+		{"duplicate job", `
+duration: 1m
+fleet:
+  machines: 2
+workload:
+  - kind: bimodal
+    name: b
+    tasks: 1
+  - kind: batch
+    name: b
+    tasks: 1
+    cpu: 0.5
+`, "duplicate"},
+		{"unknown kind", `
+duration: 1m
+fleet:
+  machines: 2
+workload:
+  - kind: mystery
+    name: m
+    tasks: 1
+`, "unknown workload kind"},
+		{"websearch needs tiers", `
+duration: 1m
+fleet:
+  machines: 2
+workload:
+  - kind: websearch
+    name: ws
+`, "leaves"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := decodeCaseSrc(t, "demo", tc.src)
+			if err == nil {
+				t.Fatalf("decode succeeded, want error about %q", tc.wantErr)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Errorf("error %q does not mention %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestInheritDefaults(t *testing.T) {
+	mc := &MachineClass{Name: "c", MaxPeakRSSMB: 512}
+	cs, err := decodeCaseSrc(t, "demo", minimalCase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs.inheritDefaults(mc)
+	if cs.Budgets.MaxPeakRSSMB == nil || *cs.Budgets.MaxPeakRSSMB != 512 {
+		t.Errorf("class default not inherited: %v", cs.Budgets.MaxPeakRSSMB)
+	}
+
+	own := 64.0
+	cs2, err := decodeCaseSrc(t, "demo", minimalCase+"budgets:\n  max_peak_rss_mb: 64\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs2.inheritDefaults(mc)
+	if cs2.Budgets.MaxPeakRSSMB == nil || *cs2.Budgets.MaxPeakRSSMB != own {
+		t.Errorf("case budget overridden by class default: %v", cs2.Budgets.MaxPeakRSSMB)
+	}
+}
+
+func TestBudgetsEvaluateDirections(t *testing.T) {
+	lim := func(v float64) *float64 { return &v }
+	m := Measured{StepsPerSec: 100, FalseCaps: 1, Quarantined: 5}
+
+	b := Budgets{MinStepsPerSec: lim(50), MaxFalseCaps: lim(0), MinQuarantined: lim(1)}
+	checks, pass := b.evaluate(m)
+	if pass {
+		t.Error("overall pass despite false cap over budget")
+	}
+	got := map[string]bool{}
+	for _, c := range checks {
+		got[c.Budget] = c.Pass
+	}
+	if !got["min_steps_per_sec"] || got["max_false_caps"] || !got["min_quarantined"] {
+		t.Errorf("per-budget verdicts wrong: %v", got)
+	}
+
+	empty := Budgets{}
+	checks, pass = empty.evaluate(m)
+	if !pass || len(checks) != 0 {
+		t.Errorf("no budgets should mean vacuous pass, got %v %v", checks, pass)
+	}
+}

@@ -1,0 +1,476 @@
+// Package checks is the machine-class capacity harness: a declarative
+// tree of workload checks (checks/<machine-class>/cases/<name>/) where
+// each case names a fleet shape, workload mix, chaos plan, and budgets,
+// and a runner that drives internal/cluster, measures what happened,
+// and emits one schema-versioned JSON verdict per case. cmd/cpi2bench
+// is the CLI; CI runs the committed seed cases nightly and a small
+// smoke on every PR. The shape follows DataDog's workload-checks
+// (machine classes + per-case budgets) and vhive's baseline_capacity
+// ramp (find the largest sustainable load), applied to the CPI²
+// simulated cluster.
+package checks
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// The repo carries no dependencies, so the case files are written in a
+// small YAML subset parsed here rather than by a YAML library. The
+// subset is exactly what the checks tree needs:
+//
+//   - mappings: `key: value` and nested `key:` blocks by indentation
+//   - sequences: `- item` scalars and `- key: value` mappings with
+//     indented continuation lines
+//   - scalars: unquoted, single- or double-quoted strings; typing
+//     (int, float, bool, duration) happens at decode time
+//   - comments: full-line or trailing `# …` (outside quotes)
+//
+// Anything else — anchors, multi-line strings, flow syntax, tabs — is
+// a parse error, loudly. A case file that needs more than this subset
+// is a case file doing too much.
+
+// yNode is one parsed value: yMap, ySeq, or yScalar.
+type yNode interface{}
+
+// yMap is a parsed mapping. Key order is irrelevant to the harness;
+// duplicate keys are rejected at parse time.
+type yMap map[string]yNode
+
+// ySeq is a parsed sequence.
+type ySeq []yNode
+
+// yScalar is a parsed scalar, typed lazily by the decode helpers.
+type yScalar string
+
+// yLine is one significant line of input.
+type yLine struct {
+	num    int // 1-based line number in the source
+	indent int // leading spaces
+	text   string
+}
+
+// parseYAML parses src (one document) into a node tree.
+func parseYAML(src string) (yNode, error) {
+	var lines []yLine
+	for i, raw := range strings.Split(src, "\n") {
+		if strings.Contains(raw, "\t") {
+			return nil, fmt.Errorf("line %d: tabs are not allowed (indent with spaces)", i+1)
+		}
+		text := stripComment(raw)
+		trimmed := strings.TrimSpace(text)
+		if trimmed == "" {
+			continue
+		}
+		lines = append(lines, yLine{
+			num:    i + 1,
+			indent: len(text) - len(strings.TrimLeft(text, " ")),
+			text:   trimmed,
+		})
+	}
+	if len(lines) == 0 {
+		return yMap{}, nil
+	}
+	node, rest, err := parseBlock(lines, lines[0].indent)
+	if err != nil {
+		return nil, err
+	}
+	if len(rest) > 0 {
+		return nil, fmt.Errorf("line %d: unexpected dedent to %d spaces", rest[0].num, rest[0].indent)
+	}
+	return node, nil
+}
+
+// stripComment removes a trailing comment, respecting quotes. A `#`
+// only starts a comment at the beginning of the content or after a
+// space, matching YAML.
+func stripComment(s string) string {
+	var quote byte
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case quote != 0:
+			if c == quote {
+				quote = 0
+			}
+		case c == '\'' || c == '"':
+			quote = c
+		case c == '#' && (i == 0 || s[i-1] == ' '):
+			return s[:i]
+		}
+	}
+	return s
+}
+
+// parseBlock parses the run of lines at exactly `indent` (plus their
+// more-indented children) into one node, returning the unconsumed
+// tail. All lines of one block must share the block's indentation.
+func parseBlock(lines []yLine, indent int) (yNode, []yLine, error) {
+	if len(lines) == 0 {
+		return nil, nil, fmt.Errorf("empty block")
+	}
+	if lines[0].indent != indent {
+		return nil, nil, fmt.Errorf("line %d: expected %d-space indent, got %d", lines[0].num, indent, lines[0].indent)
+	}
+	if strings.HasPrefix(lines[0].text, "- ") || lines[0].text == "-" {
+		return parseSeq(lines, indent)
+	}
+	return parseMap(lines, indent)
+}
+
+func parseMap(lines []yLine, indent int) (yNode, []yLine, error) {
+	m := yMap{}
+	for len(lines) > 0 {
+		ln := lines[0]
+		if ln.indent < indent {
+			break // parent's turn
+		}
+		if ln.indent > indent {
+			return nil, nil, fmt.Errorf("line %d: unexpected %d-space indent inside %d-space mapping", ln.num, ln.indent, indent)
+		}
+		if strings.HasPrefix(ln.text, "- ") || ln.text == "-" {
+			return nil, nil, fmt.Errorf("line %d: sequence item in the middle of a mapping", ln.num)
+		}
+		key, val, ok := splitKey(ln.text)
+		if !ok {
+			return nil, nil, fmt.Errorf("line %d: %q is not `key: value` or `key:`", ln.num, ln.text)
+		}
+		if _, dup := m[key]; dup {
+			return nil, nil, fmt.Errorf("line %d: duplicate key %q", ln.num, key)
+		}
+		lines = lines[1:]
+		if val != "" {
+			s, err := unquote(val)
+			if err != nil {
+				return nil, nil, fmt.Errorf("line %d: %v", ln.num, err)
+			}
+			m[key] = yScalar(s)
+			continue
+		}
+		// `key:` introduces a nested block (or an empty value at EOF /
+		// dedent).
+		if len(lines) == 0 || lines[0].indent <= indent {
+			m[key] = yScalar("")
+			continue
+		}
+		child, rest, err := parseBlock(lines, lines[0].indent)
+		if err != nil {
+			return nil, nil, err
+		}
+		m[key] = child
+		lines = rest
+	}
+	return m, lines, nil
+}
+
+func parseSeq(lines []yLine, indent int) (yNode, []yLine, error) {
+	var seq ySeq
+	for len(lines) > 0 {
+		ln := lines[0]
+		if ln.indent < indent {
+			break
+		}
+		if ln.indent > indent {
+			return nil, nil, fmt.Errorf("line %d: unexpected %d-space indent inside %d-space sequence", ln.num, ln.indent, indent)
+		}
+		if !strings.HasPrefix(ln.text, "- ") && ln.text != "-" {
+			return nil, nil, fmt.Errorf("line %d: expected `- item` in sequence, got %q", ln.num, ln.text)
+		}
+		body := strings.TrimSpace(strings.TrimPrefix(ln.text, "-"))
+		lines = lines[1:]
+		// The virtual indent of the item's content is where the content
+		// starts on the `- ` line: indent + 2.
+		itemIndent := indent + 2
+		if body == "" {
+			// `-` alone: the item is the following indented block.
+			if len(lines) == 0 || lines[0].indent <= indent {
+				seq = append(seq, yScalar(""))
+				continue
+			}
+			child, rest, err := parseBlock(lines, lines[0].indent)
+			if err != nil {
+				return nil, nil, err
+			}
+			seq = append(seq, child)
+			lines = rest
+			continue
+		}
+		if key, val, ok := splitKey(body); ok {
+			// `- key: value` starts an inline mapping; continuation lines
+			// are the keys indented to the item's virtual indent.
+			m := yMap{}
+			if val != "" {
+				s, err := unquote(val)
+				if err != nil {
+					return nil, nil, fmt.Errorf("line %d: %v", ln.num, err)
+				}
+				m[key] = yScalar(s)
+			} else {
+				m[key] = yScalar("")
+			}
+			for len(lines) > 0 && lines[0].indent >= itemIndent {
+				rest, err := continueMap(m, lines, itemIndent)
+				if err != nil {
+					return nil, nil, err
+				}
+				lines = rest
+			}
+			seq = append(seq, m)
+			continue
+		}
+		s, err := unquote(body)
+		if err != nil {
+			return nil, nil, fmt.Errorf("line %d: %v", ln.num, err)
+		}
+		seq = append(seq, yScalar(s))
+	}
+	return seq, lines, nil
+}
+
+// continueMap parses further `key: value` lines at indent into m
+// (the continuation of a `- key: value` item).
+func continueMap(m yMap, lines []yLine, indent int) ([]yLine, error) {
+	node, rest, err := parseMap(lines, indent)
+	if err != nil {
+		return nil, err
+	}
+	for k, v := range node.(yMap) {
+		if _, dup := m[k]; dup {
+			return nil, fmt.Errorf("line %d: duplicate key %q in sequence item", lines[0].num, k)
+		}
+		m[k] = v
+	}
+	return rest, nil
+}
+
+// splitKey splits `key: value` / `key:`; the key must be a bare word
+// (letters, digits, _, -).
+func splitKey(s string) (key, val string, ok bool) {
+	i := strings.Index(s, ":")
+	if i <= 0 {
+		return "", "", false
+	}
+	key = s[:i]
+	for _, r := range key {
+		if !(r == '_' || r == '-' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') || (r >= '0' && r <= '9')) {
+			return "", "", false
+		}
+	}
+	rest := s[i+1:]
+	if rest != "" && !strings.HasPrefix(rest, " ") {
+		return "", "", false // `12:30` is a scalar, not a key
+	}
+	return key, strings.TrimSpace(rest), true
+}
+
+func unquote(s string) (string, error) {
+	if len(s) >= 2 {
+		if (s[0] == '\'' && s[len(s)-1] == '\'') || (s[0] == '"' && s[len(s)-1] == '"') {
+			return s[1 : len(s)-1], nil
+		}
+	}
+	if len(s) > 0 && (s[0] == '\'' || s[0] == '"') {
+		return "", fmt.Errorf("unterminated quote in %q", s)
+	}
+	return s, nil
+}
+
+// ---- typed decode helpers -------------------------------------------
+//
+// The decoders below turn the generic tree into config structs with
+// precise errors ("cases/foo/case.yaml: fleet.machines: …"). Every
+// mapping is decoded through a dec, which tracks which keys were read
+// so unknown keys fail loudly — a typo'd budget silently checking
+// nothing is exactly the failure mode a regression surface cannot
+// have.
+
+type dec struct {
+	path string // error prefix, e.g. "fleet"
+	m    yMap
+	used map[string]bool
+	errs []error
+}
+
+func newDec(path string, n yNode) (*dec, error) {
+	m, ok := n.(yMap)
+	if !ok {
+		return nil, fmt.Errorf("%s: expected a mapping", path)
+	}
+	return &dec{path: path, m: m, used: map[string]bool{}}, nil
+}
+
+func (d *dec) errf(key, format string, args ...any) {
+	where := key
+	if d.path != "" {
+		where = d.path + "." + key
+	}
+	d.errs = append(d.errs, fmt.Errorf("%s: %s", where, fmt.Sprintf(format, args...)))
+}
+
+// finish reports accumulated errors plus any unknown keys.
+func (d *dec) finish() error {
+	for k := range d.m {
+		if !d.used[k] {
+			d.errf(k, "unknown key")
+		}
+	}
+	if len(d.errs) == 0 {
+		return nil
+	}
+	msgs := make([]string, len(d.errs))
+	for i, e := range d.errs {
+		msgs[i] = e.Error()
+	}
+	// Sorted for deterministic error output (map iteration order).
+	sortStrings(msgs)
+	return fmt.Errorf("%s", strings.Join(msgs, "; "))
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// scalar fetches a scalar by key; ok is false when absent.
+func (d *dec) scalar(key string) (string, bool) {
+	d.used[key] = true
+	n, ok := d.m[key]
+	if !ok {
+		return "", false
+	}
+	s, isScalar := n.(yScalar)
+	if !isScalar {
+		d.errf(key, "expected a scalar value")
+		return "", false
+	}
+	return string(s), true
+}
+
+func (d *dec) str(key, def string) string {
+	s, ok := d.scalar(key)
+	if !ok {
+		return def
+	}
+	return s
+}
+
+func (d *dec) intval(key string, def int) int {
+	s, ok := d.scalar(key)
+	if !ok {
+		return def
+	}
+	v, err := strconv.Atoi(s)
+	if err != nil {
+		d.errf(key, "%q is not an integer", s)
+		return def
+	}
+	return v
+}
+
+func (d *dec) float(key string, def float64) float64 {
+	s, ok := d.scalar(key)
+	if !ok {
+		return def
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		d.errf(key, "%q is not a number", s)
+		return def
+	}
+	return v
+}
+
+func (d *dec) boolean(key string, def bool) bool {
+	s, ok := d.scalar(key)
+	if !ok {
+		return def
+	}
+	switch s {
+	case "true", "yes", "on":
+		return true
+	case "false", "no", "off":
+		return false
+	}
+	d.errf(key, "%q is not a boolean", s)
+	return def
+}
+
+func (d *dec) duration(key string, def time.Duration) time.Duration {
+	s, ok := d.scalar(key)
+	if !ok {
+		return def
+	}
+	v, err := time.ParseDuration(s)
+	if err != nil {
+		d.errf(key, "%q is not a duration (use Go syntax: 90s, 10m)", s)
+		return def
+	}
+	return v
+}
+
+func (d *dec) int64val(key string, def int64) int64 {
+	s, ok := d.scalar(key)
+	if !ok {
+		return def
+	}
+	v, err := strconv.ParseInt(s, 10, 64)
+	if err != nil {
+		d.errf(key, "%q is not an integer", s)
+		return def
+	}
+	return v
+}
+
+// optFloat returns a budget-style optional float: nil when absent.
+func (d *dec) optFloat(key string) *float64 {
+	s, ok := d.scalar(key)
+	if !ok {
+		return nil
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		d.errf(key, "%q is not a number", s)
+		return nil
+	}
+	return &v
+}
+
+// sub opens a nested mapping; absent keys return (nil, false).
+func (d *dec) sub(key string) (*dec, bool) {
+	d.used[key] = true
+	n, ok := d.m[key]
+	if !ok {
+		return nil, false
+	}
+	path := key
+	if d.path != "" {
+		path = d.path + "." + key
+	}
+	sd, err := newDec(path, n)
+	if err != nil {
+		d.errs = append(d.errs, err)
+		return nil, false
+	}
+	return sd, true
+}
+
+// seq fetches a sequence by key (nil when absent).
+func (d *dec) seq(key string) (ySeq, bool) {
+	d.used[key] = true
+	n, ok := d.m[key]
+	if !ok {
+		return nil, false
+	}
+	s, isSeq := n.(ySeq)
+	if !isSeq {
+		d.errf(key, "expected a list")
+		return nil, false
+	}
+	return s, true
+}

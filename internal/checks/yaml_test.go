@@ -1,0 +1,151 @@
+package checks
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseYAMLShapes(t *testing.T) {
+	src := `
+# top comment
+name: demo
+count: 3
+pi: 3.14
+quoted: "a: b # not a comment"
+single: 'x y'
+empty: ""
+nested:
+  inner: yes
+  deeper:
+    leaf: 1
+list:
+  - one
+  - two
+objlist:
+  - kind: a
+    tasks: 1
+  - kind: b
+    tasks: 2
+`
+	n, err := parseYAML(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, ok := n.(yMap)
+	if !ok {
+		t.Fatalf("top level is %T, want map", n)
+	}
+	want := map[string]string{
+		"name": "demo", "count": "3", "pi": "3.14",
+		"quoted": "a: b # not a comment", "single": "x y", "empty": "",
+	}
+	for k, v := range want {
+		s, ok := m[k].(yScalar)
+		if !ok || string(s) != v {
+			t.Errorf("%s = %#v, want %q", k, m[k], v)
+		}
+	}
+	nested, ok := m["nested"].(yMap)
+	if !ok {
+		t.Fatalf("nested is %T", m["nested"])
+	}
+	if s := nested["inner"].(yScalar); string(s) != "yes" {
+		t.Errorf("nested.inner = %q", s)
+	}
+	if s := nested["deeper"].(yMap)["leaf"].(yScalar); string(s) != "1" {
+		t.Errorf("nested.deeper.leaf = %q", s)
+	}
+	list, ok := m["list"].(ySeq)
+	if !ok || len(list) != 2 {
+		t.Fatalf("list = %#v", m["list"])
+	}
+	objs, ok := m["objlist"].(ySeq)
+	if !ok || len(objs) != 2 {
+		t.Fatalf("objlist = %#v", m["objlist"])
+	}
+	second, ok := objs[1].(yMap)
+	if !ok || string(second["kind"].(yScalar)) != "b" || string(second["tasks"].(yScalar)) != "2" {
+		t.Errorf("objlist[1] = %#v", objs[1])
+	}
+}
+
+func TestParseYAMLErrors(t *testing.T) {
+	cases := []struct {
+		name, src, wantErr string
+	}{
+		{"tab", "a:\n\tb: 1\n", "tab"},
+		{"dup key", "a: 1\na: 2\n", "duplicate"},
+		{"no space after colon", "a:1\n", "key: value"},
+		{"bad key chars", "a b: 1\n", "key"},
+		{"bad indent", "a:\n   b: 1\n  c: 2\n", "indent"},
+		{"scalar then children", "a: 1\n  b: 2\n", "indent"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := parseYAML(tc.src)
+			if err == nil {
+				t.Fatalf("parseYAML(%q) succeeded, want error about %q", tc.src, tc.wantErr)
+			}
+			if !strings.Contains(strings.ToLower(err.Error()), tc.wantErr) {
+				t.Errorf("error %q does not mention %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestDecUnknownKeyRejected(t *testing.T) {
+	n, err := parseYAML("name: x\nbogus_key: 1\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := decodeMachineClass(n); err == nil || !strings.Contains(err.Error(), "bogus_key") {
+		t.Errorf("unknown key not rejected: %v", err)
+	}
+}
+
+func TestDecTypedAccess(t *testing.T) {
+	n, err := parseYAML("i: 7\nf: 2.5\nb: true\nd: 90s\ns: hello\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := newDec("", n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := d.intval("i", 0); got != 7 {
+		t.Errorf("intval = %d", got)
+	}
+	if got := d.float("f", 0); got != 2.5 {
+		t.Errorf("float = %g", got)
+	}
+	if !d.boolean("b", false) {
+		t.Error("boolean = false")
+	}
+	if got := d.duration("d", 0); got.Seconds() != 90 {
+		t.Errorf("duration = %v", got)
+	}
+	if got := d.str("s", ""); got != "hello" {
+		t.Errorf("str = %q", got)
+	}
+	if got := d.intval("missing", 42); got != 42 {
+		t.Errorf("default = %d", got)
+	}
+	if err := d.finish(); err != nil {
+		t.Errorf("finish: %v", err)
+	}
+}
+
+func TestDecTypeMismatch(t *testing.T) {
+	n, err := parseYAML("i: notanumber\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := newDec("", n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.intval("i", 0)
+	if err := d.finish(); err == nil {
+		t.Error("non-integer accepted by intval")
+	}
+}

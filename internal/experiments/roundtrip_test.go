@@ -1,0 +1,117 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// roundTripIDs is a curated slice across every experiment family
+// (metric figures, case studies, evaluation, ablations, extensions) —
+// cheap enough to run twice each for the determinism check. Short
+// mode keeps one representative per source file.
+func roundTripIDs(short bool) []string {
+	if short {
+		return []string{"fig1", "fig8", "sec7rate", "ablation-filter", "ext-group"}
+	}
+	return []string{
+		"fig1", "fig3", "tab1", "tab2",
+		"fig8", "fig10", "fig13",
+		"sec7rate", "fig14",
+		"ablation-filter", "ablation-feedback",
+		"ext-group", "ext-straggler",
+	}
+}
+
+// TestReportRoundTrip runs each curated experiment once and checks the
+// full setup → run → report → render round-trip: identity fields,
+// metric lookup, and both text renderings agreeing with the metrics.
+func TestReportRoundTrip(t *testing.T) {
+	for _, id := range roundTripIDs(testing.Short()) {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			rep, err := Run(id, Options{Seed: 1, Scale: 0.05})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.ID != id {
+				t.Errorf("report ID %q, want %q", rep.ID, id)
+			}
+			if rep.Title == "" || rep.PaperClaim == "" {
+				t.Errorf("report missing title/claim: %+v", rep)
+			}
+			if len(rep.Metrics) == 0 {
+				t.Fatal("report has no metrics")
+			}
+			text := rep.String()
+			if !strings.Contains(text, rep.ID) || !strings.Contains(text, rep.PaperClaim) {
+				t.Error("String() missing ID or claim")
+			}
+			csv := rep.CSV(true)
+			lines := strings.Split(strings.TrimSuffix(csv, "\n"), "\n")
+			if len(lines) != len(rep.Metrics)+1 {
+				t.Errorf("CSV(true) has %d lines for %d metrics", len(lines), len(rep.Metrics))
+			}
+			if !strings.HasPrefix(lines[0], "experiment,metric,") {
+				t.Errorf("CSV header %q", lines[0])
+			}
+			if noHeader := rep.CSV(false); strings.HasPrefix(noHeader, "experiment,metric,") {
+				t.Error("CSV(false) still has a header")
+			}
+			for _, m := range rep.Metrics {
+				if !strings.Contains(text, m.Name) {
+					t.Errorf("String() missing metric %q", m.Name)
+				}
+				got := rep.Metric(m.Name)
+				if got.Name != m.Name || got.Measured != m.Measured {
+					t.Errorf("Metric(%q) = %+v, want %+v", m.Name, got, m)
+				}
+				// CSV must not re-introduce field separators from prose.
+				if strings.Contains(m.Note, ",") && strings.Count(csv, m.Note) > 0 {
+					t.Errorf("CSV leaks unescaped comma from note %q", m.Note)
+				}
+			}
+		})
+	}
+}
+
+// TestRunDeterminism is the reproducibility contract: the same seed
+// and scale produce byte-identical reports, twice over.
+func TestRunDeterminism(t *testing.T) {
+	for _, id := range roundTripIDs(testing.Short()) {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			opts := Options{Seed: 7, Scale: 0.05}
+			a, err := Run(id, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := Run(id, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if a.String() != b.String() {
+				t.Errorf("same seed, different reports:\n--- run 1\n%s\n--- run 2\n%s", a, b)
+			}
+			if a.CSV(true) != b.CSV(true) {
+				t.Error("same seed, different CSV")
+			}
+		})
+	}
+}
+
+// TestMetricHelpers covers the Report mutation helpers the harness and
+// CLI rely on.
+func TestMetricHelpers(t *testing.T) {
+	r := &Report{ID: "x", Title: "t", PaperClaim: "c"}
+	if got := r.Metric("absent"); got != (Metric{}) {
+		t.Errorf("absent metric = %+v", got)
+	}
+	r.AddMetric("m1", 1.5, 2.0, `a "quoted, note`)
+	if got := r.Metric("m1"); got.Measured != 1.5 || got.Paper != 2.0 {
+		t.Errorf("added metric = %+v", got)
+	}
+	csv := r.CSV(false)
+	if strings.Contains(csv, `"`) || strings.Contains(csv, "a quoted, note") {
+		t.Errorf("CSV quote/comma handling: %q", csv)
+	}
+}

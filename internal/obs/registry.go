@@ -514,6 +514,39 @@ func (v *HistogramVec) Drain(dst *HistogramVec) {
 	}
 }
 
+// QuantileAll estimates the q-quantile over the union of every series
+// in the family, as if all observations had landed in one histogram.
+// Every series shares the family's bucket layout, so merging is exact
+// at bucket granularity; the estimate inside the owning bucket is the
+// same linear interpolation as Histogram.Quantile. Capacity budgets
+// use this to judge e.g. p95 spec staleness across all {job} series
+// without caring how observations split per label. Returns 0 on nil
+// or with no observations.
+func (v *HistogramVec) QuantileAll(q float64) float64 {
+	if v == nil || len(v.fam.bounds) == 0 {
+		return 0
+	}
+	v.fam.mu.Lock()
+	series := make([]any, 0, len(v.fam.series))
+	for _, s := range v.fam.series {
+		series = append(series, s)
+	}
+	v.fam.mu.Unlock()
+	merged := make([]uint64, len(v.fam.bounds)+1)
+	for _, s := range series {
+		h := s.(*Histogram)
+		for i := range h.counts {
+			merged[i] += h.counts[i].Load()
+		}
+	}
+	var cum uint64
+	for i := range merged {
+		cum += merged[i]
+		merged[i] = cum
+	}
+	return QuantileFromBuckets(v.fam.bounds, merged, q)
+}
+
 // Snapshot returns the total observation count and value sum across
 // every series of the family, for fingerprinting and quick health
 // checks. Nil-safe.

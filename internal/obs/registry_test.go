@@ -394,3 +394,44 @@ func TestDrainUnderConcurrentWriters(t *testing.T) {
 		t.Errorf("shared = %v, want %d", got, shards*per)
 	}
 }
+
+// TestHistogramVecQuantileAll: the merged quantile must behave as if
+// every series' observations had landed in one histogram, regardless
+// of how they split across label values.
+func TestHistogramVecQuantileAll(t *testing.T) {
+	bounds := []float64{1, 2, 4, 8}
+	vec := NewHistogramVec(bounds, "job")
+	merged := NewHistogram(bounds)
+	obsv := []struct {
+		job string
+		v   float64
+	}{
+		{"a", 0.5}, {"a", 1.5}, {"a", 1.6}, {"b", 3}, {"b", 3.5},
+		{"b", 7}, {"c", 7.5}, {"c", 100}, // +Inf bucket
+	}
+	for _, o := range obsv {
+		vec.With(o.job).Observe(o.v)
+		merged.Observe(o.v)
+	}
+	for _, q := range []float64{0, 0.25, 0.5, 0.75, 0.95, 1} {
+		if got, want := vec.QuantileAll(q), merged.Quantile(q); got != want {
+			t.Errorf("QuantileAll(%v) = %v, want %v (single-histogram estimate)", q, got, want)
+		}
+	}
+	var nilVec *HistogramVec
+	if got := nilVec.QuantileAll(0.5); got != 0 {
+		t.Errorf("nil QuantileAll = %v, want 0", got)
+	}
+	if got := NewHistogramVec(bounds, "job").QuantileAll(0.95); got != 0 {
+		t.Errorf("empty QuantileAll = %v, want 0", got)
+	}
+	// Registered vecs (shared bucket layout enforced by the registry)
+	// take the same path.
+	r := NewRegistry()
+	rv := r.HistogramVec("quantile_all_seconds", "", bounds, "job")
+	rv.With("x").Observe(3)
+	rv.With("y").Observe(3)
+	if got := rv.QuantileAll(1); got != 4 {
+		t.Errorf("registered QuantileAll(1) = %v, want 4 (upper bound of owning bucket)", got)
+	}
+}

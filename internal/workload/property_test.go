@@ -1,0 +1,185 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/interference"
+)
+
+// Property tests: load curves stay inside [0, 1] and are periodic;
+// no workload generator ever emits a negative, NaN, or infinite
+// demand, whatever sequence of grants and interference it is fed.
+
+func sane(t *testing.T, who string, cpu float64, threads int) {
+	t.Helper()
+	if math.IsNaN(cpu) || math.IsInf(cpu, 0) || cpu < 0 {
+		t.Fatalf("%s: demand cpu = %v", who, cpu)
+	}
+	if threads < 0 {
+		t.Fatalf("%s: demand threads = %d", who, threads)
+	}
+}
+
+func TestDiurnalLoadBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	base := time.Date(2024, 3, 1, 0, 0, 0, 0, time.UTC)
+	for trial := 0; trial < 200; trial++ {
+		d := DiurnalLoad{
+			Trough:   rng.Float64() * 1.5, // deliberately allows out-of-range inputs
+			Peak:     rng.Float64() * 1.5,
+			PeakHour: rng.Float64() * 24,
+			Jitter:   rng.Float64() * 0.5,
+			RNG:      rand.New(rand.NewSource(int64(trial))),
+		}
+		for i := 0; i < 100; i++ {
+			at := base.Add(time.Duration(rng.Int63n(int64(48 * time.Hour))))
+			l := d.Level(at)
+			if math.IsNaN(l) || l < 0 || l > 1 {
+				t.Fatalf("trial %d: Level(%v) = %v outside [0,1] (%+v)", trial, at, l, d)
+			}
+		}
+	}
+}
+
+func TestDiurnalLoadPeriodicityAndShape(t *testing.T) {
+	d := DiurnalLoad{Trough: 0.2, Peak: 0.9, PeakHour: 18}
+	base := time.Date(2024, 3, 1, 0, 0, 0, 0, time.UTC)
+	peak := 0.0
+	peakHour := -1
+	for h := 0; h < 24; h++ {
+		at := base.Add(time.Duration(h) * time.Hour)
+		l := d.Level(at)
+		// Jitter-free diurnal load must repeat every 24 hours exactly.
+		if next := d.Level(at.Add(24 * time.Hour)); next != l {
+			t.Fatalf("hour %d: Level differs across days: %v vs %v", h, l, next)
+		}
+		if l > peak {
+			peak, peakHour = l, h
+		}
+	}
+	if peakHour != 18 {
+		t.Errorf("peak at hour %d, want 18", peakHour)
+	}
+	if trough := d.Level(base.Add(6 * time.Hour)); math.Abs(trough-0.2) > 0.01 {
+		t.Errorf("level at antipodal hour = %v, want ~0.2", trough)
+	}
+	if math.Abs(peak-0.9) > 0.01 {
+		t.Errorf("peak level = %v, want ~0.9", peak)
+	}
+}
+
+func TestConstantLoadClamped(t *testing.T) {
+	for _, in := range []float64{-1, 0, 0.5, 1, 7} {
+		l := ConstantLoad(in).Level(time.Now())
+		if l < 0 || l > 1 {
+			t.Errorf("ConstantLoad(%v).Level = %v", in, l)
+		}
+	}
+}
+
+// TestWorkloadsNeverEmitNegativeOrNaN drives every workload generator
+// through randomized grant/interference sequences — including hostile
+// ones (zero grants, huge grants, heavy interference) — and asserts
+// demand sanity at every tick.
+func TestWorkloadsNeverEmitNegativeOrNaN(t *testing.T) {
+	base := time.Date(2024, 3, 1, 0, 0, 0, 0, time.UTC)
+	tick := time.Second
+
+	builders := map[string]func(rng *rand.Rand) (machineWorkload, func()){
+		"steady": func(rng *rand.Rand) (machineWorkload, func()) {
+			return &Steady{CPU: rng.Float64() * 8, Threads: rng.Intn(4) + 1}, nil
+		},
+		"pulse": func(rng *rand.Rand) (machineWorkload, func()) {
+			return &Pulse{
+				OnCPU:   rng.Float64() * 8,
+				OffCPU:  rng.Float64(),
+				OnFor:   time.Duration(rng.Intn(120)+1) * time.Second,
+				OffFor:  time.Duration(rng.Intn(120)+1) * time.Second,
+				Threads: rng.Intn(4) + 1,
+				Phase:   time.Duration(rng.Intn(60)) * time.Second,
+			}, nil
+		},
+		"batch": func(rng *rand.Rand) (machineWorkload, func()) {
+			return NewBatch(rng.Float64()*4+0.1, rng.Intn(4)+1, 2.0), nil
+		},
+		"bimodal": func(rng *rand.Rand) (machineWorkload, func()) {
+			return NewBimodal(), nil
+		},
+		"mapreduce-tolerate": func(rng *rand.Rand) (machineWorkload, func()) {
+			return NewMapReduce(rng.Float64()*4+0.1, ReactTolerate), nil
+		},
+		"mapreduce-lameduck": func(rng *rand.Rand) (machineWorkload, func()) {
+			return NewMapReduce(rng.Float64()*4+0.1, ReactLameDuck), nil
+		},
+		"mapreduce-exit": func(rng *rand.Rand) (machineWorkload, func()) {
+			return NewMapReduce(rng.Float64()*4+0.1, ReactExit), nil
+		},
+		"websearch-leaf": func(rng *rand.Rand) (machineWorkload, func()) {
+			tree := NewSearchTree()
+			load := DiurnalLoad{Trough: 0.3, Peak: 1, PeakHour: 18, Jitter: 0.1,
+				RNG: rand.New(rand.NewSource(rng.Int63()))}
+			return NewSearchTask(TierLeaf, tree, load, 4, 1.2, rng), tree.EndTick
+		},
+		"websearch-root": func(rng *rand.Rand) (machineWorkload, func()) {
+			tree := NewSearchTree()
+			return NewSearchTask(TierRoot, tree, ConstantLoad(0.8), 2, 0.8, rng), tree.EndTick
+		},
+	}
+
+	for name, build := range builders {
+		name, build := name, build
+		t.Run(name, func(t *testing.T) {
+			for trial := 0; trial < 20; trial++ {
+				rng := rand.New(rand.NewSource(int64(trial)*31 + 7))
+				w, endTick := build(rng)
+				now := base
+				for i := 0; i < 400; i++ {
+					cpu, threads := w.Demand(now)
+					sane(t, name, cpu, threads)
+					// Grant regimes: starvation, partial, generous.
+					var granted float64
+					switch rng.Intn(3) {
+					case 0:
+						granted = 0
+					case 1:
+						granted = cpu * rng.Float64()
+					default:
+						granted = cpu * (1 + rng.Float64())
+					}
+					res := interference.Result{
+						CPI:      0.5 + rng.Float64()*5,
+						L3MPKI:   rng.Float64() * 40,
+						Pressure: rng.Float64(),
+					}
+					w.Deliver(now, granted, tick, res)
+					if endTick != nil {
+						endTick()
+					}
+					now = now.Add(tick)
+					if w.Done() {
+						break
+					}
+				}
+				// Done must be stable, not oscillating.
+				if w.Done() {
+					cpu, threads := w.Demand(now)
+					sane(t, name+" after done", cpu, threads)
+					if !w.Done() {
+						t.Fatalf("%s: Done flapped back to false", name)
+					}
+				}
+			}
+		})
+	}
+}
+
+// machineWorkload mirrors machine.Workload without importing it —
+// keeping this package free of an upward dependency.
+type machineWorkload interface {
+	Demand(now time.Time) (cpu float64, threads int)
+	Deliver(now time.Time, granted float64, dt time.Duration, res interference.Result)
+	Done() bool
+}
