@@ -33,7 +33,7 @@ const benchWarmupSteps = 25
 // up in) and allocations per step.
 //
 // CI runs this with -benchtime=60x and gates on speedup ≥ 1.0 at
-// workers=4; run it locally with:
+// workers=4 plus an allocs/op ceiling; run it locally with:
 //
 //	go test -bench=BenchmarkClusterStep -benchtime=60x -run='^$' .
 func BenchmarkClusterStep(b *testing.B) {
@@ -47,18 +47,42 @@ func BenchmarkClusterStep(b *testing.B) {
 	}
 	for _, w := range counts {
 		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
-			benchClusterStep(b, w, machines)
+			benchClusterStep(b, w, machines, 0)
 		})
 	}
 }
 
-func benchClusterStep(b *testing.B, workers, machines int) {
+// BenchmarkClusterStep10k is the scale row the per-PR CI job gates on:
+// the same workload shape at 10,000 machines, workers=GOMAXPROCS.
+// Skipped in -short mode.
+func BenchmarkClusterStep10k(b *testing.B) {
+	if testing.Short() {
+		b.Skip("10k-machine row skipped in short mode")
+	}
+	benchClusterStep(b, runtime.GOMAXPROCS(0), 10_000, 0)
+}
+
+// BenchmarkClusterStep100k is the non-gating nightly scale row:
+// 100,000 machines, workers=GOMAXPROCS, per-machine trace rings
+// disabled (TraceCapacity -1) — at this fleet size the span rings, not
+// the hot path, would dominate memory, and the row exists to measure
+// stepping. The tracing_disabled field in the JSON records that.
+// Skipped in -short mode.
+func BenchmarkClusterStep100k(b *testing.B) {
+	if testing.Short() {
+		b.Skip("100k-machine row skipped in short mode")
+	}
+	benchClusterStep(b, runtime.GOMAXPROCS(0), 100_000, -1)
+}
+
+func benchClusterStep(b *testing.B, workers, machines, traceCapacity int) {
 	c := cluster.New(cluster.Config{
 		Seed:              1,
 		Machines:          machines,
 		CPUsPerMachine:    16,
 		PlatformBFraction: 0.3,
 		Workers:           workers,
+		TraceCapacity:     traceCapacity,
 		Params:            core.Params{MinSamplesPerTask: 8},
 	})
 	defer c.Close()
@@ -101,15 +125,16 @@ func benchClusterStep(b *testing.B, workers, machines int) {
 	b.ReportMetric(machPerSec, "machines/sec")
 	b.ReportMetric(float64(percentile(durs, 95).Nanoseconds()), "p95-ns/step")
 	recordClusterStep(clusterStepResult{
-		Workers:        workers,
-		Machines:       machines,
-		Iterations:     b.N,
-		NsPerOp:        float64(elapsed.Nanoseconds()) / float64(b.N),
-		P50StepNs:      float64(percentile(durs, 50).Nanoseconds()),
-		P95StepNs:      float64(percentile(durs, 95).Nanoseconds()),
-		AllocsPerOp:    float64(ms1.Mallocs-ms0.Mallocs) / float64(b.N),
-		BytesPerOp:     float64(ms1.TotalAlloc-ms0.TotalAlloc) / float64(b.N),
-		MachinesPerSec: machPerSec,
+		Workers:         workers,
+		Machines:        machines,
+		Iterations:      b.N,
+		NsPerOp:         float64(elapsed.Nanoseconds()) / float64(b.N),
+		P50StepNs:       float64(percentile(durs, 50).Nanoseconds()),
+		P95StepNs:       float64(percentile(durs, 95).Nanoseconds()),
+		AllocsPerOp:     float64(ms1.Mallocs-ms0.Mallocs) / float64(b.N),
+		BytesPerOp:      float64(ms1.TotalAlloc-ms0.TotalAlloc) / float64(b.N),
+		MachinesPerSec:  machPerSec,
+		TracingDisabled: traceCapacity < 0,
 	})
 }
 
@@ -126,7 +151,7 @@ func percentile(sorted []time.Duration, p int) time.Duration {
 	return sorted[idx]
 }
 
-// clusterStepResult is one BenchmarkClusterStep sub-benchmark outcome
+// clusterStepResult is one BenchmarkClusterStep* sub-benchmark outcome
 // as persisted to BENCH_cluster_step.json.
 type clusterStepResult struct {
 	Workers        int     `json:"workers"`
@@ -138,21 +163,29 @@ type clusterStepResult struct {
 	AllocsPerOp    float64 `json:"allocs_per_op"`
 	BytesPerOp     float64 `json:"bytes_per_op"`
 	MachinesPerSec float64 `json:"machines_per_sec"`
+	// TracingDisabled marks rows measured with TraceCapacity -1 (the
+	// 100k row): comparable for stepping throughput, not for trace
+	// overhead.
+	TracingDisabled bool `json:"tracing_disabled,omitempty"`
 }
+
+// benchKey identifies one matrix cell: a (workers, machines) pair.
+type benchKey struct{ workers, machines int }
 
 var (
 	benchStepMu      sync.Mutex
-	benchStepResults = map[int]clusterStepResult{}
+	benchStepResults = map[benchKey]clusterStepResult{}
 )
 
-// recordClusterStep keeps the highest-iteration run per worker count
+// recordClusterStep keeps the highest-iteration run per matrix cell
 // (the benchmark framework re-runs with growing b.N; the last, longest
 // run is the most trustworthy number).
 func recordClusterStep(r clusterStepResult) {
 	benchStepMu.Lock()
 	defer benchStepMu.Unlock()
-	if prev, ok := benchStepResults[r.Workers]; !ok || r.Iterations >= prev.Iterations {
-		benchStepResults[r.Workers] = r
+	k := benchKey{r.Workers, r.Machines}
+	if prev, ok := benchStepResults[k]; !ok || r.Iterations >= prev.Iterations {
+		benchStepResults[k] = r
 	}
 }
 
@@ -177,32 +210,47 @@ func writeClusterStepJSON() {
 		// forced above it, and a "parallel speedup" measured that way is
 		// concurrency overhead, not parallelism. Readers should trust
 		// Speedup only when CPUs covers the worker count.
-		CPUs        int                 `json:"cpus"`
-		WarmupSteps int                 `json:"warmup_steps"`
-		Results     []clusterStepResult `json:"results"`
-		// Speedup is machines/sec at workers=4 (the CI gate; the highest
-		// measured worker count if 4 was not run) over workers=1.
+		CPUs        int `json:"cpus"`
+		WarmupSteps int `json:"warmup_steps"`
+		// Results is the (workers, machines) matrix, machines-major.
+		Results []clusterStepResult `json:"results"`
+		// Speedup is machines/sec at workers=4, machines=1000 (the CI
+		// gate; the highest measured worker count if 4 was not run) over
+		// workers=1 at the same fleet size. 0 when the 1k rows were not
+		// measured in this run.
 		Speedup float64 `json:"speedup"`
 	}{
-		SchemaVersion: 2,
+		SchemaVersion: 3,
 		GOMAXPROCS:    runtime.GOMAXPROCS(0),
 		CPUs:          runtime.NumCPU(),
 		WarmupSteps:   benchWarmupSteps,
 	}
-	var workerCounts []int
-	for w := range benchStepResults {
-		workerCounts = append(workerCounts, w)
+	var keys []benchKey
+	for k := range benchStepResults {
+		keys = append(keys, k)
 	}
-	sort.Ints(workerCounts)
-	for _, w := range workerCounts {
-		out.Results = append(out.Results, benchStepResults[w])
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].machines != keys[j].machines {
+			return keys[i].machines < keys[j].machines
+		}
+		return keys[i].workers < keys[j].workers
+	})
+	for _, k := range keys {
+		out.Results = append(out.Results, benchStepResults[k])
 	}
-	gate := 4
+	const speedupMachines = 1000
+	gate := benchKey{4, speedupMachines}
 	if _, ok := benchStepResults[gate]; !ok {
-		gate = workerCounts[len(workerCounts)-1]
+		gate.workers = 0
+		for _, k := range keys {
+			if k.machines == speedupMachines && k.workers > gate.workers {
+				gate = k
+			}
+		}
 	}
-	if base, ok := benchStepResults[1]; ok && gate > 1 && base.MachinesPerSec > 0 {
-		out.Speedup = benchStepResults[gate].MachinesPerSec / base.MachinesPerSec
+	base, okBase := benchStepResults[benchKey{1, speedupMachines}]
+	if top, ok := benchStepResults[gate]; ok && okBase && gate.workers > 1 && base.MachinesPerSec > 0 {
+		out.Speedup = top.MachinesPerSec / base.MachinesPerSec
 	}
 	b, err := json.MarshalIndent(out, "", "  ")
 	if err != nil {

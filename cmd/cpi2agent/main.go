@@ -112,6 +112,7 @@ func main() {
 			log.Printf("spec push: %s CPI %.3f ± %.3f", s.Key(), s.CPIMean, s.CPIStddev)
 		})
 		rd.SetMetrics(pipeline.NewMetrics(reg))
+		rd.SetEvents(events)
 		if err := rd.Subscribe(); err != nil {
 			log.Printf("cpi2agent: subscribe: %v", err)
 		}

@@ -12,7 +12,8 @@
 // The paper recomputed specs every 24h with a goal of hourly; the
 // default here is hourly. The admin HTTP server on -metrics-addr
 // serves /metrics, /healthz, /buildinfo, /debug/specs (the current
-// spec table), and /debug/trace (aggregator-side causal spans:
+// spec table), /debug/events (structured events, including wire_error
+// drops), and /debug/trace (aggregator-side causal spans:
 // ingest, spec_build, spec_push; ?id=<trace> for one chain,
 // ?n=<count> for the most recent spans).
 //
@@ -95,7 +96,12 @@ func main() {
 	validator := core.NewSampleValidator("aggregator", 256)
 	validator.Metrics = core.NewMetrics(reg)
 	bus.SetValidator(validator)
+	// Abnormal connection drops (oversized/garbage frames, mid-read
+	// failures) land here as wire_error events, next to the
+	// cpi2_wire_errors_total counter.
+	events := obs.NewEventLog(4096, nil)
 	srv := pipeline.NewServer(bus)
+	srv.SetEvents(events)
 	addr, err := srv.Serve(*listen)
 	if err != nil {
 		log.Fatalf("cpi2aggregator: %v", err)
@@ -103,7 +109,7 @@ func main() {
 	log.Printf("cpi2aggregator: listening on %s, recomputing every %v", addr, *recompute)
 
 	if *metricsAddr != "" {
-		admin := obs.NewAdminServer(reg, nil)
+		admin := obs.NewAdminServer(reg, events)
 		admin.HandleJSON("/debug/specs", func(q url.Values) (any, error) {
 			return builder.Specs(), nil
 		})

@@ -35,10 +35,14 @@ type Agent struct {
 	// counter or zero-instruction window is quarantined here, before it
 	// can reach local detection or the wire. Never nil.
 	validator *core.SampleValidator
-	// readCounters is the bound counter reader handed to the sampler,
-	// built once so the per-tick hot path does not re-allocate the
-	// method-value closure.
-	readCounters func() map[string]perfcnt.Counters
+	// readCounters is the bound columnar counter reader handed to the
+	// sampler, built once so the per-tick hot path does not re-allocate
+	// the method-value closure.
+	readCounters func(*perfcnt.Snapshot)
+	// sampleBuf is the reusable sample-assembly column: toSamples fills
+	// it in place each completed window, and the batch is fully consumed
+	// (validated, observed, published-by-copy) within the same Tick.
+	sampleBuf []model.Sample
 
 	mu    sync.Mutex
 	tasks map[string]taskInfo // cgroup name → identity
@@ -78,7 +82,7 @@ func New(mach *machine.Machine, params core.Params, sink pipeline.SampleSink) *A
 		validator: core.NewSampleValidator("agent", 256),
 		tasks:     make(map[string]taskInfo),
 	}
-	a.readCounters = mach.Counters
+	a.readCounters = mach.ReadCounters
 	a.metrics.Store(&Metrics{})
 	return a
 }
@@ -186,7 +190,7 @@ func (a *Agent) Tick(now time.Time) []core.Incident {
 	if timed {
 		wallStart = time.Now()
 	}
-	measurements := a.sampler.Tick(now, a.readCounters)
+	measurements := a.sampler.TickInto(now, a.readCounters)
 	var incidents []core.Incident
 	if len(measurements) > 0 {
 		samples := a.validator.Filter(a.toSamples(now, measurements))
@@ -214,7 +218,7 @@ func (a *Agent) toSamples(now time.Time, ms []perfcnt.Measurement) []model.Sampl
 	// identical at any cluster worker count and under any fault plan.
 	a.seq++
 	tid := trace.SampleTraceID(a.mach.Name(), a.seq)
-	out := make([]model.Sample, 0, len(ms))
+	out := a.sampleBuf[:0]
 	for _, m := range ms {
 		info, ok := a.tasks[m.Cgroup]
 		if !ok {
@@ -240,5 +244,6 @@ func (a *Agent) toSamples(now time.Time, ms []perfcnt.Measurement) []model.Sampl
 			Detail:  fmt.Sprintf("%d samples", len(out)),
 		})
 	}
+	a.sampleBuf = out
 	return out
 }

@@ -284,6 +284,32 @@ type Demand struct {
 	Want float64
 }
 
+// allocEntry is one group's water-filling state: its input position,
+// share weight, and ceiling (min of demand and effective cap).
+type allocEntry struct {
+	idx    int
+	shares float64
+	ceil   float64
+}
+
+// AllocScratch holds the reusable working buffers of AllocateInto, so
+// a machine ticking once per simulated second allocates nothing for
+// CPU accounting. The zero value is ready to use.
+type AllocScratch struct {
+	entries []allocEntry
+}
+
+// entrySorter sorts an AllocScratch's entries by ceil/shares without
+// allocating: the sort.Interface value is a pointer into the scratch,
+// so the interface conversion stays off the heap.
+type entrySorter AllocScratch
+
+func (s *entrySorter) Len() int      { return len(s.entries) }
+func (s *entrySorter) Swap(a, b int) { s.entries[a], s.entries[b] = s.entries[b], s.entries[a] }
+func (s *entrySorter) Less(a, b int) bool {
+	return s.entries[a].ceil*s.entries[b].shares < s.entries[b].ceil*s.entries[a].shares
+}
+
 // Allocate runs one accounting tick of duration dt: it divides
 // capacity (in CPUs) among the demanding groups in proportion to their
 // shares, bounding each group by its demand and its effective
@@ -297,21 +323,33 @@ type Demand struct {
 // hard-capping protects victims regardless of load.
 func Allocate(capacity float64, dt time.Duration, demands []Demand) []float64 {
 	grants := make([]float64, len(demands))
+	var scratch AllocScratch
+	AllocateInto(capacity, dt, demands, grants, &scratch)
+	return grants
+}
+
+// AllocateInto is Allocate with caller-owned buffers: grants must have
+// len(demands) entries and receives the granted rate per demand in
+// input order; scratch carries the working set across calls. The
+// per-tick hot path uses it so steady-state CPU accounting performs
+// zero heap allocations.
+func AllocateInto(capacity float64, dt time.Duration, demands []Demand, grants []float64, scratch *AllocScratch) {
+	if len(grants) != len(demands) {
+		panic("cgroup: AllocateInto grants/demands length mismatch")
+	}
+	for i := range grants {
+		grants[i] = 0
+	}
 	if capacity <= 0 || dt <= 0 || len(demands) == 0 {
 		// Still account a tick for limited groups.
 		for _, d := range demands {
 			accountTick(d.Group, 0, d.Want, dt)
 		}
-		return grants
+		return
 	}
 
 	// ceil[i] = min(want, effective cap) — the most group i may get.
-	type entry struct {
-		idx    int
-		shares float64
-		ceil   float64
-	}
-	entries := make([]entry, 0, len(demands))
+	entries := scratch.entries[:0]
 	for i, d := range demands {
 		ceil := d.Want
 		if ceil < 0 {
@@ -320,16 +358,15 @@ func Allocate(capacity float64, dt time.Duration, demands []Demand) []float64 {
 		if r := d.Group.EffectiveRate(); r < ceil {
 			ceil = r
 		}
-		entries = append(entries, entry{idx: i, shares: float64(d.Group.Shares()), ceil: ceil})
+		entries = append(entries, allocEntry{idx: i, shares: float64(d.Group.Shares()), ceil: ceil})
 	}
+	scratch.entries = entries
 
 	// Water-filling: groups whose ceiling is below their proportional
 	// share get exactly their ceiling; the surplus is re-divided among
 	// the rest. Sorting by ceil/shares lets us finalize groups in one
 	// pass.
-	sort.Slice(entries, func(a, b int) bool {
-		return entries[a].ceil*entries[b].shares < entries[b].ceil*entries[a].shares
-	})
+	sort.Sort((*entrySorter)(scratch))
 	remaining := capacity
 	var remainingShares float64
 	for _, e := range entries {
@@ -349,7 +386,6 @@ func Allocate(capacity float64, dt time.Duration, demands []Demand) []float64 {
 	for i, d := range demands {
 		accountTick(d.Group, grants[i], d.Want, dt)
 	}
-	return grants
 }
 
 func accountTick(g *Group, granted, want float64, dt time.Duration) {

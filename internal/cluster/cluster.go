@@ -77,6 +77,13 @@ type Config struct {
 	// routes every machine's samples through a bounded spool. The plan
 	// must pass Validate; New panics otherwise.
 	Faults *FaultPlan
+	// TraceCapacity bounds each machine's causal-trace span ring
+	// (0 selects the trace package default of 4096; rings grow lazily
+	// either way). Negative disables tracing entirely — the 100k-machine
+	// benchmark uses this, since even lazy per-machine rings are real
+	// memory at that scale. Determinism is unaffected: traces are either
+	// identically present or identically absent at any worker count.
+	TraceCapacity int
 }
 
 func (c Config) withDefaults() Config {
@@ -160,7 +167,13 @@ type Cluster struct {
 	aggTrace *trace.Store
 
 	// pool runs the parallel phase (nil when cfg.Workers == 1).
-	pool *pool
+	// stepFn is the persistent range closure handed to the pool; it
+	// reads the current tick's time from stepNow/stepDt, which only the
+	// serial part of Step writes.
+	pool    *pool
+	stepFn  func(start, end int)
+	stepNow time.Time
+	stepDt  time.Duration
 
 	// Metric staging (nil without Config.Registry): each machine's agent
 	// and manager write a private shard during the parallel phase; the
@@ -237,8 +250,10 @@ func New(cfg Config) *Cluster {
 		capCounts:  make(map[model.TaskID]int),
 		avoided:    make(map[[2]model.JobName]bool),
 
-		traces:   make([]*trace.Store, cfg.Machines),
-		aggTrace: trace.NewStore(0),
+		traces: make([]*trace.Store, cfg.Machines),
+	}
+	if cfg.TraceCapacity >= 0 {
+		c.aggTrace = trace.NewStore(cfg.TraceCapacity)
 	}
 	c.bus.SetTrace(c.aggTrace)
 	if cfg.Registry != nil {
@@ -294,7 +309,9 @@ func New(cfg Config) *Cluster {
 		// the byte-exact specs — independent of the worker count.
 		q := pipeline.NewQueue()
 		a := agent.New(m, cfg.Params, q)
-		c.traces[i] = trace.NewStore(0)
+		if cfg.TraceCapacity >= 0 {
+			c.traces[i] = trace.NewStore(cfg.TraceCapacity)
+		}
 		a.SetTrace(c.traces[i])
 		// Events go through a per-machine staging buffer: agents emit
 		// during the parallel phase, the commit phase drains buffers in
@@ -599,17 +616,23 @@ func (c *Cluster) Step() {
 	// (The first version of this fan-out spawned fresh goroutines every
 	// Step and pulled indices one at a time off a shared atomic — the
 	// coordination cost made workers=4 slower than workers=1; see pool.)
+	// The range closure is built once and reads now/dt from step fields
+	// so steady-state stepping does not allocate a closure per Step.
 	n := len(c.machs)
+	c.stepNow, c.stepDt = now, dt
 	if c.pool == nil {
 		for i := 0; i < n; i++ {
 			c.tickMachine(i, now, dt)
 		}
 	} else {
-		c.pool.run(n, c.cfg.Workers, func(start, end int) {
-			for i := start; i < end; i++ {
-				c.tickMachine(i, now, dt)
+		if c.stepFn == nil {
+			c.stepFn = func(start, end int) {
+				for i := start; i < end; i++ {
+					c.tickMachine(i, c.stepNow, c.stepDt)
+				}
 			}
-		})
+		}
+		c.pool.run(n, c.cfg.Workers, c.stepFn)
 	}
 
 	// Commit phase: machine-index order, single goroutine.

@@ -47,10 +47,10 @@ type Task struct {
 	Workload Workload
 
 	group  *cgroup.Group
-	cg     string            // cached ID.String(): the cgroup name, hot in Tick
-	cnt    *perfcnt.Counters // cumulative counters, shared with m.counters
-	skew   float64           // per-task base-CPI multiplier, drawn at placement
-	socket int               // NUMA domain, assigned at placement
+	cg     string  // cached ID.String(): the cgroup name, hot in Tick
+	slot   int     // index into the machine's counter column
+	skew   float64 // per-task base-CPI multiplier, drawn at placement
+	socket int     // NUMA domain, assigned at placement
 	last   TaskTick
 }
 
@@ -78,8 +78,12 @@ type Machine struct {
 	order []model.TaskID // deterministic iteration order
 	rng   *rand.Rand
 
-	counters map[string]*perfcnt.Counters
-	now      time.Time
+	// cnts is the cumulative counter column: tasks index it by slot, so
+	// per-task counters live contiguously instead of as one heap object
+	// each. freeSlots recycles the slots of departed tasks.
+	cnts      []perfcnt.Counters
+	freeSlots []int
+	now       time.Time
 
 	// leasesExpired counts caps the machine itself released because
 	// their lease ran out — the crash-safety backstop firing.
@@ -91,9 +95,11 @@ type Machine struct {
 	scratch struct {
 		tasks   []*Task
 		demands []cgroup.Demand
+		grants  []float64
 		threads []int
 		loads   []interference.Load
 		out     []TaskTick
+		alloc   cgroup.AllocScratch
 	}
 }
 
@@ -105,13 +111,12 @@ func New(name string, hw interference.Machine, ncpus int, rng *rand.Rand) *Machi
 		ncpus = 1
 	}
 	return &Machine{
-		name:     name,
-		hw:       hw,
-		ncpus:    ncpus,
-		hier:     cgroup.NewHierarchy(),
-		tasks:    make(map[model.TaskID]*Task),
-		rng:      rng,
-		counters: make(map[string]*perfcnt.Counters),
+		name:  name,
+		hw:    hw,
+		ncpus: ncpus,
+		hier:  cgroup.NewHierarchy(),
+		tasks: make(map[model.TaskID]*Task),
+		rng:   rng,
 	}
 }
 
@@ -149,17 +154,29 @@ func (m *Machine) AddTask(id model.TaskID, job model.Job, profile *interference.
 	if err != nil {
 		return fmt.Errorf("machine %s: %w", m.name, err)
 	}
-	cnt := &perfcnt.Counters{}
+	slot := m.takeSlot()
 	m.tasks[id] = &Task{
 		ID: id, Job: job, Profile: profile, Workload: w, group: g,
 		cg:     cg,
-		cnt:    cnt,
+		slot:   slot,
 		skew:   profile.DrawSkew(m.rng),
 		socket: m.pickSocket(),
 	}
 	m.order = append(m.order, id)
-	m.counters[cg] = cnt
 	return nil
+}
+
+// takeSlot returns a zeroed index into the counter column, reusing a
+// departed task's slot when one is free.
+func (m *Machine) takeSlot() int {
+	if n := len(m.freeSlots); n > 0 {
+		slot := m.freeSlots[n-1]
+		m.freeSlots = m.freeSlots[:n-1]
+		m.cnts[slot] = perfcnt.Counters{}
+		return slot
+	}
+	m.cnts = append(m.cnts, perfcnt.Counters{})
+	return len(m.cnts) - 1
 }
 
 // RemoveTask evicts a task (exit, preemption, or migration).
@@ -175,7 +192,7 @@ func (m *Machine) RemoveTask(id model.TaskID) error {
 			break
 		}
 	}
-	delete(m.counters, t.cg)
+	m.freeSlots = append(m.freeSlots, t.slot)
 	if err := m.hier.Remove(t.cg); err != nil && !errors.Is(err, cgroup.ErrStillCapped) {
 		// A capped task exiting is a normal lifecycle race — the
 		// hierarchy already cleared the limit with the group. Anything
@@ -288,13 +305,33 @@ func (m *Machine) ThreadCount() int {
 }
 
 // Counters returns a copy of the cumulative per-cgroup counters, in
-// the shape the perfcnt sampler reads.
+// the shape the perfcnt sampler's map path reads.
 func (m *Machine) Counters() map[string]perfcnt.Counters {
-	out := make(map[string]perfcnt.Counters, len(m.counters))
-	for k, v := range m.counters {
-		out[k] = *v
+	out := make(map[string]perfcnt.Counters, len(m.order))
+	for _, id := range m.order {
+		t := m.tasks[id]
+		out[t.cg] = m.cnts[t.slot]
 	}
 	return out
+}
+
+// ReadCounters fills dst with the cumulative per-cgroup counters — the
+// allocation-free snapshot read behind perfcnt.Sampler.TickInto.
+func (m *Machine) ReadCounters(dst *perfcnt.Snapshot) {
+	dst.Reset()
+	for _, id := range m.order {
+		t := m.tasks[id]
+		dst.Append(t.cg, m.cnts[t.slot])
+	}
+}
+
+// TaskCounters returns one task's cumulative counters, for tests.
+func (m *Machine) TaskCounters(id model.TaskID) (perfcnt.Counters, bool) {
+	t, ok := m.tasks[id]
+	if !ok {
+		return perfcnt.Counters{}, false
+	}
+	return m.cnts[t.slot], true
 }
 
 // Tick advances the machine by dt ending at now: collects demands,
@@ -328,7 +365,7 @@ func (m *Machine) Tick(now time.Time, dt time.Duration) ([]TaskTick, []model.Tas
 	if n == 0 {
 		return nil, nil
 	}
-	tasks, demands, threads, loads, out := m.grow(n)
+	tasks, demands, grants, threads, loads, out := m.grow(n)
 	for i, id := range m.order {
 		t := m.tasks[id]
 		tasks[i] = t
@@ -339,7 +376,7 @@ func (m *Machine) Tick(now time.Time, dt time.Duration) ([]TaskTick, []model.Tas
 		demands[i] = cgroup.Demand{Group: t.group, Want: cpu}
 		threads[i] = th
 	}
-	grants := cgroup.Allocate(float64(m.ncpus), dt, demands)
+	cgroup.AllocateInto(float64(m.ncpus), dt, demands, grants, &m.scratch.alloc)
 
 	for i, t := range tasks {
 		loads[i] = interference.Load{Profile: t.Profile, Usage: grants[i], Skew: t.skew, Socket: t.socket}
@@ -360,9 +397,10 @@ func (m *Machine) Tick(now time.Time, dt time.Duration) ([]TaskTick, []model.Tas
 		t.last = tt
 		out[i] = tt
 
-		t.cnt.Accumulate(grants[i]*dt.Seconds(), res.CPI, res.L3MPKI, m.hw.ClockGHz)
+		cnt := &m.cnts[t.slot]
+		cnt.Accumulate(grants[i]*dt.Seconds(), res.CPI, res.L3MPKI, m.hw.ClockGHz)
 		// Context switches scale with threads timesharing the cpus.
-		t.cnt.ContextSwitches += int64(threads[i]) * int64(dt/(10*time.Millisecond))
+		cnt.ContextSwitches += int64(threads[i]) * int64(dt/(10*time.Millisecond))
 
 		t.Workload.Deliver(now, grants[i], dt, res)
 		if t.Workload.Done() {
@@ -380,14 +418,15 @@ func (m *Machine) Tick(now time.Time, dt time.Duration) ([]TaskTick, []model.Tas
 }
 
 // grow sizes the scratch buffers for n resident tasks and returns them.
-func (m *Machine) grow(n int) ([]*Task, []cgroup.Demand, []int, []interference.Load, []TaskTick) {
+func (m *Machine) grow(n int) ([]*Task, []cgroup.Demand, []float64, []int, []interference.Load, []TaskTick) {
 	s := &m.scratch
 	if cap(s.tasks) < n {
 		s.tasks = make([]*Task, n)
 		s.demands = make([]cgroup.Demand, n)
+		s.grants = make([]float64, n)
 		s.threads = make([]int, n)
 		s.loads = make([]interference.Load, n)
 		s.out = make([]TaskTick, n)
 	}
-	return s.tasks[:n], s.demands[:n], s.threads[:n], s.loads[:n], s.out[:n]
+	return s.tasks[:n], s.demands[:n], s.grants[:n], s.threads[:n], s.loads[:n], s.out[:n]
 }

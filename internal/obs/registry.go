@@ -253,7 +253,10 @@ func (h *Histogram) Quantile(q float64) float64 {
 // cum the cumulative counts with one extra trailing entry for the +Inf
 // bucket (so cum[len(bounds)] is the total). It lets CLI tools render
 // quantiles from a /metrics scrape without access to the live
-// Histogram. Returns 0 on empty or malformed input.
+// Histogram. Returns 0 on empty or malformed input; q is clamped to
+// [0, 1] and a NaN q yields NaN. Scraped input may carry an explicit
+// +Inf bound — mass there clamps to the highest finite bound, never
+// interpolates (Inf arithmetic would produce NaN).
 func QuantileFromBuckets(bounds []float64, cum []uint64, q float64) float64 {
 	if len(bounds) == 0 || len(cum) != len(bounds)+1 {
 		return 0
@@ -261,6 +264,9 @@ func QuantileFromBuckets(bounds []float64, cum []uint64, q float64) float64 {
 	total := cum[len(cum)-1]
 	if total == 0 {
 		return 0
+	}
+	if math.IsNaN(q) {
+		return math.NaN()
 	}
 	if q < 0 {
 		q = 0
@@ -276,6 +282,9 @@ func QuantileFromBuckets(bounds []float64, cum []uint64, q float64) float64 {
 			if i > 0 {
 				lower = bounds[i-1]
 			}
+			if math.IsInf(b, 1) {
+				return lower
+			}
 			n := float64(cum[i] - prev)
 			if n == 0 {
 				return b
@@ -284,7 +293,14 @@ func QuantileFromBuckets(bounds []float64, cum []uint64, q float64) float64 {
 		}
 		prev = cum[i]
 	}
-	return bounds[len(bounds)-1]
+	// Rank landed in the implicit +Inf bucket: clamp to the highest
+	// finite bound.
+	for i := len(bounds) - 1; i >= 0; i-- {
+		if !math.IsInf(bounds[i], 1) {
+			return bounds[i]
+		}
+	}
+	return 0
 }
 
 // family is one registered metric name: its metadata plus every

@@ -149,6 +149,64 @@ func TestHistogramQuantile(t *testing.T) {
 	}
 }
 
+// TestQuantileEdgeCases pins QuantileFromBuckets (and through it
+// Histogram.Quantile) on the degenerate inputs that used to slip
+// through: out-of-range and NaN q, zero counts, malformed shapes, and
+// mass or bounds involving +Inf.
+func TestQuantileEdgeCases(t *testing.T) {
+	bounds := []float64{1, 2, 4}
+	uniform := []uint64{10, 20, 30, 30} // all mass in finite buckets
+
+	tests := []struct {
+		name   string
+		bounds []float64
+		cum    []uint64
+		q      float64
+		want   float64
+	}{
+		{"q below zero clamps", bounds, uniform, -0.5, 0},
+		{"q above one clamps", bounds, uniform, 1.5, 4},
+		{"q zero", bounds, uniform, 0, 0},
+		{"q one", bounds, uniform, 1, 4},
+		{"zero count", bounds, []uint64{0, 0, 0, 0}, 0.5, 0},
+		{"nil bounds", nil, []uint64{5}, 0.5, 0},
+		{"shape mismatch", bounds, []uint64{1, 2}, 0.5, 0},
+		{"all mass in +Inf clamps to top bound", bounds, []uint64{0, 0, 0, 9}, 0.5, 4},
+		{"explicit +Inf bound clamps", []float64{1, math.Inf(1)}, []uint64{0, 7, 7}, 0.5, 1},
+		{"only +Inf bound", []float64{math.Inf(1)}, []uint64{0, 3}, 0.5, 0},
+		{"median interpolates", bounds, uniform, 0.5, 1.5},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got := QuantileFromBuckets(tt.bounds, tt.cum, tt.q)
+			if math.IsNaN(got) || math.IsInf(got, 0) {
+				t.Fatalf("QuantileFromBuckets = %v, want finite %v", got, tt.want)
+			}
+			if math.Abs(got-tt.want) > 1e-9 {
+				t.Errorf("QuantileFromBuckets = %v, want %v", got, tt.want)
+			}
+		})
+	}
+
+	if got := QuantileFromBuckets(bounds, uniform, math.NaN()); !math.IsNaN(got) {
+		t.Errorf("NaN q = %v, want NaN", got)
+	}
+
+	// Histogram.Quantile goes through the same path: all mass beyond
+	// the last bound must clamp, never interpolate toward +Inf, and
+	// out-of-range q must not panic or go non-finite.
+	h := NewHistogram([]float64{1, 2})
+	h.Observe(100)
+	for _, q := range []float64{-1, 0, 0.5, 1, 2} {
+		if got := h.Quantile(q); math.IsNaN(got) || math.IsInf(got, 0) {
+			t.Errorf("Histogram.Quantile(%v) = %v, want finite", q, got)
+		}
+	}
+	if got := h.Quantile(0.5); got != 2 {
+		t.Errorf("overflow mass quantile = %v, want clamp to 2", got)
+	}
+}
+
 func TestTextFormatEscaping(t *testing.T) {
 	r := NewRegistry()
 	r.CounterVec("esc_total", "help with \\ and\nnewline", "path").

@@ -88,7 +88,12 @@ type Span struct {
 // phase never shares write state across machines). A nil *Store is a
 // valid no-op sink, which is how the uninstrumented path stays free.
 type Store struct {
-	mu    sync.Mutex
+	mu       sync.Mutex
+	capacity int
+	// buf grows lazily (by append) up to capacity, then wraps as a
+	// ring. A freshly created store therefore costs a few words, not
+	// capacity×sizeof(Span) — a 100k-machine cluster creates one store
+	// per machine and most record only a handful of spans.
 	buf   []Span
 	next  int
 	full  bool
@@ -99,12 +104,13 @@ type Store struct {
 }
 
 // NewStore returns a ring store holding up to capacity spans
-// (capacity <= 0 selects 4096).
+// (capacity <= 0 selects 4096). Ring memory is allocated lazily as
+// spans arrive.
 func NewStore(capacity int) *Store {
 	if capacity <= 0 {
 		capacity = 4096
 	}
-	return &Store{buf: make([]Span, capacity), perStage: make(map[string]uint64)}
+	return &Store{capacity: capacity}
 }
 
 // Add records one span. Nil-safe.
@@ -113,13 +119,25 @@ func (s *Store) Add(sp Span) {
 		return
 	}
 	s.mu.Lock()
-	s.buf[s.next] = sp
-	s.next++
-	if s.next == len(s.buf) {
-		s.next = 0
-		s.full = true
+	if !s.full && len(s.buf) < s.capacity {
+		s.buf = append(s.buf, sp)
+		s.next = len(s.buf)
+		if s.next == s.capacity {
+			s.next = 0
+			s.full = true
+		}
+	} else {
+		s.buf[s.next] = sp
+		s.next++
+		if s.next == len(s.buf) {
+			s.next = 0
+			s.full = true
+		}
 	}
 	s.total++
+	if s.perStage == nil {
+		s.perStage = make(map[string]uint64)
+	}
 	s.perStage[sp.Stage]++
 	s.mu.Unlock()
 }

@@ -125,6 +125,42 @@ func (c *Config) sanitize() {
 	}
 }
 
+// Snapshot is a columnar copy of the per-cgroup cumulative counters:
+// Cgroups[i] names the group whose counters are Counts[i]. It is the
+// reusable buffer behind the allocation-free sampling path — a machine
+// fills one in place instead of building a fresh map per window
+// boundary. Fill both columns to equal length, then call sort before
+// handing it to the sampler.
+type Snapshot struct {
+	Cgroups []string
+	Counts  []Counters
+}
+
+// Reset empties the snapshot, keeping capacity.
+func (s *Snapshot) Reset() {
+	s.Cgroups = s.Cgroups[:0]
+	s.Counts = s.Counts[:0]
+}
+
+// Append adds one cgroup's counters to the snapshot.
+func (s *Snapshot) Append(cg string, c Counters) {
+	s.Cgroups = append(s.Cgroups, cg)
+	s.Counts = append(s.Counts, c)
+}
+
+// sort orders the snapshot columns by cgroup name. The sorter is a
+// pointer receiver so the sort.Interface conversion does not allocate.
+func (s *Snapshot) sort() { sort.Sort((*snapshotSorter)(s)) }
+
+type snapshotSorter Snapshot
+
+func (s *snapshotSorter) Len() int           { return len(s.Cgroups) }
+func (s *snapshotSorter) Less(a, b int) bool { return s.Cgroups[a] < s.Cgroups[b] }
+func (s *snapshotSorter) Swap(a, b int) {
+	s.Cgroups[a], s.Cgroups[b] = s.Cgroups[b], s.Cgroups[a]
+	s.Counts[a], s.Counts[b] = s.Counts[b], s.Counts[a]
+}
+
 // Sampler implements the duty-cycle counting schedule. Drive it by
 // calling Tick with monotonically non-decreasing times and a reader
 // that returns the current cumulative counters per cgroup; whenever a
@@ -137,6 +173,12 @@ type Sampler struct {
 	inWindow bool
 	start    time.Time
 	snap     map[string]Counters
+
+	// Columnar path (TickInto): window-start and window-end snapshots
+	// plus the measurement buffer, all reused across windows.
+	snapCol Snapshot
+	curCol  Snapshot
+	meas    []Measurement
 }
 
 // NewSampler returns a sampler with the given duty cycle.
@@ -191,6 +233,72 @@ func (s *Sampler) finish(now time.Time, cur map[string]Counters) []Measurement {
 	}
 	// Map iteration order is random; emit deterministically.
 	sort.Slice(out, func(i, j int) bool { return out[i].Cgroup < out[j].Cgroup })
+	return out
+}
+
+// TickInto is the allocation-free variant of Tick: readInto fills the
+// supplied Snapshot with the current cumulative counters (in any
+// order; the sampler sorts). The returned Measurement slice is owned
+// by the sampler and reused on the next completed window — callers
+// must consume it before the next window closes. It produces exactly
+// the measurements Tick would: cgroups present at both window edges
+// with positive retired-instruction deltas, sorted by cgroup.
+func (s *Sampler) TickInto(now time.Time, readInto func(*Snapshot)) []Measurement {
+	if !s.hasEpoch {
+		s.epoch = now
+		s.hasEpoch = true
+	}
+	phase := now.Sub(s.epoch) % s.cfg.Interval
+	var out []Measurement
+	if s.inWindow && now.Sub(s.start) >= s.cfg.Duration {
+		s.curCol.Reset()
+		readInto(&s.curCol)
+		s.curCol.sort()
+		out = s.finishCol(now)
+		s.inWindow = false
+	}
+	if !s.inWindow && phase < s.cfg.Duration {
+		s.inWindow = true
+		s.start = now
+		s.snapCol.Reset()
+		readInto(&s.snapCol)
+		s.snapCol.sort()
+	}
+	return out
+}
+
+// finishCol merges the sorted window-start and window-end snapshots
+// with two cursors, emitting a measurement per cgroup present in both
+// with instructions retired — the columnar equivalent of finish.
+func (s *Sampler) finishCol(now time.Time) []Measurement {
+	elapsed := now.Sub(s.start)
+	out := s.meas[:0]
+	prevCg, prevCnt := s.snapCol.Cgroups, s.snapCol.Counts
+	curCg, curCnt := s.curCol.Cgroups, s.curCol.Counts
+	i, j := 0, 0
+	for i < len(prevCg) && j < len(curCg) {
+		switch {
+		case prevCg[i] < curCg[j]: // vanished mid-window
+			i++
+		case prevCg[i] > curCg[j]: // appeared mid-window
+			j++
+		default:
+			d := curCnt[j].Sub(prevCnt[i])
+			if d.Instructions > 0 {
+				out = append(out, Measurement{
+					Cgroup:   curCg[j],
+					Start:    s.start,
+					Duration: elapsed,
+					CPUUsage: d.CPUSeconds / elapsed.Seconds(),
+					CPI:      d.CPI(),
+					L3MPKI:   d.L3MPKI(),
+				})
+			}
+			i++
+			j++
+		}
+	}
+	s.meas = out
 	return out
 }
 

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"errors"
+	"math"
 	"strings"
 	"testing"
 	"time"
@@ -103,22 +104,154 @@ func TestDecodeFrameLimits(t *testing.T) {
 	}
 }
 
-// TestFrameScannerDropsOversizedFrames: the read-loop scanner refuses
-// frames beyond MaxFrameBytes (the connection is then dropped) but
-// passes well-formed traffic through unharmed.
-func TestFrameScannerDropsOversizedFrames(t *testing.T) {
+// TestFrameReaderDropsOversizedFrames: the read loop's frame reader
+// refuses frames beyond MaxFrameBytes with ErrFrameTooLarge (the
+// connection is then dropped) but passes well-formed traffic through
+// unharmed — in both framings, through the one shared code path.
+func TestFrameReaderDropsOversizedFrames(t *testing.T) {
 	good := `{"type":"subscribe"}`
-	sc := frameScanner(strings.NewReader(good + "\n" + strings.Repeat("x", MaxFrameBytes+5) + "\n"))
-	if !sc.Scan() {
-		t.Fatal("good frame not scanned")
+	fr := newFrameReader(strings.NewReader(good + "\n" + strings.Repeat("x", MaxFrameBytes+5) + "\n"))
+	msg, err := fr.next()
+	if err != nil || msg.Type != msgSubscribe {
+		t.Fatalf("good frame: msg=%+v err=%v", msg, err)
 	}
-	if sc.Text() != good {
-		t.Errorf("frame = %q", sc.Text())
+	if _, err := fr.next(); !errors.Is(err, ErrFrameTooLarge) {
+		t.Errorf("oversized JSON frame: err = %v, want ErrFrameTooLarge", err)
 	}
-	if sc.Scan() {
-		t.Error("oversized frame scanned")
+
+	// Binary framing: a declared payload length over the limit is
+	// rejected from the header alone, before any payload is read.
+	hdr := []byte{binMagic, binVersion, 0, 0, 0, 0}
+	n := uint32(MaxFrameBytes + 1)
+	hdr[2], hdr[3], hdr[4], hdr[5] = byte(n>>24), byte(n>>16), byte(n>>8), byte(n)
+	fr = newFrameReader(bytes.NewReader(hdr))
+	if _, err := fr.next(); !errors.Is(err, ErrFrameTooLarge) {
+		t.Errorf("oversized binary frame: err = %v, want ErrFrameTooLarge", err)
 	}
-	if sc.Err() == nil {
-		t.Error("no scanner error for oversized frame")
+
+	if got := wireErrorReason(ErrFrameTooLarge); got != "oversize" {
+		t.Errorf("wireErrorReason(ErrFrameTooLarge) = %q, want oversize", got)
 	}
+}
+
+// FuzzWireDecodeBinary hammers the binary v2 frame path with arbitrary
+// bytes via the same streaming reader the read loops use: any input
+// must produce messages and then an error or EOF, never a panic and
+// never an over-allocation. Seeds cover well-formed frames of each
+// type, truncated length prefixes, and length/payload mismatches.
+func FuzzWireDecodeBinary(f *testing.F) {
+	sample := model.Sample{
+		Job: "websearch", Task: model.TaskID{Job: "websearch", Index: 3},
+		Platform: model.PlatformA, Timestamp: time.Date(2011, 11, 1, 0, 0, 0, 0, time.UTC),
+		CPUUsage: 1.5, CPI: 2.25, Machine: "m1", TraceID: "00c0ffee00c0ffee",
+	}
+	for _, msg := range []wireMsg{
+		{Type: msgSamples, Samples: []model.Sample{sample}},
+		{Type: msgSubscribe},
+		{Type: msgSubscribe, Jobs: []model.SpecKey{{Job: "websearch", Platform: model.PlatformA}}},
+		{Type: msgSpec, TraceID: "feedfacefeedface",
+			Spec: &model.Spec{Job: "websearch", Platform: model.PlatformA, CPIMean: 1.6, CPIStddev: 0.2}},
+	} {
+		f.Add(appendBinaryFrame(nil, msg))
+	}
+	full := appendBinaryFrame(nil, wireMsg{Type: msgSamples, Samples: []model.Sample{sample}})
+	// Truncated length prefix / truncated payload.
+	f.Add(full[:3])
+	f.Add(full[:binHeaderLen])
+	f.Add(full[:len(full)-7])
+	// Length/payload mismatches: header claims more than was sent, an
+	// element count claims more than the payload holds, and an inner
+	// string length runs past the payload end.
+	f.Add(append(append([]byte{}, full[:binHeaderLen]...), full[binHeaderLen:len(full)-1]...))
+	huge := append([]byte{}, full...)
+	huge[binHeaderLen+1], huge[binHeaderLen+2] = 0xff, 0xff // element count
+	f.Add(huge)
+	badStr := append([]byte{}, full...)
+	badStr[binHeaderLen+5], badStr[binHeaderLen+6] = 0xff, 0xff // first string length
+	f.Add(badStr)
+	// Unknown version, unknown message type, JSON interleaved.
+	f.Add([]byte{binMagic, 99, 0, 0, 0, 0})
+	f.Add(appendBinaryFrame(nil, wireMsg{Type: "unknown-future-type"}))
+	f.Add(append(appendBinaryFrame(nil, wireMsg{Type: msgSubscribe}), []byte("{\"type\":\"subscribe\"}\n")...))
+	f.Fuzz(func(t *testing.T, stream []byte) {
+		fr := newFrameReader(bytes.NewReader(stream))
+		for i := 0; i < 64; i++ { // bound work per input
+			msg, err := fr.next()
+			if err != nil {
+				return
+			}
+			if msg.Type == "" {
+				// Unknown frame type: ignored, keep reading.
+				continue
+			}
+			if _, err := json.Marshal(msg); err != nil {
+				t.Fatalf("decoded frame does not re-encode: %v", err)
+			}
+		}
+	})
+}
+
+// TestBinaryRoundTrip pins encode→decode equality for every message
+// type, including values JSON cannot carry (NaN CPI survives the
+// binary framing; the validator rejects it downstream either way).
+func TestBinaryRoundTrip(t *testing.T) {
+	ts := time.Date(2011, 11, 1, 0, 0, 10, 500, time.UTC)
+	msgs := []wireMsg{
+		{Type: msgSamples, Samples: []model.Sample{
+			{Job: "websearch", Task: model.TaskID{Job: "websearch", Index: 3},
+				Platform: model.PlatformA, Timestamp: ts,
+				CPUUsage: 1.5, CPI: 2.25, Machine: "m1", TraceID: "00c0ffee"},
+			{Job: "batch", Task: model.TaskID{Job: "batch", Index: 0},
+				CPUUsage: math.NaN(), CPI: math.Inf(1)},
+		}},
+		{Type: msgSubscribe},
+		{Type: msgSubscribe, Jobs: []model.SpecKey{
+			{Job: "websearch", Platform: model.PlatformA},
+			{Job: "batch", Platform: model.PlatformB},
+		}},
+		{Type: msgSpec, TraceID: "feedface", Spec: &model.Spec{
+			Job: "websearch", Platform: model.PlatformA, NumSamples: 1234,
+			NumTasks: 7, CPUUsageMean: 0.5, CPIMean: 1.6, CPIStddev: 0.2,
+			UpdatedAt: ts,
+		}},
+	}
+	for _, want := range msgs {
+		frame := appendBinaryFrame(nil, want)
+		fr := newFrameReader(bytes.NewReader(frame))
+		got, err := fr.next()
+		if err != nil {
+			t.Fatalf("%s: %v", want.Type, err)
+		}
+		if got.Type != want.Type || got.TraceID != want.TraceID ||
+			len(got.Samples) != len(want.Samples) || len(got.Jobs) != len(want.Jobs) {
+			t.Fatalf("%s: round-trip mismatch: %+v", want.Type, got)
+		}
+		for i := range want.Samples {
+			w, g := want.Samples[i], got.Samples[i]
+			same := g.Job == w.Job && g.Task == w.Task && g.Platform == w.Platform &&
+				g.Timestamp.Equal(w.Timestamp) && g.Machine == w.Machine && g.TraceID == w.TraceID &&
+				floatEq(g.CPUUsage, w.CPUUsage) && floatEq(g.CPI, w.CPI)
+			if !same {
+				t.Errorf("%s sample %d: got %+v want %+v", want.Type, i, g, w)
+			}
+		}
+		for i := range want.Jobs {
+			if got.Jobs[i] != want.Jobs[i] {
+				t.Errorf("subscribe key %d: got %+v", i, got.Jobs[i])
+			}
+		}
+		if want.Spec != nil {
+			w, g := *want.Spec, *got.Spec
+			if g.Job != w.Job || g.Platform != w.Platform || g.NumSamples != w.NumSamples ||
+				g.NumTasks != w.NumTasks || g.CPUUsageMean != w.CPUUsageMean ||
+				g.CPIMean != w.CPIMean || g.CPIStddev != w.CPIStddev || !g.UpdatedAt.Equal(w.UpdatedAt) {
+				t.Errorf("spec round-trip: got %+v want %+v", g, w)
+			}
+		}
+	}
+}
+
+// floatEq treats NaN as equal to itself (bit-level wire equality).
+func floatEq(a, b float64) bool {
+	return math.Float64bits(a) == math.Float64bits(b)
 }

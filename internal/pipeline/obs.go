@@ -30,6 +30,12 @@ type Metrics struct {
 	SpooledBytes   *obs.Gauge   // cpi2_pipeline_spooled_bytes
 	SpillDropped   *obs.Counter // cpi2_pipeline_spool_dropped_total
 	SpoolReplayed  *obs.Counter // cpi2_pipeline_spool_replayed_total
+
+	// WireErrors counts abnormal connection drops by both read loops,
+	// labelled by reason: "oversize" (frame beyond MaxFrameBytes),
+	// "decode" (malformed frame), "read" (transport failure mid-read).
+	// Clean closes are not counted.
+	WireErrors *obs.CounterVec // cpi2_wire_errors_total{reason}
 }
 
 // NewMetrics registers (or fetches) the pipeline metric set on r.
@@ -67,6 +73,9 @@ func NewMetrics(r *obs.Registry) *Metrics {
 			"spooled batches evicted (oldest-first) to respect the spool budget"),
 		SpoolReplayed: r.Counter("cpi2_pipeline_spool_replayed_total",
 			"spooled batches successfully replayed downstream"),
+		WireErrors: r.CounterVec("cpi2_wire_errors_total",
+			"wire connections dropped abnormally by a read loop, by reason",
+			"reason"),
 	}
 }
 

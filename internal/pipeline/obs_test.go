@@ -119,9 +119,9 @@ func TestTCPMetrics(t *testing.T) {
 	if m.ConnectedAgents.Value() != 1 {
 		t.Errorf("connected agents = %v, want 1", m.ConnectedAgents.Value())
 	}
-	// Server saw subscribe + samples = 2 messages in.
-	if m.MessagesIn.Value() != 2 {
-		t.Errorf("server messages in = %v, want 2", m.MessagesIn.Value())
+	// Server saw hello + subscribe + samples = 3 messages in.
+	if m.MessagesIn.Value() != 3 {
+		t.Errorf("server messages in = %v, want 3", m.MessagesIn.Value())
 	}
 	if m.BytesIn.Value() == 0 {
 		t.Error("server bytes in not counted")
@@ -129,6 +129,8 @@ func TestTCPMetrics(t *testing.T) {
 	if m.SamplesIn.Value() != 1200 {
 		t.Errorf("pipeline samples = %v, want 1200", m.SamplesIn.Value())
 	}
+	// Client sent subscribe + samples = 2 counted messages out (the
+	// hello went out during Dial, before SetMetrics installed cm).
 	if cm.MessagesOut.Value() != 2 || cm.BytesOut.Value() == 0 {
 		t.Errorf("client out counters = %v msgs / %v bytes",
 			cm.MessagesOut.Value(), cm.BytesOut.Value())
@@ -136,12 +138,15 @@ func TestTCPMetrics(t *testing.T) {
 
 	bus.Recompute(day0)
 	waitFor(t, "spec push", func() bool { return got.count() == 1 })
-	if m.SpecPushes.Value() != 1 || m.MessagesOut.Value() != 1 {
+	// Server sent hello-ack + spec = 2 messages out, 1 spec push.
+	if m.SpecPushes.Value() != 1 || m.MessagesOut.Value() != 2 {
 		t.Errorf("push counters = %v pushes / %v msgs out",
 			m.SpecPushes.Value(), m.MessagesOut.Value())
 	}
+	// ≥ 1: the spec push is always counted; whether the hello-ack was
+	// depends on whether it raced the SetMetrics call above.
 	waitFor(t, "client in counters", func() bool {
-		return cm.MessagesIn.Value() == 1 && cm.BytesIn.Value() > 0
+		return cm.MessagesIn.Value() >= 1 && cm.BytesIn.Value() > 0
 	})
 }
 

@@ -28,6 +28,11 @@ import (
 )
 
 // SampleSink consumes CPI samples (machine → aggregator direction).
+//
+// Contract: the sink must not retain the samples slice (or the batch
+// slices of BatchSink.PublishBatches) after the call returns —
+// publishers reuse and pool their buffers. Sinks that buffer must
+// copy, as Queue and Spooler do.
 type SampleSink interface {
 	Publish(samples []model.Sample) error
 }

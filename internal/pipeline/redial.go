@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/model"
+	"repro/internal/obs"
 )
 
 // Redialer is a SampleSink that maintains a client connection to an
@@ -20,6 +21,7 @@ type Redialer struct {
 
 	mu        sync.Mutex
 	metrics   *Metrics // never nil
+	events    *obs.EventLog
 	client    *Client
 	subs      []model.SpecKey            // replay order: first-subscription order
 	subSet    map[model.SpecKey]struct{} // dedup for subs
@@ -63,6 +65,17 @@ func (r *Redialer) SetMetrics(m *Metrics) {
 	r.metrics = m
 	if r.client != nil {
 		r.client.SetMetrics(m)
+	}
+	r.mu.Unlock()
+}
+
+// SetEvents directs wire_error events from the current and all future
+// connections to log (nil disables).
+func (r *Redialer) SetEvents(log *obs.EventLog) {
+	r.mu.Lock()
+	r.events = log
+	if r.client != nil {
+		r.client.SetEvents(log)
 	}
 	r.mu.Unlock()
 }
@@ -183,6 +196,7 @@ func (r *Redialer) loop(ctx context.Context) {
 			return
 		}
 		c.SetMetrics(r.metrics)
+		c.SetEvents(r.events)
 		if !first {
 			r.metrics.Reconnects.Inc()
 		}

@@ -11,14 +11,25 @@ import (
 	"time"
 
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/obs/trace"
 )
 
-// Wire protocol: newline-delimited JSON messages, symmetric envelope.
+// Wire protocol: symmetric envelope, two framings on one stream.
+//
+// JSON (v1, the fallback every peer speaks): newline-delimited
+// messages.
 //
 //	agent → aggregator:  {"type":"samples", "samples":[…]}
 //	agent → aggregator:  {"type":"subscribe", "jobs":[…]} (empty = all)
+//	agent → aggregator:  {"type":"hello", "wire":2}
 //	aggregator → agent:  {"type":"spec", "spec":{…}, "trace_id":"…"}
+//	aggregator → agent:  {"type":"hello", "wire":2}
+//
+// Binary (v2, negotiated): the same three data messages as
+// length-prefixed binary frames — see wirebin.go for the layout and
+// the negotiation rules. Readers never negotiate: every frame is
+// self-describing by its first byte.
 //
 // trace_id carries the causal-tracing context on spec frames. It (and
 // the per-sample trace_id) is optional: frames without it — from
@@ -29,12 +40,16 @@ type wireMsg struct {
 	Jobs    []model.SpecKey `json:"jobs,omitempty"`
 	Spec    *model.Spec     `json:"spec,omitempty"`
 	TraceID string          `json:"trace_id,omitempty"`
+	// Wire is the highest binary protocol version the sender speaks,
+	// on hello frames (0 otherwise).
+	Wire int `json:"wire,omitempty"`
 }
 
 const (
 	msgSamples   = "samples"
 	msgSubscribe = "subscribe"
 	msgSpec      = "spec"
+	msgHello     = "hello"
 )
 
 // Server is the TCP face of the aggregation service: it accepts agent
@@ -48,11 +63,42 @@ type Server struct {
 	conns  map[*serverConn]struct{}
 	closed bool
 	wg     sync.WaitGroup
+	// events, when set, receives one structured wire_error event per
+	// abnormal connection drop (nil-safe).
+	events *obs.EventLog
 }
 
 // NewServer creates a server around bus.
 func NewServer(bus *Bus) *Server {
 	return &Server{bus: bus, conns: make(map[*serverConn]struct{})}
+}
+
+// SetEvents directs the server's wire_error events to log (nil
+// disables). Call before Serve.
+func (s *Server) SetEvents(log *obs.EventLog) {
+	s.mu.Lock()
+	s.events = log
+	s.mu.Unlock()
+}
+
+// noteWireError accounts one abnormal read-loop exit: a metric bump
+// under cpi2_wire_errors_total{reason} plus a structured event. Clean
+// closes (EOF, our own Close) are not errors and are filtered here.
+func (s *Server) noteWireError(remote string, err error) {
+	if isCleanClose(err) {
+		return
+	}
+	reason := wireErrorReason(err)
+	s.bus.Metrics().WireErrors.With(reason).Inc()
+	s.mu.Lock()
+	log := s.events
+	s.mu.Unlock()
+	log.Emit(time.Now().UTC(), "wire_error", map[string]string{
+		"side":   "server",
+		"remote": remote,
+		"reason": reason,
+		"error":  err.Error(),
+	})
 }
 
 // Serve starts accepting on addr ("host:port", port 0 for ephemeral)
@@ -78,11 +124,13 @@ func (s *Server) acceptLoop(ln net.Listener) {
 			return // listener closed
 		}
 		m := s.bus.Metrics()
+		w := countingWriter{conn, m.BytesOut}
 		sc := &serverConn{
 			srv:  s,
 			conn: conn,
 			m:    m,
-			enc:  json.NewEncoder(countingWriter{conn, m.BytesOut}),
+			w:    w,
+			enc:  json.NewEncoder(w),
 		}
 		s.mu.Lock()
 		if s.closed {
@@ -128,6 +176,11 @@ type serverConn struct {
 
 	writeMu sync.Mutex
 	enc     *json.Encoder
+	w       countingWriter
+	// binSend switches outbound frames to the binary encoding; set
+	// (under writeMu) when the agent's hello announces wire ≥ 2.
+	binSend bool
+	sendBuf []byte
 
 	subMu      sync.Mutex
 	subAll     bool
@@ -150,14 +203,15 @@ func (c *serverConn) readLoop() {
 		c.srv.bus.Unwatch(c)
 		c.m.ConnectedAgents.Dec()
 	}()
-	sc := frameScanner(countingReader{c.conn, c.m.BytesIn})
-	for sc.Scan() {
-		msg, err := decodeFrame(sc.Bytes())
+	fr := newFrameReader(countingReader{c.conn, c.m.BytesIn})
+	for {
+		msg, err := fr.next()
 		if err != nil {
-			if errors.Is(err, errEmptyFrame) {
-				continue
-			}
-			return // garbage or oversized frame: drop the connection
+			// Garbage, oversized, or mid-read failure: account it so the
+			// drop is distinguishable from a clean close (which is
+			// filtered inside noteWireError), then drop the connection.
+			c.srv.noteWireError(c.conn.RemoteAddr().String(), err)
+			return
 		}
 		c.m.MessagesIn.Inc()
 		switch msg.Type {
@@ -176,13 +230,23 @@ func (c *serverConn) readLoop() {
 				}
 			}
 			c.subMu.Unlock()
+		case msgHello:
+			if msg.Wire >= WireV2 {
+				// Ack in JSON (the one framing the peer certainly reads
+				// right now), then switch our sends to binary.
+				c.writeMu.Lock()
+				_ = c.conn.SetWriteDeadline(time.Now().Add(5 * time.Second))
+				if err := c.enc.Encode(wireMsg{Type: msgHello, Wire: WireV2}); err == nil {
+					c.binSend = true
+					c.m.MessagesOut.Inc()
+				}
+				c.writeMu.Unlock()
+			}
 		default:
 			// Unknown message types are ignored for forward
 			// compatibility.
 		}
 	}
-	// EOF, close, or a frame beyond MaxFrameBytes (scanner error):
-	// the deferred cleanup drops the connection.
 }
 
 // WantSpec implements SpecWatcher.
@@ -205,7 +269,14 @@ func (c *serverConn) DeliverSpec(spec model.Spec) {
 		Spec:    &spec,
 		TraceID: trace.SpecTraceID(spec.Key().String(), spec.UpdatedAt),
 	}
-	if err := c.enc.Encode(msg); err != nil {
+	var err error
+	if c.binSend {
+		c.sendBuf = appendBinaryFrame(c.sendBuf[:0], msg)
+		_, err = c.w.Write(c.sendBuf)
+	} else {
+		err = c.enc.Encode(msg)
+	}
+	if err != nil {
 		c.m.PushErrors.Inc()
 		c.conn.Close() // readLoop will clean up
 		return
@@ -221,13 +292,23 @@ type Client struct {
 
 	writeMu sync.Mutex
 	enc     *json.Encoder
+	// binSend switches outbound frames to the binary encoding; set
+	// (under writeMu) when the server acks our hello.
+	binSend bool
+	sendBuf []byte
 
+	events atomic.Pointer[obs.EventLog]
 	onSpec func(model.Spec)
 	done   chan struct{}
 }
 
 // Dial connects to an aggregation server. onSpec is invoked (on the
 // client's read goroutine) for every spec push; it may be nil.
+//
+// The client announces binary wire support with a JSON hello frame; if
+// the server acks (it speaks v2), subsequent sends switch to the
+// binary framing. A v1 server ignores the unknown hello type and the
+// connection stays on JSON throughout.
 func Dial(ctx context.Context, addr string, onSpec func(model.Spec)) (*Client, error) {
 	var d net.Dialer
 	conn, err := d.DialContext(ctx, "tcp", addr)
@@ -241,7 +322,20 @@ func Dial(ctx context.Context, addr string, onSpec func(model.Spec)) (*Client, e
 	}
 	c.enc = json.NewEncoder(clientWriter{c})
 	go c.readLoop()
+	_ = c.send(wireMsg{Type: msgHello, Wire: WireV2})
 	return c, nil
+}
+
+// SetEvents directs the client's wire_error events to log (nil
+// disables). Safe to call at any time.
+func (c *Client) SetEvents(log *obs.EventLog) { c.events.Store(log) }
+
+// BinaryWire reports whether outbound frames currently use the binary
+// v2 framing (i.e. the server acked our hello).
+func (c *Client) BinaryWire() bool {
+	c.writeMu.Lock()
+	defer c.writeMu.Unlock()
+	return c.binSend
 }
 
 // SetMetrics instruments the client with m (nil disables). Safe to
@@ -286,20 +380,39 @@ func (c *Client) Done() <-chan struct{} { return c.done }
 
 func (c *Client) readLoop() {
 	defer close(c.done)
-	sc := frameScanner(clientReader{c})
-	for sc.Scan() {
-		msg, err := decodeFrame(sc.Bytes())
+	fr := newFrameReader(clientReader{c})
+	for {
+		msg, err := fr.next()
 		if err != nil {
-			if errors.Is(err, errEmptyFrame) {
-				continue
-			}
+			c.noteWireError(err)
 			return
 		}
 		c.metrics().MessagesIn.Inc()
-		if msg.Type == msgSpec && msg.Spec != nil && c.onSpec != nil {
+		switch {
+		case msg.Type == msgSpec && msg.Spec != nil && c.onSpec != nil:
 			c.onSpec(*msg.Spec)
+		case msg.Type == msgHello && msg.Wire >= WireV2:
+			// Server acked our hello: switch sends to binary.
+			c.writeMu.Lock()
+			c.binSend = true
+			c.writeMu.Unlock()
 		}
 	}
+}
+
+// noteWireError mirrors Server.noteWireError for the agent side.
+func (c *Client) noteWireError(err error) {
+	if isCleanClose(err) {
+		return
+	}
+	reason := wireErrorReason(err)
+	c.metrics().WireErrors.With(reason).Inc()
+	c.events.Load().Emit(time.Now().UTC(), "wire_error", map[string]string{
+		"side":   "client",
+		"remote": c.conn.RemoteAddr().String(),
+		"reason": reason,
+		"error":  err.Error(),
+	})
 }
 
 // Publish sends one batch of samples (implements SampleSink).
@@ -320,7 +433,14 @@ func (c *Client) send(msg wireMsg) error {
 	c.writeMu.Lock()
 	defer c.writeMu.Unlock()
 	_ = c.conn.SetWriteDeadline(time.Now().Add(5 * time.Second))
-	if err := c.enc.Encode(msg); err != nil {
+	var err error
+	if c.binSend && msg.Type != msgHello {
+		c.sendBuf = appendBinaryFrame(c.sendBuf[:0], msg)
+		_, err = clientWriter{c}.Write(c.sendBuf)
+	} else {
+		err = c.enc.Encode(msg)
+	}
+	if err != nil {
 		return fmt.Errorf("pipeline: send: %w", err)
 	}
 	c.metrics().MessagesOut.Inc()

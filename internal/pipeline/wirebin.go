@@ -1,0 +1,314 @@
+package pipeline
+
+// Wire protocol v2: length-prefixed binary frames.
+//
+// Frame layout (big-endian):
+//
+//	byte 0    magic 0xB2 — not a legal first byte of a JSON frame, so
+//	          a reader can tell the two framings apart per frame
+//	byte 1    protocol version (2)
+//	bytes 2-5 u32 payload length N (N ≤ MaxFrameBytes, else the frame
+//	          is rejected as oversized — same limit, same code path as
+//	          the JSON framing)
+//	bytes 6+  payload: u8 message type, then the message body
+//
+// Body primitives: u32/u64 big-endian; float64 as IEEE-754 bits (so
+// NaN/Inf round-trip, which JSON cannot do); strings as u32 length +
+// bytes, length-checked against the remaining payload; timestamps as
+// a presence flag byte (0 = zero time) followed by unix seconds (i64)
+// and nanoseconds (u32), decoded in UTC.
+//
+// Encoding is append-style into caller-owned buffers and decoding is
+// cursor-based over the payload slice, so a steady-state sender and
+// receiver allocate only for the decoded message contents.
+//
+// Negotiation is send-side only (see tcp.go): a v2 client announces
+// itself with a JSON {"type":"hello","wire":2} frame; a v2 server acks
+// with the same frame, and each side switches its own sends to binary
+// on receipt. Readers auto-detect per frame, so mixed framings on one
+// connection are always safe and old JSON-only peers interop: an old
+// server ignores the unknown "hello" type and never acks, an old
+// client never says hello, and both sides stay on JSON.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/model"
+)
+
+const (
+	binMagic     = 0xB2
+	binVersion   = 2
+	binHeaderLen = 6 // magic + version + u32 payload length
+
+	// WireV2 is the protocol version announced in hello frames.
+	WireV2 = 2
+)
+
+// Binary payload message types, mirroring the JSON "type" field.
+const (
+	binMsgSamples   = 1
+	binMsgSubscribe = 2
+	binMsgSpec      = 3
+)
+
+func appendU32(b []byte, v uint32) []byte {
+	return append(b, byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
+}
+
+func appendU64(b []byte, v uint64) []byte {
+	return append(b,
+		byte(v>>56), byte(v>>48), byte(v>>40), byte(v>>32),
+		byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
+}
+
+func appendF64(b []byte, v float64) []byte {
+	return appendU64(b, math.Float64bits(v))
+}
+
+func appendStr(b []byte, s string) []byte {
+	b = appendU32(b, uint32(len(s)))
+	return append(b, s...)
+}
+
+func appendTime(b []byte, t time.Time) []byte {
+	if t.IsZero() {
+		return append(b, 0)
+	}
+	b = append(b, 1)
+	b = appendU64(b, uint64(t.Unix()))
+	return appendU32(b, uint32(t.Nanosecond()))
+}
+
+func appendSample(b []byte, s *model.Sample) []byte {
+	b = appendStr(b, string(s.Job))
+	b = appendStr(b, string(s.Task.Job))
+	b = appendU64(b, uint64(s.Task.Index))
+	b = appendStr(b, string(s.Platform))
+	b = appendTime(b, s.Timestamp)
+	b = appendF64(b, s.CPUUsage)
+	b = appendF64(b, s.CPI)
+	b = appendStr(b, s.Machine)
+	return appendStr(b, s.TraceID)
+}
+
+func appendSpec(b []byte, s *model.Spec) []byte {
+	b = appendStr(b, string(s.Job))
+	b = appendStr(b, string(s.Platform))
+	b = appendU64(b, uint64(s.NumSamples))
+	b = appendU64(b, uint64(s.NumTasks))
+	b = appendF64(b, s.CPUUsageMean)
+	b = appendF64(b, s.CPIMean)
+	b = appendF64(b, s.CPIStddev)
+	return appendTime(b, s.UpdatedAt)
+}
+
+// appendBinaryFrame appends one complete v2 frame encoding msg to buf
+// and returns the extended buffer. Message types without a binary
+// encoding (hello stays JSON) encode as an empty unknown-type payload,
+// which receivers skip — but senders never do that on purpose.
+func appendBinaryFrame(buf []byte, msg wireMsg) []byte {
+	start := len(buf)
+	buf = append(buf, binMagic, binVersion, 0, 0, 0, 0)
+	switch msg.Type {
+	case msgSamples:
+		buf = append(buf, binMsgSamples)
+		buf = appendU32(buf, uint32(len(msg.Samples)))
+		for i := range msg.Samples {
+			buf = appendSample(buf, &msg.Samples[i])
+		}
+	case msgSubscribe:
+		buf = append(buf, binMsgSubscribe)
+		buf = appendU32(buf, uint32(len(msg.Jobs)))
+		for _, k := range msg.Jobs {
+			buf = appendStr(buf, string(k.Job))
+			buf = appendStr(buf, string(k.Platform))
+		}
+	case msgSpec:
+		buf = append(buf, binMsgSpec)
+		var spec model.Spec
+		if msg.Spec != nil {
+			spec = *msg.Spec
+		}
+		buf = appendSpec(buf, &spec)
+		buf = appendStr(buf, msg.TraceID)
+	default:
+		buf = append(buf, 0)
+	}
+	binary.BigEndian.PutUint32(buf[start+2:start+6], uint32(len(buf)-start-binHeaderLen))
+	return buf
+}
+
+// binReader is a bounds-checked cursor over one binary payload. The
+// first failed read poisons the reader; subsequent reads return zero
+// values, and the caller checks err once at the end.
+type binReader struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (r *binReader) fail() {
+	if r.err == nil {
+		r.err = fmt.Errorf("truncated at offset %d", r.off)
+	}
+}
+
+func (r *binReader) u8() byte {
+	if r.err != nil || r.off+1 > len(r.b) {
+		r.fail()
+		return 0
+	}
+	v := r.b[r.off]
+	r.off++
+	return v
+}
+
+func (r *binReader) u32() uint32 {
+	if r.err != nil || r.off+4 > len(r.b) {
+		r.fail()
+		return 0
+	}
+	v := binary.BigEndian.Uint32(r.b[r.off:])
+	r.off += 4
+	return v
+}
+
+func (r *binReader) u64() uint64 {
+	if r.err != nil || r.off+8 > len(r.b) {
+		r.fail()
+		return 0
+	}
+	v := binary.BigEndian.Uint64(r.b[r.off:])
+	r.off += 8
+	return v
+}
+
+func (r *binReader) f64() float64 {
+	return math.Float64frombits(r.u64())
+}
+
+func (r *binReader) str() string {
+	n := int(r.u32())
+	// The length check against the remaining payload is what keeps a
+	// length/payload mismatch from turning into a huge allocation.
+	if r.err != nil || n < 0 || r.off+n > len(r.b) {
+		r.fail()
+		return ""
+	}
+	v := string(r.b[r.off : r.off+n])
+	r.off += n
+	return v
+}
+
+func (r *binReader) time() time.Time {
+	switch r.u8() {
+	case 0:
+		return time.Time{}
+	case 1:
+		sec := int64(r.u64())
+		nsec := int64(r.u32())
+		if r.err != nil {
+			return time.Time{}
+		}
+		return time.Unix(sec, nsec).UTC()
+	default:
+		r.fail()
+		return time.Time{}
+	}
+}
+
+func (r *binReader) sample() model.Sample {
+	var s model.Sample
+	s.Job = model.JobName(r.str())
+	s.Task.Job = model.JobName(r.str())
+	s.Task.Index = int(r.u64())
+	s.Platform = model.Platform(r.str())
+	s.Timestamp = r.time()
+	s.CPUUsage = r.f64()
+	s.CPI = r.f64()
+	s.Machine = r.str()
+	s.TraceID = r.str()
+	return s
+}
+
+func (r *binReader) spec() model.Spec {
+	var s model.Spec
+	s.Job = model.JobName(r.str())
+	s.Platform = model.Platform(r.str())
+	s.NumSamples = int64(r.u64())
+	s.NumTasks = int(r.u64())
+	s.CPUUsageMean = r.f64()
+	s.CPIMean = r.f64()
+	s.CPIStddev = r.f64()
+	s.UpdatedAt = r.time()
+	return s
+}
+
+// minBinSampleLen is the encoded size of an all-empty sample: five
+// empty strings (4 bytes each), one u64, two f64s, one zero-time flag
+// byte. Used to bound the element-count preallocation below.
+const minBinSampleLen = 5*4 + 8 + 2*8 + 1
+
+// decodeBinaryPayload parses one v2 payload (the bytes after the
+// 6-byte frame header). Malformed input returns an error wrapping
+// errBadFrame and never panics — FuzzWireDecodeBinary enforces this.
+// Unknown message types decode to a zero wireMsg, which the read loops
+// ignore (forward compatibility, like unknown JSON "type" values).
+func decodeBinaryPayload(p []byte) (wireMsg, error) {
+	r := binReader{b: p}
+	var msg wireMsg
+	switch t := r.u8(); t {
+	case binMsgSamples:
+		count := int(r.u32())
+		// An adversarial count can exceed what the payload could hold;
+		// cap the preallocation by the bytes actually present.
+		capN := count
+		if max := len(p)/minBinSampleLen + 1; capN > max {
+			capN = max
+		}
+		samples := make([]model.Sample, 0, capN)
+		for i := 0; i < count && r.err == nil; i++ {
+			samples = append(samples, r.sample())
+		}
+		if r.err == nil {
+			msg.Type = msgSamples
+			msg.Samples = samples
+		}
+	case binMsgSubscribe:
+		count := int(r.u32())
+		capN := count
+		if max := len(p)/8 + 1; capN > max { // a key is ≥ two empty strings
+			capN = max
+		}
+		keys := make([]model.SpecKey, 0, capN)
+		for i := 0; i < count && r.err == nil; i++ {
+			keys = append(keys, model.SpecKey{
+				Job:      model.JobName(r.str()),
+				Platform: model.Platform(r.str()),
+			})
+		}
+		if r.err == nil {
+			msg.Type = msgSubscribe
+			msg.Jobs = keys
+		}
+	case binMsgSpec:
+		spec := r.spec()
+		tid := r.str()
+		if r.err == nil {
+			msg.Type = msgSpec
+			msg.Spec = &spec
+			msg.TraceID = tid
+		}
+	default:
+		// Unknown type: ignore the payload (forward compatibility).
+		return wireMsg{}, nil
+	}
+	if r.err != nil {
+		return wireMsg{}, fmt.Errorf("%w: binary payload: %v", errBadFrame, r.err)
+	}
+	return msg, nil
+}

@@ -37,11 +37,70 @@ type placement struct {
 }
 
 // machineState is the scheduler's book-keeping for one machine.
+//
+// The committed/prod-reserved sums are cached and recomputed lazily
+// after mutations. The recompute always re-sums the FULL sorted
+// multiset (never incrementally adds/subtracts one request): float
+// addition is not associative, so an incremental sum would drift an
+// ULP away from the from-scratch sum and flip least-committed ties —
+// breaking the cluster's bit-reproducibility guarantee. Caching only
+// changes when the sum is computed, never its value.
 type machineState struct {
 	name     string
 	platform model.Platform
 	capacity float64
 	tasks    map[model.TaskID]*placement
+
+	jobs  map[model.JobName]int // resident task count per job
+	dirty bool
+	// committedSum/prodSum are valid when !dirty; reqs/prodReqs are the
+	// recompute scratch, reused across refreshes.
+	committedSum float64
+	prodSum      float64
+	reqs         []float64
+	prodReqs     []float64
+}
+
+// insert books a placement on the machine.
+func (m *machineState) insert(p *placement) {
+	m.tasks[p.spec.ID] = p
+	if m.jobs == nil {
+		m.jobs = make(map[model.JobName]int)
+	}
+	m.jobs[p.spec.Job.Name]++
+	m.dirty = true
+}
+
+// erase releases a placement.
+func (m *machineState) erase(id model.TaskID) {
+	p, ok := m.tasks[id]
+	if !ok {
+		return
+	}
+	delete(m.tasks, id)
+	if m.jobs[p.spec.Job.Name]--; m.jobs[p.spec.Job.Name] <= 0 {
+		delete(m.jobs, p.spec.Job.Name)
+	}
+	m.dirty = true
+}
+
+// refresh recomputes the cached sums if a mutation invalidated them.
+func (m *machineState) refresh() {
+	if !m.dirty {
+		return
+	}
+	m.reqs = m.reqs[:0]
+	m.prodReqs = m.prodReqs[:0]
+	for _, p := range m.tasks {
+		r := p.spec.cpuRequest()
+		m.reqs = append(m.reqs, r)
+		if p.spec.Job.Priority.IsProduction() {
+			m.prodReqs = append(m.prodReqs, r)
+		}
+	}
+	m.committedSum = sumSorted(m.reqs)
+	m.prodSum = sumSorted(m.prodReqs)
+	m.dirty = false
 }
 
 // committed returns the machine's committed CPU. The requests are
@@ -50,21 +109,13 @@ type machineState struct {
 // scores differ across runs by an ULP — enough to flip least-committed
 // ties and break the cluster's bit-reproducibility guarantee.
 func (m *machineState) committed() float64 {
-	reqs := make([]float64, 0, len(m.tasks))
-	for _, p := range m.tasks {
-		reqs = append(reqs, p.spec.cpuRequest())
-	}
-	return sumSorted(reqs)
+	m.refresh()
+	return m.committedSum
 }
 
 func (m *machineState) prodReserved() float64 {
-	reqs := make([]float64, 0, len(m.tasks))
-	for _, p := range m.tasks {
-		if p.spec.Job.Priority.IsProduction() {
-			reqs = append(reqs, p.spec.cpuRequest())
-		}
-	}
-	return sumSorted(reqs)
+	m.refresh()
+	return m.prodSum
 }
 
 // sumSorted adds values in ascending order, giving a deterministic
@@ -79,12 +130,7 @@ func sumSorted(xs []float64) float64 {
 }
 
 func (m *machineState) hasJob(job model.JobName) bool {
-	for id := range m.tasks {
-		if id.Job == job {
-			return true
-		}
-	}
-	return false
+	return m.jobs[job] > 0
 }
 
 // Scheduler is the central scheduler. It is not safe for concurrent
@@ -97,9 +143,15 @@ type Scheduler struct {
 
 	machines map[string]*machineState
 	names    []string // sorted, for determinism
-	where    map[model.TaskID]string
-	avoid    map[model.JobName]map[model.JobName]bool
-	seq      int64
+	// ordered mirrors names with the states themselves: the placement
+	// scan is O(machines) per task, and indexing a slice instead of
+	// hashing 100k names per placement is what keeps fleet construction
+	// tractable at that scale. Same order as names, so behavior is
+	// byte-identical to scanning names.
+	ordered []*machineState
+	where   map[model.TaskID]string
+	avoid   map[model.JobName]map[model.JobName]bool
+	seq     int64
 }
 
 // New returns a scheduler with the given batch overcommit factor
@@ -124,14 +176,23 @@ func (s *Scheduler) AddMachine(name string, platform model.Platform, cpus float6
 	if cpus <= 0 {
 		return fmt.Errorf("scheduler: machine %q has no capacity", name)
 	}
-	s.machines[name] = &machineState{
+	m := &machineState{
 		name:     name,
 		platform: platform,
 		capacity: cpus,
 		tasks:    make(map[model.TaskID]*placement),
 	}
-	s.names = append(s.names, name)
-	sort.Strings(s.names)
+	s.machines[name] = m
+	// Insert at the sorted position instead of re-sorting: registering
+	// a fleet of n machines is O(n log n) total when names arrive in
+	// order (the common case) instead of n full sorts.
+	i := sort.SearchStrings(s.names, name)
+	s.names = append(s.names, "")
+	copy(s.names[i+1:], s.names[i:])
+	s.names[i] = name
+	s.ordered = append(s.ordered, nil)
+	copy(s.ordered[i+1:], s.ordered[i:])
+	s.ordered[i] = m
 	return nil
 }
 
@@ -188,7 +249,7 @@ func (s *Scheduler) Migrate(task TaskSpec) (Placement, error) {
 		// Roll back to the original machine.
 		m := s.machines[cur]
 		s.seq++
-		m.tasks[task.ID] = &placement{spec: task, seq: s.seq}
+		m.insert(&placement{spec: task, seq: s.seq})
 		s.where[task.ID] = cur
 		return Placement{}, err
 	}
@@ -202,14 +263,14 @@ func (s *Scheduler) place(task TaskSpec, exclude string) (Placement, error) {
 	req := task.cpuRequest()
 	isProd := task.Job.Priority.IsProduction()
 
+	avoid := s.avoid[task.Job.Name]
 	var best *machineState
 	var bestScore float64
-	for _, name := range s.names {
-		if name == exclude {
+	for _, m := range s.ordered {
+		if m.name == exclude {
 			continue
 		}
-		m := s.machines[name]
-		if s.violatesAffinity(m, task.Job.Name) {
+		if len(avoid) > 0 && violatesAffinity(m, avoid) {
 			continue
 		}
 		if isProd {
@@ -234,7 +295,7 @@ func (s *Scheduler) place(task TaskSpec, exclude string) (Placement, error) {
 	}
 
 	s.seq++
-	best.tasks[task.ID] = &placement{spec: task, seq: s.seq}
+	best.insert(&placement{spec: task, seq: s.seq})
 	s.where[task.ID] = best.name
 
 	// A production arrival may push the machine past its overcommit
@@ -248,8 +309,8 @@ func (s *Scheduler) place(task TaskSpec, exclude string) (Placement, error) {
 	return Placement{Machine: best.name, Evicted: evicted}, nil
 }
 
-func (s *Scheduler) violatesAffinity(m *machineState, job model.JobName) bool {
-	for other := range s.avoid[job] {
+func violatesAffinity(m *machineState, avoid map[model.JobName]bool) bool {
+	for other := range avoid {
 		if m.hasJob(other) {
 			return true
 		}
@@ -281,7 +342,7 @@ func (s *Scheduler) preemptIfOvercommitted(m *machineState) []TaskSpec {
 		if m.committed() <= limit {
 			break
 		}
-		delete(m.tasks, p.spec.ID)
+		m.erase(p.spec.ID)
 		delete(s.where, p.spec.ID)
 		evicted = append(evicted, p.spec)
 	}
@@ -294,7 +355,7 @@ func (s *Scheduler) Remove(id model.TaskID) error {
 	if !ok {
 		return fmt.Errorf("scheduler: %v is not placed", id)
 	}
-	delete(s.machines[name].tasks, id)
+	s.machines[name].erase(id)
 	delete(s.where, id)
 	return nil
 }
