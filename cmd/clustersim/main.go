@@ -7,6 +7,7 @@
 //
 //	clustersim [-machines 50] [-duration 1h] [-seed 1] [-workers 0]
 //	           [-metrics-addr :7425] [-report-only] [-feedback]
+//	           [-identifier correlation|panda]
 //	           [-query "SELECT …"] [-chaos "blackout=20m+10m,loss=0.05"]
 //
 // -workers sets how many goroutines tick machines in parallel
@@ -51,7 +52,15 @@ func main() {
 	query := flag.String("query", "", "extra forensics query to run at the end")
 	metricsAddr := flag.String("metrics-addr", "", "admin HTTP address for live /metrics during the run (empty: disabled)")
 	chaos := flag.String("chaos", "", "fault plan, e.g. \"blackout=20m+10m,loss=0.05,crash=machine-0003@30m\" (empty: no faults)")
+	identifier := flag.String("identifier", "",
+		fmt.Sprintf("antagonist identifier: %v (empty: %s)", core.IdentifierNames(), core.IdentifierCorrelation))
 	flag.Parse()
+
+	// Validate up front so a typo'd -identifier is a friendly flag error
+	// rather than a panic out of the first machine's NewManager.
+	if _, err := core.NewIdentifier(*identifier, core.DefaultParams()); err != nil {
+		log.Fatalf("clustersim: -identifier: %v", err)
+	}
 
 	var faults *cluster.FaultPlan
 	if *chaos != "" {
@@ -74,6 +83,7 @@ func main() {
 			MinSamplesPerTask:  8,
 			ReportOnly:         *reportOnly,
 			FeedbackThrottling: *feedback,
+			Identifier:         *identifier,
 		},
 		Registry: reg,
 		Events:   events,

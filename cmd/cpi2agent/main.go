@@ -17,6 +17,7 @@
 //	          [-incident-log incidents.jsonl] [-name machine-01]
 //	          [-cpus 16] [-tenants 20] [-antagonist-after 2m] [-speed 60]
 //	          [-spool-batches 4096] [-spool-bytes 67108864]
+//	          [-identifier correlation|panda]
 //
 // Samples published while the aggregator is unreachable spool in a
 // bounded in-memory buffer (-spool-batches/-spool-bytes, drop-oldest)
@@ -66,6 +67,8 @@ func main() {
 	speed := flag.Int("speed", 60, "simulated seconds per wall second")
 	seed := flag.Int64("seed", 1, "simulation seed")
 	reportOnly := flag.Bool("report-only", false, "detect and report, never cap automatically")
+	identifier := flag.String("identifier", "",
+		fmt.Sprintf("antagonist identifier: %v (empty: %s)", core.IdentifierNames(), core.IdentifierCorrelation))
 	capJournal := flag.String("cap-journal", "",
 		"append-only cap journal file, replayed at startup to reconcile caps (empty: disabled)")
 	spoolBatches := flag.Int("spool-batches", 0, "sample batches to buffer while the aggregator is unreachable (0: default 4096)")
@@ -97,7 +100,12 @@ func main() {
 	}
 
 	var sink pipeline.SampleSink
-	params := core.Params{ReportOnly: *reportOnly, MinSamplesPerTask: 5}
+	params := core.Params{ReportOnly: *reportOnly, MinSamplesPerTask: 5, Identifier: *identifier}
+	// Validate before the agent is assembled so a typo'd -identifier is
+	// a friendly flag error rather than a panic out of NewManager.
+	if _, err := core.NewIdentifier(*identifier, params); err != nil {
+		log.Fatalf("cpi2agent: -identifier: %v", err)
+	}
 	var a *agent.Agent
 	// One span ring for the whole daemon: sample/detect/decision spans
 	// from the agent, spec_recv from pushes, spool from replays.

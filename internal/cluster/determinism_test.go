@@ -60,8 +60,10 @@ type fingerprint struct {
 // detRun builds a busy cluster — search tree, quiet service, batch,
 // restarting MapReduce, heavy antagonists, with both §9 automation
 // loops armed — and runs it for warm+dur at the given worker count,
-// returning the JSON fingerprint of everything that happened.
-func detRun(t *testing.T, workers, machines int, warm, dur time.Duration) []byte {
+// returning the JSON fingerprint of everything that happened. The
+// identifier argument selects the antagonist-identification algorithm
+// ("" = the correlation default).
+func detRun(t *testing.T, workers, machines int, warm, dur time.Duration, identifier string) []byte {
 	t.Helper()
 	ev := obs.NewEventLog(1<<16, nil)
 	reg := obs.NewRegistry()
@@ -71,7 +73,7 @@ func detRun(t *testing.T, workers, machines int, warm, dur time.Duration) []byte
 		CPUsPerMachine:       16,
 		PlatformBFraction:    0.3,
 		Workers:              workers,
-		Params:               core.Params{MinSamplesPerTask: 5},
+		Params:               core.Params{MinSamplesPerTask: 5, Identifier: identifier},
 		AutoAvoidThreshold:   3,
 		AutoMigrateAfterCaps: 3,
 		Registry:             reg,
@@ -153,12 +155,12 @@ func TestStepDeterminismAcrossWorkerCounts(t *testing.T) {
 		machines, warm, dur = 12, 12*time.Minute, 25*time.Minute
 	}
 	counts := []int{1, 4, runtime.GOMAXPROCS(0)}
-	base := detRun(t, counts[0], machines, warm, dur)
+	base := detRun(t, counts[0], machines, warm, dur, "")
 	if len(base) == 0 {
 		t.Fatal("empty fingerprint")
 	}
 	for _, w := range counts[1:] {
-		got := detRun(t, w, machines, warm, dur)
+		got := detRun(t, w, machines, warm, dur, "")
 		if string(got) != string(base) {
 			t.Errorf("workers=%d fingerprint differs from workers=1\nworkers=1: %.200s…\nworkers=%d: %.200s…",
 				w, base, w, got)

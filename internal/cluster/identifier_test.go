@@ -1,0 +1,110 @@
+package cluster
+
+import (
+	"encoding/json"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/model"
+)
+
+// goldenRun runs a seeded antagonist-bearing fleet with the given
+// identifier and returns the JSON rendering of every incident (with
+// scores as raw floats, so a comparison is float-exact).
+func goldenRun(t *testing.T, machines int, warm, dur time.Duration, identifier string) ([]byte, int) {
+	t.Helper()
+	c := New(Config{
+		Seed:              99,
+		Machines:          machines,
+		CPUsPerMachine:    16,
+		PlatformBFraction: 0.3,
+		Workers:           runtime.GOMAXPROCS(0),
+		Params:            core.Params{MinSamplesPerTask: 5, Identifier: identifier},
+	})
+	defer c.Close()
+	if err := c.AddJob(QuietServiceJob("bigtable", machines, 0.8)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddJob(BatchJob("logproc", machines/2, 0.5, model.PriorityBestEffort)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := WarmUpSpecs(c, warm); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddJob(AntagonistJob("video", machines/4+1, 7, model.PriorityBatch)); err != nil {
+		t.Fatal(err)
+	}
+	c.Run(dur)
+	incs := c.Incidents()
+	b, err := json.Marshal(incs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b, len(incs)
+}
+
+// TestIdentifierExtractionGolden is the interface-extraction golden
+// check at fleet scale: a seeded 100-machine run under the default
+// (empty) identifier must produce byte-identical incidents — every
+// score, rank, action, and timestamp — to the same run with the §4.2
+// correlator named explicitly. Together with the unit-level parity
+// test in internal/core this pins the refactor: routing analysis
+// through the Identifier interface changed nothing about the
+// reference correlator's output.
+func TestIdentifierExtractionGolden(t *testing.T) {
+	machines, warm, dur := 100, 13*time.Minute, 30*time.Minute
+	if testing.Short() {
+		machines, warm, dur = 100, 13*time.Minute, 12*time.Minute
+	}
+	def, nDef := goldenRun(t, machines, warm, dur, "")
+	exp, nExp := goldenRun(t, machines, warm, dur, core.IdentifierCorrelation)
+	if nDef == 0 {
+		t.Fatal("golden run raised no incidents; comparison proves nothing")
+	}
+	if string(def) != string(exp) {
+		t.Errorf("interface extraction changed the correlator's incidents (%d vs %d):\ndefault:  %.300s…\nexplicit: %.300s…",
+			nDef, nExp, def, exp)
+	}
+	var incs []core.Incident
+	if err := json.Unmarshal(def, &incs); err != nil {
+		t.Fatal(err)
+	}
+	for _, inc := range incs {
+		if inc.Identifier != core.IdentifierCorrelation {
+			t.Fatalf("incident tagged %q, want %q", inc.Identifier, core.IdentifierCorrelation)
+		}
+	}
+}
+
+// TestStepDeterminismPandaIdentifier extends the worker-count
+// determinism guarantee to the PANDA identifier: its per-pair EWMA
+// evidence state lives inside each machine's manager, so the same seed
+// must still produce byte-identical fingerprints at any worker count.
+func TestStepDeterminismPandaIdentifier(t *testing.T) {
+	machines, warm, dur := 24, 12*time.Minute, 40*time.Minute
+	if testing.Short() {
+		machines, warm, dur = 12, 12*time.Minute, 25*time.Minute
+	}
+	base := detRun(t, 1, machines, warm, dur, core.IdentifierPanda)
+	for _, w := range []int{4, runtime.GOMAXPROCS(0)} {
+		got := detRun(t, w, machines, warm, dur, core.IdentifierPanda)
+		if string(got) != string(base) {
+			t.Errorf("panda: workers=%d fingerprint differs from workers=1\nworkers=1: %.200s…\nworkers=%d: %.200s…",
+				w, base, w, got)
+		}
+	}
+	var fp fingerprint
+	if err := json.Unmarshal(base, &fp); err != nil {
+		t.Fatal(err)
+	}
+	if len(fp.Incidents) == 0 {
+		t.Error("panda determinism run raised no incidents; fingerprint proves nothing")
+	}
+	for _, inc := range fp.Incidents {
+		if inc.Identifier != core.IdentifierPanda {
+			t.Fatalf("incident tagged %q, want %q", inc.Identifier, core.IdentifierPanda)
+		}
+	}
+}

@@ -28,9 +28,13 @@ func Correlation(victimCPI, suspectUsage []float64, threshold float64) float64 {
 	if n == 0 || len(suspectUsage) != n || threshold <= 0 {
 		return 0
 	}
+	// Normalize usage over the pairs the scoring loop actually visits
+	// (u > 0 AND c > 0): a pair skipped for a non-positive CPI must not
+	// leave its usage mass in the denominator, or hostile/zero CPI
+	// values deflate every scored pair's weight toward 0.
 	var usum float64
-	for _, u := range suspectUsage {
-		if u > 0 {
+	for i, u := range suspectUsage {
+		if u > 0 && victimCPI[i] > 0 {
 			usum += u
 		}
 	}

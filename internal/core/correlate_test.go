@@ -90,6 +90,55 @@ func TestCorrelationBoundsProperty(t *testing.T) {
 	}
 }
 
+func TestCorrelationNormalizesOverScoredPairs(t *testing.T) {
+	// Pairs skipped by the scoring loop (non-positive CPI) must not
+	// leave their usage mass in the denominator: a hostile/zero CPI
+	// value slipping through would otherwise deflate every scored
+	// pair's weight toward 0.
+	cases := []struct {
+		name      string
+		cpi       []float64
+		usage     []float64
+		threshold float64
+		want      float64
+	}{
+		{
+			// The c=0 pair carries usage but is never scored; the result
+			// must equal the two-pair series {3,3}/{1,1} → 1 − 2/3.
+			name: "zero CPI pair excluded from denominator",
+			cpi:  []float64{3, 0, 3}, usage: []float64{1, 1, 1},
+			threshold: 2, want: 1.0 / 3.0,
+		},
+		{
+			// A negative (corrupt) CPI pair with heavy usage likewise.
+			name: "negative CPI pair excluded from denominator",
+			cpi:  []float64{3, -5, 3}, usage: []float64{1, 4, 1},
+			threshold: 2, want: 1.0 / 3.0,
+		},
+		{
+			name: "all pairs scoreable: unchanged",
+			cpi:  []float64{4, 1}, usage: []float64{1, 1},
+			threshold: 2, want: 0,
+		},
+		{
+			name: "only unscoreable pairs: zero",
+			cpi:  []float64{0, -1}, usage: []float64{1, 1},
+			threshold: 2, want: 0,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := Correlation(tc.cpi, tc.usage, tc.threshold)
+			if !almostEqual(got, tc.want, 1e-12) {
+				t.Errorf("corr = %v, want %v", got, tc.want)
+			}
+			if got < -1-1e-9 || got > 1+1e-9 {
+				t.Errorf("corr = %v outside [-1, 1]", got)
+			}
+		})
+	}
+}
+
 func TestCorrelationApproachesOneForExtremeAntagonist(t *testing.T) {
 	// Massive CPI inflation coinciding with all suspect activity pushes
 	// the score toward 1.

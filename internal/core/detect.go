@@ -25,6 +25,11 @@ type Assessment struct {
 	Anomalous bool
 	// Threshold is the outlier CPI threshold that was applied.
 	Threshold float64
+	// SpecMean / SpecStddev are the Welford moments of the spec the
+	// sample was judged against (zero without a spec). Identifiers that
+	// normalize victim CPI need the raw moments, not just the threshold.
+	SpecMean   float64
+	SpecStddev float64
 	// SigmasAbove is how many spec standard deviations the sample sits
 	// above the spec mean (0 when at or below the mean, or no spec).
 	SigmasAbove float64
@@ -113,7 +118,12 @@ func (d *Detector) Observe(s model.Sample) Assessment {
 	if !ok {
 		return Assessment{}
 	}
-	a := Assessment{HasSpec: true, Threshold: spec.OutlierThreshold(d.params.OutlierSigma)}
+	a := Assessment{
+		HasSpec:    true,
+		Threshold:  spec.OutlierThreshold(d.params.OutlierSigma),
+		SpecMean:   spec.CPIMean,
+		SpecStddev: spec.CPIStddev,
+	}
 	if spec.CPIStddev > 0 && s.CPI > spec.CPIMean {
 		a.SigmasAbove = (s.CPI - spec.CPIMean) / spec.CPIStddev
 	}

@@ -1,0 +1,282 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/model"
+	"repro/internal/timeseries"
+)
+
+func TestNewIdentifierRegistry(t *testing.T) {
+	p := DefaultParams()
+	for _, name := range append([]string{""}, IdentifierNames()...) {
+		id, err := NewIdentifier(name, p)
+		if err != nil || id == nil {
+			t.Errorf("NewIdentifier(%q) = %v, %v", name, id, err)
+		}
+	}
+	if def, _ := NewIdentifier("", p); def.Name() != IdentifierCorrelation {
+		t.Errorf("empty name resolved to %q, want the correlation default", def.Name())
+	}
+	if _, err := NewIdentifier("nonsense", p); err == nil {
+		t.Error("unknown identifier accepted")
+	}
+}
+
+func TestNewManagerPanicsOnUnknownIdentifier(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewManager accepted an unknown identifier")
+		}
+	}()
+	p := DefaultParams()
+	p.Identifier = "nonsense"
+	NewManager("m", p, newFakeCapper())
+}
+
+// TestCorrelationIdentifierMatchesRankSuspects is the interface-
+// extraction parity check at the unit level: the reference identifier
+// must produce float-identical scores and ordering to a direct
+// RankSuspects call on the same inputs (the cluster-level golden run
+// is TestIdentifierExtractionGolden in internal/cluster).
+func TestCorrelationIdentifierMatchesRankSuspects(t *testing.T) {
+	victim := buildSeries([]float64{3, 3, 3, 1, 1, 1, 3, 3, 3, 3}, time.Minute)
+	suspects := []SuspectInput{
+		{Task: model.TaskID{Job: "guilty", Index: 0}, Job: "guilty",
+			Usage: buildSeries([]float64{2, 2, 2, 0, 0, 0, 2, 2, 2, 2}, time.Minute)},
+		{Task: model.TaskID{Job: "innocent", Index: 0}, Job: "innocent",
+			Usage: buildSeries([]float64{0, 0, 0, 2, 2, 2, 0, 0, 0, 0}, time.Minute)},
+		{Task: model.TaskID{Job: "steady", Index: 0}, Job: "steady",
+			Usage: buildSeries([]float64{1, 1, 1, 1, 1, 1, 1, 1, 1, 1}, time.Minute)},
+	}
+	now := day0.Add(10 * time.Minute)
+	in := IdentifyInput{
+		Victim:    model.TaskID{Job: "victim", Index: 0},
+		VictimCPI: victim, Threshold: 2.0,
+		Now: now, Window: 10 * time.Minute, Period: time.Minute,
+		Suspects: suspects,
+	}
+	got := CorrelationIdentifier{}.Identify(in)
+	want := RankSuspects(victim, 2.0, suspects, now, 10*time.Minute, time.Minute)
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("interface extraction changed the reference scores:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+// identifiers under test for shared-contract properties. PANDA is
+// rebuilt per property invocation: its evidence state is part of the
+// contract under test only within one call sequence.
+func testIdentifiers(p Params) []Identifier {
+	return []Identifier{CorrelationIdentifier{}, NewPandaIdentifier(p)}
+}
+
+// TestIdentifierTieBreakProperty: both identifiers return suspects in
+// deterministic order under score ties, regardless of input order (the
+// PR 2 sorted-order lesson). Tied scores are forced by giving every
+// suspect an identical usage series.
+func TestIdentifierTieBreakProperty(t *testing.T) {
+	p := DefaultParams()
+	f := func(perm []uint8, nRaw uint8) bool {
+		n := int(nRaw)%6 + 2
+		mk := func(i int) SuspectInput {
+			return SuspectInput{
+				Task: model.TaskID{Job: "tied", Index: i}, Job: "tied",
+				Usage: buildSeries([]float64{1, 1, 1, 1, 1}, time.Minute),
+			}
+		}
+		// A deterministic permutation of [0, n) driven by quick's input.
+		order := make([]int, n)
+		for i := range order {
+			order[i] = i
+		}
+		for i, r := range perm {
+			j := int(r) % n
+			k := i % n
+			order[j], order[k] = order[k], order[j]
+		}
+		victim := buildSeries([]float64{3, 3, 3, 3, 3}, time.Minute)
+		in := IdentifyInput{
+			Victim:    model.TaskID{Job: "victim", Index: 0},
+			VictimCPI: victim, Threshold: 2.0, SpecMean: 1.0, SpecStddev: 0.5,
+			Now: day0.Add(5 * time.Minute), Window: 10 * time.Minute, Period: time.Minute,
+		}
+		for _, ident := range testIdentifiers(p) {
+			sorted := make([]SuspectInput, 0, n)
+			shuffled := make([]SuspectInput, 0, n)
+			for i := 0; i < n; i++ {
+				sorted = append(sorted, mk(i))
+				shuffled = append(shuffled, mk(order[i]))
+			}
+			inSorted, inShuffled := in, in
+			inSorted.Suspects = sorted
+			inShuffled.Suspects = shuffled
+			// Fresh PANDA state for each presentation so only input order
+			// differs.
+			var a, b []Suspect
+			switch ident.(type) {
+			case *PandaIdentifier:
+				a = NewPandaIdentifier(p).Identify(inSorted)
+				b = NewPandaIdentifier(p).Identify(inShuffled)
+			default:
+				a = ident.Identify(inSorted)
+				b = ident.Identify(inShuffled)
+			}
+			if !reflect.DeepEqual(a, b) {
+				t.Logf("%s: order differs under ties:\n a=%+v\n b=%+v", ident.Name(), a, b)
+				return false
+			}
+			for i := 1; i < len(a); i++ {
+				if a[i-1].Correlation == a[i].Correlation &&
+					a[i-1].Task.String() >= a[i].Task.String() {
+					t.Logf("%s: tie-break not by Task.String(): %v then %v",
+						ident.Name(), a[i-1].Task, a[i].Task)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// pandaInput builds a round where the antagonist's usage aligns with
+// victim CPI at sigmas σ above the spec mean.
+func pandaRound(now time.Time, sigmas float64) IdentifyInput {
+	mean, sd := 1.0, 0.1
+	cpi := mean + sigmas*sd
+	victim := timeseries.New()
+	antag := timeseries.New()
+	for i := 0; i < 10; i++ {
+		ts := now.Add(time.Duration(i-10) * time.Minute)
+		_ = victim.Append(ts, cpi)
+		_ = antag.Append(ts, 4.0)
+	}
+	return IdentifyInput{
+		Victim:    model.TaskID{Job: "victim", Index: 0},
+		VictimCPI: victim,
+		Threshold: mean + 2*sd, SpecMean: mean, SpecStddev: sd,
+		Now: now, Window: 10 * time.Minute, Period: time.Minute,
+		Suspects: []SuspectInput{{
+			Task: model.TaskID{Job: "antag", Index: 0}, Job: "antag", Usage: antag,
+		}},
+	}
+}
+
+func TestPandaOneWindowNeitherConvictsNorAcquits(t *testing.T) {
+	p := DefaultParams()
+	pi := NewPandaIdentifier(p)
+	now := day0.Add(time.Hour)
+
+	// Round 1: a maximally guilty window (CPI 6σ+ above mean, saturated
+	// evidence). One window must stay below the reporting threshold.
+	r1 := pi.Identify(pandaRound(now, 8))
+	if len(r1) != 1 {
+		t.Fatalf("suspects = %d", len(r1))
+	}
+	if r1[0].Correlation >= p.CorrelationThreshold {
+		t.Errorf("one perfect window scored %.3f ≥ threshold %.2f: single windows must not convict",
+			r1[0].Correlation, p.CorrelationThreshold)
+	}
+	if r1[0].Correlation <= 0 {
+		t.Errorf("guilty window scored %.3f, want positive evidence", r1[0].Correlation)
+	}
+
+	// Round 2, a minute later, still guilty: accumulated evidence now
+	// convicts.
+	r2 := pi.Identify(pandaRound(now.Add(time.Minute), 8))
+	if r2[0].Correlation < p.CorrelationThreshold {
+		t.Errorf("two consistent windows scored %.3f < threshold %.2f: persistence must convict",
+			r2[0].Correlation, p.CorrelationThreshold)
+	}
+}
+
+func TestPandaEvidenceDecaysWhenGuiltStops(t *testing.T) {
+	p := DefaultParams()
+	pi := NewPandaIdentifier(p)
+	now := day0.Add(time.Hour)
+	for i := 0; i < 5; i++ {
+		pi.Identify(pandaRound(now.Add(time.Duration(i)*time.Minute), 8))
+	}
+	convicted := pi.Identify(pandaRound(now.Add(5*time.Minute), 8))[0].Correlation
+	if convicted < p.CorrelationThreshold {
+		t.Fatalf("sustained guilt scored %.3f, expected conviction", convicted)
+	}
+	// Innocent-looking rounds (victim at its spec mean) drive evidence
+	// down and eventually acquit.
+	score := convicted
+	for i := 6; i < 16; i++ {
+		r := pi.Identify(pandaRound(now.Add(time.Duration(i)*time.Minute), 0))
+		score = r[0].Correlation
+	}
+	if score >= p.CorrelationThreshold {
+		t.Errorf("after 10 innocent windows the score is still %.3f ≥ %.2f", score, p.CorrelationThreshold)
+	}
+	if score >= convicted {
+		t.Errorf("evidence did not decay: %.3f → %.3f", convicted, score)
+	}
+}
+
+func TestPandaForgetDropsPairs(t *testing.T) {
+	pi := NewPandaIdentifier(DefaultParams())
+	now := day0.Add(time.Hour)
+	pi.Identify(pandaRound(now, 8))
+	if pi.EvidencePairs() != 1 {
+		t.Fatalf("pairs = %d, want 1", pi.EvidencePairs())
+	}
+	// Forgetting the suspect drops the pair; same for the victim side.
+	pi.Forget(model.TaskID{Job: "antag", Index: 0})
+	if pi.EvidencePairs() != 0 {
+		t.Errorf("pairs = %d after suspect exit, want 0", pi.EvidencePairs())
+	}
+	pi.Identify(pandaRound(now.Add(time.Minute), 8))
+	pi.Forget(model.TaskID{Job: "victim", Index: 0})
+	if pi.EvidencePairs() != 0 {
+		t.Errorf("pairs = %d after victim exit, want 0", pi.EvidencePairs())
+	}
+}
+
+func TestPandaFallsBackWithoutSpecMoments(t *testing.T) {
+	// No moments and no recoverable threshold→σ relation: the round
+	// score falls back to the §4.2 correlation, still in [−1, 1].
+	pi := NewPandaIdentifier(DefaultParams())
+	in := pandaRound(day0.Add(time.Hour), 8)
+	in.SpecMean, in.SpecStddev = 0, 0
+	in.Threshold = 0 // degenerate: nothing to recover σ from
+	r := pi.Identify(in)
+	if len(r) != 1 {
+		t.Fatalf("suspects = %d", len(r))
+	}
+	if r[0].Correlation < -1 || r[0].Correlation > 1 {
+		t.Errorf("fallback score %v outside [-1, 1]", r[0].Correlation)
+	}
+}
+
+func TestManagerTaskExitedForgetsPandaEvidence(t *testing.T) {
+	p := DefaultParams()
+	p.Identifier = IdentifierPanda
+	m := NewManager("m", p, newFakeCapper())
+	m.RegisterJob(victimJob)
+	m.RegisterJob(model.Job{Name: "mapreduce", Class: model.ClassBatch, Priority: model.PriorityBatch})
+	m.UpdateSpec(model.Spec{
+		Job: "search", Platform: model.PlatformA,
+		NumSamples: 100000, NumTasks: 300, CPIMean: 1.0, CPIStddev: 0.1,
+	})
+	for min := 0; min < 8; min++ {
+		feed(m, "mapreduce", 0, min, 4.0, 1.5)
+		feed(m, "search", 0, min, 1.2, 3.0)
+	}
+	pi := m.identifier.(*PandaIdentifier)
+	if pi.EvidencePairs() == 0 {
+		t.Fatal("no evidence accumulated; fixture broken")
+	}
+	m.TaskExited(model.TaskID{Job: "mapreduce", Index: 0})
+	m.TaskExited(model.TaskID{Job: "search", Index: 0})
+	if got := pi.EvidencePairs(); got != 0 {
+		t.Errorf("evidence pairs = %d after both tasks exited, want 0", got)
+	}
+}

@@ -32,6 +32,10 @@ type Incident struct {
 	// triggered the incident, joining it to the obs/trace span stores
 	// and the forensics table ("why was this task capped?").
 	TraceID string
+	// Identifier names the identification algorithm that ranked the
+	// suspects (see NewIdentifier), so incident streams mixing
+	// algorithms — A/B rollouts, per-cell configs — stay attributable.
+	Identifier string
 }
 
 // Manager is the per-machine CPI² engine: it ingests the local
@@ -45,9 +49,14 @@ type Manager struct {
 	machine  string
 	detector *Detector
 	enforcer *Enforcer
-	metrics  *Metrics     // never nil; zero Metrics = uninstrumented
-	events   EventSink    // never nil; nopSink = unlogged
-	tracer   *trace.Store // nil = untraced
+	// identifier ranks suspects each analysis round (Params.Identifier
+	// selects it). identifierForget is non-nil when the identifier
+	// keeps per-task state that must drop on task exit.
+	identifier       Identifier
+	identifierForget func(model.TaskID)
+	metrics          *Metrics     // never nil; zero Metrics = uninstrumented
+	events           EventSink    // never nil; nopSink = unlogged
+	tracer           *trace.Store // nil = untraced
 
 	mu           sync.Mutex
 	jobs         map[model.JobName]model.Job
@@ -62,11 +71,18 @@ type Manager struct {
 // caps through capper.
 func NewManager(machine string, p Params, capper Capper) *Manager {
 	p = p.Sanitize()
-	return &Manager{
+	ident, err := NewIdentifier(p.Identifier, p)
+	if err != nil {
+		// Identifier names come from flags or literals; daemons validate
+		// them before building agents, so reaching here is a bug.
+		panic(err)
+	}
+	m := &Manager{
 		params:       p,
 		machine:      machine,
 		detector:     NewDetector(p),
 		enforcer:     NewEnforcer(p, capper),
+		identifier:   ident,
 		metrics:      &Metrics{},
 		events:       nopSink{},
 		jobs:         make(map[model.JobName]model.Job),
@@ -74,6 +90,10 @@ func NewManager(machine string, p Params, capper Capper) *Manager {
 		usage:        make(map[model.TaskID]*timeseries.Series),
 		maxIncidents: 4096,
 	}
+	if f, ok := ident.(interface{ Forget(model.TaskID) }); ok {
+		m.identifierForget = f.Forget
+	}
+	return m
 }
 
 // SetMetrics instruments the manager (and its enforcer) with m. A nil
@@ -142,6 +162,9 @@ func (m *Manager) TaskExited(task model.TaskID) {
 	delete(m.usage, task)
 	m.mu.Unlock()
 	m.detector.Forget(task)
+	if m.identifierForget != nil {
+		m.identifierForget(task)
+	}
 	m.enforcer.TaskExited(task)
 }
 
@@ -200,11 +223,17 @@ func (m *Manager) analyse(s model.Sample, a Assessment, tracer *trace.Store) *In
 	m.mu.Lock()
 	metrics, events := m.metrics, m.events // snapshot under m.mu
 	// §4.2: at most one analysis per AnalysisRateLimit per machine, so
-	// the analysis itself never becomes the antagonist.
-	if !m.lastAnalysis.IsZero() && s.Timestamp.Sub(m.lastAnalysis) < m.params.AnalysisRateLimit {
-		m.mu.Unlock()
-		metrics.AnalysesRateLimited.Inc()
-		return nil
+	// the analysis itself never becomes the antagonist. A negative delta
+	// means the agent's clock moved backwards (a skew fault landing, or
+	// NTP stepping the clock): allow the analysis and reset the anchor,
+	// otherwise every round is suppressed until the clock catches back
+	// up to the pre-skew lastAnalysis.
+	if !m.lastAnalysis.IsZero() {
+		if delta := s.Timestamp.Sub(m.lastAnalysis); delta >= 0 && delta < m.params.AnalysisRateLimit {
+			m.mu.Unlock()
+			metrics.AnalysesRateLimited.Inc()
+			return nil
+		}
 	}
 	m.lastAnalysis = s.Timestamp
 	metrics.AnalysesRun.Inc()
@@ -237,8 +266,17 @@ func (m *Manager) analyse(s model.Sample, a Assessment, tracer *trace.Store) *In
 	if timed {
 		wallStart = time.Now()
 	}
-	ranked := RankSuspects(victimCPI, a.Threshold, suspects,
-		now, m.params.CorrelationWindow, m.params.SamplingInterval)
+	ranked := m.identifier.Identify(IdentifyInput{
+		Victim:     s.Task,
+		VictimCPI:  victimCPI,
+		Threshold:  a.Threshold,
+		SpecMean:   a.SpecMean,
+		SpecStddev: a.SpecStddev,
+		Now:        now,
+		Window:     m.params.CorrelationWindow,
+		Period:     m.params.SamplingInterval,
+		Suspects:   suspects,
+	})
 	if timed {
 		wallSeconds = time.Since(wallStart).Seconds()
 		metrics.CorrelationSeconds.Observe(wallSeconds)
@@ -277,6 +315,7 @@ func (m *Manager) analyse(s model.Sample, a Assessment, tracer *trace.Store) *In
 		Group:          group,
 		GroupDecisions: groupDecisions,
 		TraceID:        s.TraceID,
+		Identifier:     m.identifier.Name(),
 	}
 	if group != nil {
 		metrics.GroupDetections.Inc()

@@ -203,6 +203,7 @@ type IncidentRecord struct {
 	GroupSize        int             `json:"group_size,omitempty"`
 	GroupCorrelation float64         `json:"group_correlation,omitempty"`
 	TraceID          string          `json:"trace_id,omitempty"`
+	Identifier       string          `json:"identifier,omitempty"`
 }
 
 // maxRecordSuspects bounds the suspects carried in one record (the §6
@@ -212,15 +213,16 @@ const maxRecordSuspects = 5
 // Record converts an Incident to its JSON-friendly form.
 func (inc Incident) Record() IncidentRecord {
 	rec := IncidentRecord{
-		Time:      inc.Time,
-		Machine:   inc.Machine,
-		Victim:    inc.Victim.String(),
-		VictimJob: string(inc.VictimJob),
-		VictimCPI: inc.VictimCPI,
-		Threshold: inc.Threshold,
-		Action:    inc.Decision.Action.String(),
-		Reason:    inc.Decision.Reason,
-		TraceID:   inc.TraceID,
+		Time:       inc.Time,
+		Machine:    inc.Machine,
+		Victim:     inc.Victim.String(),
+		VictimJob:  string(inc.VictimJob),
+		VictimCPI:  inc.VictimCPI,
+		Threshold:  inc.Threshold,
+		Action:     inc.Decision.Action.String(),
+		Reason:     inc.Decision.Reason,
+		TraceID:    inc.TraceID,
+		Identifier: inc.Identifier,
 	}
 	if inc.Decision.Action != ActionNone {
 		rec.Target = inc.Decision.Target.String()

@@ -67,6 +67,13 @@ type Params struct {
 	// enforcer adapts the cap quota per round based on whether the
 	// victim recovered.
 	FeedbackThrottling bool
+	// Identifier selects the antagonist-identification algorithm:
+	// IdentifierCorrelation (the paper's §4.2 cross-correlation, the
+	// default) or IdentifierPanda (PANDA-style noise-resilient scorer).
+	// Unknown names are rejected by NewIdentifier; NewManager panics on
+	// them (identifier names come from flags or literals, so a bad one
+	// is a configuration bug).
+	Identifier string
 	// GroupDetection enables the §4.2 future-work extension: when no
 	// single suspect reaches the correlation threshold, search for a
 	// *group* of suspects whose combined usage explains the victim's
@@ -98,6 +105,7 @@ func DefaultParams() Params {
 		CapLeaseTTL:           time.Minute,
 		BestEffortQuota:       0.01,
 		BatchQuota:            0.1,
+		Identifier:            IdentifierCorrelation,
 	}
 }
 
@@ -158,6 +166,9 @@ func (p Params) Sanitize() Params {
 	}
 	if p.MaxGroupSize <= 0 {
 		p.MaxGroupSize = 4
+	}
+	if p.Identifier == "" {
+		p.Identifier = d.Identifier
 	}
 	return p
 }

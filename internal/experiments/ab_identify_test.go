@@ -1,0 +1,61 @@
+package experiments
+
+import "testing"
+
+// TestIdentifierABGates is the identifier A/B quality gate: it holds
+// the PR's headline claim against the labelled testbed. The runs are
+// fully deterministic at this seed/scale, so the gates are exact, with
+// slack only where a future legitimate change (profile recalibration,
+// scheduler tweaks) should not spuriously trip them.
+func TestIdentifierABGates(t *testing.T) {
+	rep := mustRun(t, "abident")
+
+	// Reference correlator baseline on the single-antagonist scenarios:
+	// it must keep finding every antagonist machine (recall 1.0) and its
+	// false-positive count must not regress past the measured baseline.
+	for _, sc := range []string{"antag-video", "antag-sci"} {
+		if r := metric(t, rep, sc+" corr recall"); r < 1 {
+			t.Errorf("%s: correlator recall %.2f, want 1.0", sc, r)
+		}
+		if fp := metric(t, rep, sc+" corr FP"); fp > 12 {
+			t.Errorf("%s: correlator FP %.0f regressed past the measured baseline (≤12)", sc, fp)
+		}
+	}
+
+	// PANDA must not lose real antagonists: recall equal or better on
+	// every antagonist-bearing scenario, including the chaos legs.
+	for _, sc := range []string{"antag-video", "antag-sci", "chaos-loss", "chaos-skew", "chaos-corrupt"} {
+		corr := metric(t, rep, sc+" corr recall")
+		panda := metric(t, rep, sc+" panda recall")
+		if panda < corr {
+			t.Errorf("%s: panda recall %.2f trails correlator %.2f", sc, panda, corr)
+		}
+	}
+
+	// The noise-resilience claim: strictly fewer false positives on the
+	// bimodal (Case 3) false-alarm fleet, and on every chaos leg.
+	for _, sc := range []string{"bimodal-falsealarm", "chaos-loss", "chaos-skew", "chaos-corrupt"} {
+		corr := metric(t, rep, sc+" corr FP")
+		panda := metric(t, rep, sc+" panda FP")
+		if corr == 0 {
+			t.Errorf("%s: correlator produced no false positives; the scenario is not probing anything", sc)
+		}
+		if panda >= corr {
+			t.Errorf("%s: panda FP %.0f not strictly below correlator FP %.0f", sc, panda, corr)
+		}
+	}
+
+	// Aggregate headline: strictly fewer noise-scenario FPs overall.
+	corrNoise := metric(t, rep, "noise-scenario FP, corr")
+	pandaNoise := metric(t, rep, "noise-scenario FP, panda")
+	if pandaNoise >= corrNoise {
+		t.Errorf("noise scenarios: panda FP %.0f not strictly below correlator %.0f", pandaNoise, corrNoise)
+	}
+
+	// A quiet fleet must stay quiet under both identifiers.
+	for _, id := range []string{"corr", "panda"} {
+		if fp := metric(t, rep, "quiet "+id+" FP"); fp != 0 {
+			t.Errorf("quiet fleet: %s convicted %v innocents", id, fp)
+		}
+	}
+}

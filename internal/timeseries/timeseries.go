@@ -145,7 +145,11 @@ func Align(a, b *Series, period time.Duration) (av, bv []float64) {
 	}
 	bBuckets := make(map[int64]float64, len(b.points))
 	for _, p := range b.points {
-		bBuckets[p.Time.Truncate(period).UnixNano()] = p.Value
+		key := p.Time.Truncate(period).UnixNano()
+		if _, ok := bBuckets[key]; ok {
+			continue // keep first observation per bucket, like the a side
+		}
+		bBuckets[key] = p.Value
 	}
 	seen := make(map[int64]bool, len(a.points))
 	for _, p := range a.points {

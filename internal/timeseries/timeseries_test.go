@@ -177,6 +177,25 @@ func TestAlignEmpty(t *testing.T) {
 	}
 }
 
+func TestAlignSameBucketKeepsFirstOnBothSides(t *testing.T) {
+	// Two samples per series land in the same minute bucket. Both sides
+	// must keep the FIRST observation: the b side used to keep the last
+	// (later map writes overwrote), silently pairing first-victim with
+	// last-suspect values.
+	a, b := New(), New()
+	_ = a.Append(at(5), 1)   // minute 0, first
+	_ = a.Append(at(40), 2)  // minute 0, second — dropped
+	_ = b.Append(at(10), 10) // minute 0, first
+	_ = b.Append(at(50), 20) // minute 0, second — previously won
+	av, bv := Align(a, b, time.Minute)
+	if len(av) != 1 || len(bv) != 1 {
+		t.Fatalf("aligned %d/%d, want 1/1", len(av), len(bv))
+	}
+	if av[0] != 1 || bv[0] != 10 {
+		t.Errorf("pair = (%v, %v), want (1, 10): first per bucket on both sides", av[0], bv[0])
+	}
+}
+
 func TestAlignProperty(t *testing.T) {
 	// Property: aligned outputs always have equal length ≤ min(lenA, lenB).
 	f := func(offsetsA, offsetsB []uint8) bool {
