@@ -6,21 +6,27 @@
 // Usage:
 //
 //	clustersim [-machines 50] [-duration 1h] [-seed 1] [-workers 0]
-//	           [-metrics-addr :7425] [-report-only] [-feedback]
+//	           [-shards 0] [-metrics-addr :7425] [-report-only] [-feedback]
 //	           [-identifier correlation|panda]
 //	           [-query "SELECT …"] [-chaos "blackout=20m+10m,loss=0.05"]
 //
 // -workers sets how many goroutines tick machines in parallel
 // (0 = GOMAXPROCS). The same seed produces byte-identical output at
 // any worker count, so -workers only changes wall-clock time.
+// -shards partitions the spec tier over a consistent-hash ring of
+// aggregator shards; like -workers it never changes the output, only
+// which failure domains exist for the chaos directives below.
 //
 // -chaos injects a deterministic failure timeline (fed from the same
 // seeded RNG streams as the rest of the simulation): comma-separated
 // directives blackout=OFFSET+DURATION, loss=FRACTION,
-// specdelay=DURATION, crash=MACHINE@OFFSET, spool=N, spoolbytes=N.
-// Offsets count from simulation start (warm-up included). The run
-// prints fault accounting (lost batches, spool drops/replays, crash
-// tallies) alongside the usual summary.
+// specdelay=DURATION, crash=MACHINE@OFFSET, spool=N, spoolbytes=N,
+// shardblackout=SHARD@OFFSET+DURATION, reshard=N>M@OFFSET, and
+// reconnect=DURATION (full-jitter agent reconnect spread after a
+// shard comes back). Offsets count from simulation start (warm-up
+// included). The run prints fault accounting (lost batches, spool
+// drops/replays, crash and shard tallies) alongside the usual
+// summary.
 //
 // Every component shares one metric registry; -metrics-addr exposes
 // it live at /metrics during the run, and a one-line JSON summary of
@@ -47,6 +53,7 @@ func main() {
 	duration := flag.Duration("duration", time.Hour, "simulated duration")
 	seed := flag.Int64("seed", 1, "simulation seed")
 	workers := flag.Int("workers", 0, "parallel tick workers (0 = GOMAXPROCS); output is identical at any value")
+	shards := flag.Int("shards", 0, "spec-tier aggregator shards over a consistent-hash ring (0/1 = single aggregator); output is identical at any value")
 	reportOnly := flag.Bool("report-only", false, "disable automatic capping")
 	feedback := flag.Bool("feedback", false, "enable §9 feedback-driven adaptive throttling")
 	query := flag.String("query", "", "extra forensics query to run at the end")
@@ -77,6 +84,7 @@ func main() {
 		Seed:              *seed,
 		Machines:          *machines,
 		Workers:           *workers,
+		Shards:            *shards,
 		CPUsPerMachine:    16,
 		PlatformBFraction: 0.3,
 		Params: core.Params{
@@ -157,10 +165,12 @@ func main() {
 	if faults != nil {
 		fs := c.FaultStats()
 		fmt.Printf("faults (%s): %d batches lost, %d spooled→replayed, %d spool-dropped, %d still spooled,\n"+
-			"        %d blackout ticks, %d delayed spec pushes, %d crashes (%d tasks lost, %d restarted),\n"+
+			"        %d blackout ticks, %d shard-blackout ticks, %d reshards (%d keys handed off),\n"+
+			"        %d delayed spec pushes, %d crashes (%d tasks lost, %d restarted),\n"+
 			"        %d agent restarts (%d caps re-adopted, %d orphaned), %d corrupt batches (%d samples quarantined)\n",
 			faults, fs.LostBatches, fs.SpoolReplayed, fs.SpoolDropped, fs.SpooledBatches,
-			fs.BlackoutTicks, fs.DelayedSpecPushes, fs.CrashesApplied, fs.TasksLost, fs.TasksRestarted,
+			fs.BlackoutTicks, fs.ShardBlackoutTicks, fs.ReshardsApplied, fs.MovedKeys,
+			fs.DelayedSpecPushes, fs.CrashesApplied, fs.TasksLost, fs.TasksRestarted,
 			fs.RestartsApplied, fs.CapsAdopted, fs.CapsOrphaned, fs.CorruptBatches, fs.Quarantined)
 	}
 	fmt.Println()

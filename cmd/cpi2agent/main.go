@@ -19,10 +19,22 @@
 //	          [-spool-batches 4096] [-spool-bytes 67108864]
 //	          [-identifier correlation|panda]
 //
-// Samples published while the aggregator is unreachable spool in a
-// bounded in-memory buffer (-spool-batches/-spool-bytes, drop-oldest)
-// and replay in order when the redialer reconnects, so an aggregator
-// outage costs nothing but spec staleness.
+// -aggregator takes either a single address (the classic unsharded
+// deployment) or a comma-separated list of shard-name=address pairs
+// naming every shard of a sharded spec tier:
+//
+//	cpi2agent -aggregator shard-0=host1:7421,shard-1=host2:7421
+//
+// The shard names form the same consistent-hash ring the aggregators
+// were started with (-shard-id/-ring), so each sample batch is
+// partitioned to the shard owning its job×platform key, and each shard
+// gets its own redialer and spool — a dead shard costs spec staleness
+// for its keys only, while publishing to the others continues.
+//
+// Samples published while an aggregator is unreachable spool in a
+// bounded in-memory buffer (-spool-batches/-spool-bytes per shard,
+// drop-oldest) and replay in order when the redialer reconnects, so an
+// aggregator outage costs nothing but spec staleness.
 //
 // The admin HTTP server on -metrics-addr serves /metrics (Prometheus
 // text format), /healthz, /buildinfo, /debug/incidents, /debug/specs,
@@ -38,6 +50,7 @@ import (
 	"net/url"
 	"os"
 	"os/signal"
+	"strings"
 	"sync"
 	"syscall"
 	"time"
@@ -54,8 +67,41 @@ import (
 	"repro/internal/workload"
 )
 
+// endpoint is one -aggregator entry: a shard name (empty in the
+// unsharded single-aggregator deployment) and its dial address.
+type endpoint struct {
+	name, addr string
+}
+
+// parseAggregators parses the -aggregator flag: either one bare
+// address, or a comma-separated list of shard-name=address pairs in
+// which every entry is named and names are unique (they are the ring
+// members, so they must match the aggregators' -shard-id flags).
+func parseAggregators(s string) ([]endpoint, error) {
+	parts := strings.Split(s, ",")
+	if len(parts) == 1 && !strings.Contains(parts[0], "=") {
+		return []endpoint{{addr: strings.TrimSpace(parts[0])}}, nil
+	}
+	seen := make(map[string]bool, len(parts))
+	eps := make([]endpoint, 0, len(parts))
+	for _, p := range parts {
+		p = strings.TrimSpace(p)
+		name, addr, ok := strings.Cut(p, "=")
+		if !ok || name == "" || addr == "" {
+			return nil, fmt.Errorf("entry %q: want shard-name=address", p)
+		}
+		if seen[name] {
+			return nil, fmt.Errorf("duplicate shard name %q", name)
+		}
+		seen[name] = true
+		eps = append(eps, endpoint{name: name, addr: addr})
+	}
+	return eps, nil
+}
+
 func main() {
-	aggregator := flag.String("aggregator", "", "cpi2aggregator address (empty: local detection only)")
+	aggregator := flag.String("aggregator", "",
+		"cpi2aggregator address, or comma-separated shard-name=address pairs for a sharded spec tier (empty: local detection only)")
 	control := flag.String("control", ":7422", "operator control address (empty: disabled)")
 	metricsAddr := flag.String("metrics-addr", ":7423", "admin HTTP address for /metrics and /debug (empty: disabled)")
 	incidentLog := flag.String("incident-log", "", "append structured events as JSON lines to this file (empty: in-memory only)")
@@ -110,34 +156,74 @@ func main() {
 	// One span ring for the whole daemon: sample/detect/decision spans
 	// from the agent, spec_recv from pushes, spool from replays.
 	tr := trace.NewStore(0)
-	var sp *pipeline.Spooler
+	var spoolers []*pipeline.Spooler
+	var redialers []*pipeline.Redialer
 
 	if *aggregator != "" {
-		// The redialer survives aggregator restarts: it re-dials with
-		// backoff and replays the subscription.
-		rd := pipeline.NewRedialer(*aggregator, func(s model.Spec) {
-			a.DeliverSpec(s)
-			log.Printf("spec push: %s CPI %.3f ± %.3f", s.Key(), s.CPIMean, s.CPIStddev)
-		})
-		rd.SetMetrics(pipeline.NewMetrics(reg))
-		rd.SetEvents(events)
-		if err := rd.Subscribe(); err != nil {
-			log.Printf("cpi2agent: subscribe: %v", err)
+		endpoints, err := parseAggregators(*aggregator)
+		if err != nil {
+			log.Fatalf("cpi2agent: -aggregator: %v", err)
 		}
-		defer rd.Close()
-		// The spool rides between the agent and the redialer: while the
-		// aggregator is down, sample batches buffer (bounded, drop-oldest)
-		// instead of vanishing, and replay in order on reconnect.
-		sp = pipeline.NewSpooler(rd, pipeline.SpoolConfig{
-			MaxBatches: *spoolBatches,
-			MaxBytes:   *spoolBytes,
-		})
-		sp.SetMetrics(pipeline.NewMetrics(reg))
-		sp.SetTrace(tr)
-		sp.Start()
-		rd.SetOnConnect(sp.Kick)
-		sink = sp
-		defer sp.Close()
+		pm := pipeline.NewMetrics(reg)
+		// One redialer+spool chain per aggregator: the redialer survives
+		// restarts (re-dials with backoff, replays the subscription), and
+		// the spool buffers sample batches (bounded, drop-oldest) while
+		// that aggregator is down, replaying in order on reconnect.
+		newChain := func(ep endpoint) *pipeline.Spooler {
+			rd := pipeline.NewRedialer(ep.addr, func(s model.Spec) {
+				a.DeliverSpec(s)
+				log.Printf("spec push: %s CPI %.3f ± %.3f", s.Key(), s.CPIMean, s.CPIStddev)
+			})
+			rd.SetMetrics(pm)
+			rd.SetEvents(events)
+			rd.SetShard(ep.name)
+			if err := rd.Subscribe(); err != nil {
+				log.Printf("cpi2agent: subscribe %s: %v", ep.addr, err)
+			}
+			sp := pipeline.NewSpooler(rd, pipeline.SpoolConfig{
+				MaxBatches: *spoolBatches,
+				MaxBytes:   *spoolBytes,
+			})
+			sp.SetMetrics(pm)
+			sp.SetTrace(tr)
+			sp.Start()
+			rd.SetOnConnect(sp.Kick)
+			redialers = append(redialers, rd)
+			spoolers = append(spoolers, sp)
+			return sp
+		}
+		if len(endpoints) == 1 && endpoints[0].name == "" {
+			sink = newChain(endpoints[0])
+		} else {
+			// Sharded spec tier: hash each batch over the shard-name ring
+			// (the same ring the aggregators run) so every sample reaches
+			// exactly the shard owning its job×platform key. A dead shard
+			// spools its own keys only; the rest keep flowing.
+			names := make([]string, len(endpoints))
+			for i, ep := range endpoints {
+				names[i] = ep.name
+			}
+			ring := pipeline.NewRing(names, 0)
+			sinks := make(map[string]pipeline.SampleSink, len(endpoints))
+			for _, ep := range endpoints {
+				sinks[ep.name] = newChain(ep)
+			}
+			router, err := pipeline.NewRouter(ring, sinks)
+			if err != nil {
+				log.Fatalf("cpi2agent: -aggregator: %v", err)
+			}
+			sink = router
+			log.Printf("cpi2agent: sharded spec tier: %d shards (%s)",
+				len(endpoints), strings.Join(names, ", "))
+		}
+		defer func() {
+			for _, sp := range spoolers {
+				sp.Close()
+			}
+			for _, rd := range redialers {
+				rd.Close()
+			}
+		}()
 	}
 	a = agent.New(m, params, sink)
 	a.Instrument(reg, events)
@@ -290,12 +376,12 @@ func main() {
 		m.Tick(now, time.Second)
 		incidents := a.Tick(now)
 		state.Unlock()
-		if sp != nil {
-			// Caller-paced replay on the simulated clock, alongside the
-			// Start loop's backoff-paced drains: only this path can stamp
-			// spool spans with the spool-induced delay, because only the
-			// tick loop knows simulated time (sample timestamps are
-			// simulated too, so mixing in wall time would be nonsense).
+		// Caller-paced replay on the simulated clock, alongside the
+		// Start loops' backoff-paced drains: only this path can stamp
+		// spool spans with the spool-induced delay, because only the
+		// tick loop knows simulated time (sample timestamps are
+		// simulated too, so mixing in wall time would be nonsense).
+		for _, sp := range spoolers {
 			_, _ = sp.TryDrainAt(now)
 		}
 		for _, inc := range incidents {

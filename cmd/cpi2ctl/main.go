@@ -13,11 +13,18 @@
 //	cpi2ctl [-agent host:7422] release-all
 //	cpi2ctl [-agent host:7422] incidents [n]
 //	cpi2ctl [-agent host:7422] trace <trace-id|job/index>
+//	cpi2ctl shards <admin-addr>[,<admin-addr>…]
 //
 // trace renders the causal chain behind a trace context — sample →
 // spool → detection → decision spans plus the incidents they produced
 // — answering "why was this task capped?". Given a task ID it starts
 // from the most recent incident involving that task.
+//
+// shards queries each listed aggregator's /debug/ring admin endpoint
+// and renders the spec tier in one table: shard identity, key count,
+// keys hashing off-shard (nonzero mid-reshard), last recompute/push,
+// and checkpoint age — and warns when instances disagree about ring
+// membership, the condition that makes agents misroute.
 //
 // With -metrics, status reads the daemon's admin HTTP server instead
 // of the control port: it summarises /metrics (every cpi2_* series,
@@ -44,7 +51,7 @@ import (
 )
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: cpi2ctl [-agent host:7422] [-metrics host:7423] <status|tasks|caps|cap|uncap|release-all|incidents|trace> [args…]")
+	fmt.Fprintln(os.Stderr, "usage: cpi2ctl [-agent host:7422] [-metrics host:7423] <status|tasks|caps|cap|uncap|release-all|incidents|trace|shards> [args…]")
 	os.Exit(2)
 }
 
@@ -58,6 +65,16 @@ func main() {
 		usage()
 	}
 	cmd := strings.ToUpper(args[0])
+	if cmd == "SHARDS" {
+		if len(args) != 2 {
+			usage()
+		}
+		if err := shardsStatus(strings.Split(args[1], ","), *timeout); err != nil {
+			fmt.Fprintf(os.Stderr, "cpi2ctl: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if cmd == "STATUS" && *metrics != "" {
 		if err := httpStatus(*metrics, *timeout); err != nil {
 			fmt.Fprintf(os.Stderr, "cpi2ctl: %v\n", err)
@@ -125,6 +142,109 @@ func main() {
 		}
 		fmt.Println(l)
 	}
+}
+
+// ringInfo mirrors cpi2aggregator's /debug/ring payload.
+type ringInfo struct {
+	Shard         string         `json:"shard"`
+	Sharded       bool           `json:"sharded"`
+	KeyCount      int            `json:"key_count"`
+	LastRecompute time.Time      `json:"last_recompute"`
+	LastPush      time.Time      `json:"last_push"`
+	Members       []string       `json:"members"`
+	KeysByMember  map[string]int `json:"keys_by_member"`
+	Checkpoint    string         `json:"checkpoint"`
+	CkptAge       float64        `json:"checkpoint_age_seconds"`
+}
+
+// shardsStatus renders a one-table view of the sharded spec tier from
+// each aggregator's /debug/ring, flagging unreachable instances, keys
+// hashing off-shard (pending moves mid-reshard), and ring-membership
+// disagreement between instances.
+func shardsStatus(addrs []string, timeout time.Duration) error {
+	client := &http.Client{Timeout: timeout}
+	fmt.Printf("%-12s %-22s %6s %10s  %-20s %-20s %s\n",
+		"SHARD", "ADDR", "KEYS", "OFF-SHARD", "LAST-RECOMPUTE", "LAST-PUSH", "CHECKPOINT")
+	var firstRing []string
+	var firstAddr string
+	var warnings []string
+	reached := 0
+	for _, addr := range addrs {
+		addr = strings.TrimSpace(addr)
+		if addr == "" {
+			continue
+		}
+		body, err := httpGet(client, "http://"+addr+"/debug/ring")
+		if err != nil {
+			fmt.Printf("%-12s %-22s %s\n", "?", addr, "UNREACHABLE: "+err.Error())
+			continue
+		}
+		var info ringInfo
+		if err := json.Unmarshal([]byte(body), &info); err != nil {
+			return fmt.Errorf("%s: bad /debug/ring payload: %w", addr, err)
+		}
+		reached++
+		name := info.Shard
+		if name == "" {
+			name = "(unsharded)"
+		}
+		offShard := 0
+		for member, n := range info.KeysByMember {
+			if member != info.Shard {
+				offShard += n
+			}
+		}
+		ckpt := "-"
+		if info.Checkpoint != "" {
+			ckpt = fmt.Sprintf("%s (age %s)", info.Checkpoint, time.Duration(info.CkptAge*float64(time.Second)).Round(time.Second))
+		}
+		fmt.Printf("%-12s %-22s %6d %10d  %-20s %-20s %s\n",
+			name, addr, info.KeyCount, offShard,
+			timeCell(info.LastRecompute), timeCell(info.LastPush), ckpt)
+		if info.Sharded {
+			if firstRing == nil {
+				firstRing, firstAddr = info.Members, addr
+			} else if !equalStrings(firstRing, info.Members) {
+				warnings = append(warnings, fmt.Sprintf(
+					"ring disagreement: %s sees %v, %s sees %v — agents will misroute until the fleet converges",
+					firstAddr, firstRing, addr, info.Members))
+			}
+		}
+	}
+	if firstRing != nil {
+		fmt.Printf("\nring: %s\n", strings.Join(firstRing, ", "))
+		if reached < len(firstRing) {
+			warnings = append(warnings, fmt.Sprintf(
+				"ring has %d members but only %d instance(s) were queried/reachable", len(firstRing), reached))
+		}
+	}
+	for _, w := range warnings {
+		fmt.Println("warning: " + w)
+	}
+	if reached == 0 {
+		return fmt.Errorf("no aggregator reachable")
+	}
+	return nil
+}
+
+// timeCell renders a timestamp for the shards table ("-" when zero).
+func timeCell(t time.Time) string {
+	if t.IsZero() {
+		return "-"
+	}
+	return t.UTC().Format("2006-01-02T15:04:05Z")
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // httpStatus summarises a daemon's admin HTTP endpoints.

@@ -21,7 +21,7 @@ func loadRepoTree(t *testing.T) *Tree {
 }
 
 // TestLoadRepoTree pins the committed seed tree's shape: both classes
-// load, every case validates, and the ci-small class carries the four
+// load, every case validates, and the ci-small class carries the five
 // canonical scenarios.
 func TestLoadRepoTree(t *testing.T) {
 	tree := loadRepoTree(t)
@@ -29,7 +29,7 @@ func TestLoadRepoTree(t *testing.T) {
 		t.Fatalf("classes = %v, want [ci-small typical]", tree.Order)
 	}
 	ci := tree.Classes["ci-small"]
-	wantCases := []string{"antagonist_heavy", "blackout_chaos", "quiet_fleet", "restart_chaos"}
+	wantCases := []string{"antagonist_heavy", "blackout_chaos", "quiet_fleet", "restart_chaos", "shard_blackout"}
 	if len(ci.Cases) != len(wantCases) {
 		t.Fatalf("ci-small has %d cases, want %d", len(ci.Cases), len(wantCases))
 	}

@@ -68,6 +68,11 @@ type Fleet struct {
 	PlatformBFraction float64
 	// Workers is the cluster's parallel tick width (0 = GOMAXPROCS).
 	Workers int
+	// Shards is the number of spec-tier aggregator shards the fleet
+	// hashes job×platform keys over (0 or 1 = the classic single
+	// aggregator). Needed by cases whose chaos plan blacks out or
+	// reshards the spec tier.
+	Shards int
 }
 
 // WorkloadEntry is one declarative element of a case's workload mix,
@@ -192,7 +197,7 @@ func (cs *Case) Validate() error {
 	if cs.Fleet.Machines <= 0 {
 		bad("fleet.machines must be positive")
 	}
-	if cs.Fleet.CPUsPerMachine < 0 || cs.Fleet.Workers < 0 {
+	if cs.Fleet.CPUsPerMachine < 0 || cs.Fleet.Workers < 0 || cs.Fleet.Shards < 0 {
 		bad("negative fleet field")
 	}
 	if cs.Fleet.PlatformBFraction < 0 || cs.Fleet.PlatformBFraction > 1 {
@@ -298,6 +303,7 @@ func decodeCase(dirName string, n yNode) (*Case, error) {
 			CPUsPerMachine:    fd.intval("cpus_per_machine", 16),
 			PlatformBFraction: fd.float("platform_b_fraction", 0),
 			Workers:           fd.intval("workers", 0),
+			Shards:            fd.intval("shards", 0),
 		}
 		if err := fd.finish(); err != nil {
 			d.errs = append(d.errs, err)

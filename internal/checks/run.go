@@ -61,6 +61,7 @@ func RunCase(mc *MachineClass, cs *Case, opts RunOptions) (*Verdict, error) {
 		CPUsPerMachine:    cs.Fleet.CPUsPerMachine,
 		PlatformBFraction: cs.Fleet.PlatformBFraction,
 		Workers:           workers,
+		Shards:            cs.Fleet.Shards,
 		TickInterval:      cs.Tick,
 		Params: core.Params{
 			MinSamplesPerTask: cs.MinSamplesPerTask,

@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/agent"
 	"repro/internal/model"
+	"repro/internal/pipeline"
 )
 
 // Window is a half-open interval of simulation time, as offsets from
@@ -44,6 +45,30 @@ type CrashEvent struct {
 type RestartEvent struct {
 	At      time.Duration
 	Machine string
+}
+
+// ShardBlackoutEvent takes ONE aggregator shard offline for a window:
+// sample batches routed to that shard spool on each machine, its spec
+// recompute stalls (staleness grows for its keys only), and every
+// other shard keeps building, pushing, and capping normally. This is
+// the failure-domain payoff of sharding the spec tier — the blast
+// radius of an aggregator loss shrinks from "every job" to "the jobs
+// this shard owns".
+type ShardBlackoutEvent struct {
+	Shard  int
+	Window Window
+}
+
+// ReshardEvent changes the live shard count From→To at an offset:
+// new shards spin up (or retiring ones drain), the consistent-hash
+// ring is rebuilt, and only the moved keys' builder state is handed
+// off through the checkpoint machinery — specs stay byte-identical
+// across the split. From must match the live shard count at At (the
+// events chain: Config.Shards → first event's From, its To → the next
+// event's From, …).
+type ReshardEvent struct {
+	At       time.Duration
+	From, To int
 }
 
 // SkewEvent gives one machine's agent a constant clock offset: the
@@ -88,6 +113,19 @@ type FaultPlan struct {
 	// must quarantine every one of them; specs stay byte-identical to a
 	// corruption-free run. 0 ≤ CorruptRate ≤ 1.
 	CorruptRate float64
+	// ShardBlackouts take individual aggregator shards offline (needs
+	// Config.Shards > 1 to be interesting; a shard index with no live
+	// shard behind it simply never fires).
+	ShardBlackouts []ShardBlackoutEvent
+	// Reshards are live shard-count changes (see ReshardEvent).
+	Reshards []ReshardEvent
+	// ReconnectSpread bounds the full-jitter reconnect delay each
+	// machine draws when a blacked-out shard comes back: machine i's
+	// link to the recovered shard stays closed for uniform(0,
+	// ReconnectSpread] — decorrelated via the per-machine fault RNG
+	// stream, so the fleet does not thunder back in lockstep. Default
+	// 5s.
+	ReconnectSpread time.Duration
 	// Skews are per-machine agent clock offsets.
 	Skews []SkewEvent
 	// SpoolBatches / SpoolBytes budget each machine's sample spool
@@ -134,6 +172,25 @@ func (p *FaultPlan) Validate() error {
 	if !(p.CorruptRate >= 0 && p.CorruptRate <= 1) { // rejects NaN too
 		return fmt.Errorf("cluster: corrupt rate %v outside [0,1]", p.CorruptRate)
 	}
+	for _, sb := range p.ShardBlackouts {
+		if sb.Shard < 0 {
+			return fmt.Errorf("cluster: shard blackout of negative shard %d", sb.Shard)
+		}
+		if sb.Window.From < 0 || sb.Window.To <= sb.Window.From {
+			return fmt.Errorf("cluster: bad shard blackout window %v..%v", sb.Window.From, sb.Window.To)
+		}
+	}
+	for _, rs := range p.Reshards {
+		if rs.At < 0 {
+			return fmt.Errorf("cluster: reshard at negative offset %v", rs.At)
+		}
+		if rs.From < 1 || rs.To < 1 {
+			return fmt.Errorf("cluster: reshard %d>%d needs at least one shard on both sides", rs.From, rs.To)
+		}
+	}
+	if p.ReconnectSpread < 0 {
+		return errors.New("cluster: negative reconnect spread")
+	}
 	for _, sk := range p.Skews {
 		if sk.Machine == "" {
 			return errors.New("cluster: skew with empty machine name")
@@ -167,6 +224,15 @@ func (p *FaultPlan) String() string {
 	if p.CorruptRate > 0 {
 		parts = append(parts, "corrupt="+strconv.FormatFloat(p.CorruptRate, 'g', -1, 64))
 	}
+	for _, sb := range p.ShardBlackouts {
+		parts = append(parts, fmt.Sprintf("shardblackout=%d@%s", sb.Shard, sb.Window.String()))
+	}
+	for _, rs := range p.Reshards {
+		parts = append(parts, fmt.Sprintf("reshard=%d>%d@%s", rs.From, rs.To, rs.At))
+	}
+	if p.ReconnectSpread > 0 {
+		parts = append(parts, "reconnect="+p.ReconnectSpread.String())
+	}
 	for _, sk := range p.Skews {
 		parts = append(parts, fmt.Sprintf("skew=%s@%s", sk.Machine, sk.Offset))
 	}
@@ -191,6 +257,14 @@ func (p *FaultPlan) String() string {
 //	                           (repeatable)
 //	corrupt=FRACTION           per-machine per-tick garbage-batch
 //	                           injection probability in [0,1]
+//	shardblackout=S@OFF+DUR    one aggregator shard offline for the
+//	                           window; other shards unaffected
+//	                           (repeatable)
+//	reshard=N>M@OFFSET         live shard-count change with checkpoint
+//	                           handoff of moved keys ("N→M" also
+//	                           accepted; repeatable, must chain)
+//	reconnect=DURATION         full-jitter reconnect spread after a
+//	                           shard blackout lifts (default 5s)
 //	skew=MACHINE@±DURATION     agent clock offset (repeatable)
 //	spool=N                    per-machine spool budget, batches
 //	spoolbytes=N               per-machine spool budget, bytes
@@ -261,6 +335,61 @@ func ParseFaultPlan(s string) (*FaultPlan, error) {
 				return nil, fmt.Errorf("cluster: corrupt: %w", err)
 			}
 			p.CorruptRate = f
+		case "shardblackout":
+			shard, win, ok := strings.Cut(val, "@")
+			if !ok {
+				return nil, fmt.Errorf("cluster: shardblackout %q is not SHARD@OFFSET+DURATION", val)
+			}
+			n, err := strconv.Atoi(shard)
+			if err != nil {
+				return nil, fmt.Errorf("cluster: shardblackout shard: %w", err)
+			}
+			from, dur, ok := strings.Cut(win, "+")
+			if !ok {
+				return nil, fmt.Errorf("cluster: shardblackout window %q is not OFFSET+DURATION", win)
+			}
+			f, err := time.ParseDuration(from)
+			if err != nil {
+				return nil, fmt.Errorf("cluster: shardblackout offset: %w", err)
+			}
+			d, err := time.ParseDuration(dur)
+			if err != nil {
+				return nil, fmt.Errorf("cluster: shardblackout duration: %w", err)
+			}
+			p.ShardBlackouts = append(p.ShardBlackouts, ShardBlackoutEvent{
+				Shard: n, Window: Window{From: f, To: f + d},
+			})
+		case "reshard":
+			split, at, ok := strings.Cut(val, "@")
+			if !ok {
+				return nil, fmt.Errorf("cluster: reshard %q is not N>M@OFFSET", val)
+			}
+			fromS, toS, ok := strings.Cut(split, ">")
+			if !ok {
+				fromS, toS, ok = strings.Cut(split, "→")
+			}
+			if !ok {
+				return nil, fmt.Errorf("cluster: reshard %q is not N>M@OFFSET", val)
+			}
+			from, err := strconv.Atoi(fromS)
+			if err != nil {
+				return nil, fmt.Errorf("cluster: reshard from: %w", err)
+			}
+			to, err := strconv.Atoi(toS)
+			if err != nil {
+				return nil, fmt.Errorf("cluster: reshard to: %w", err)
+			}
+			d, err := time.ParseDuration(at)
+			if err != nil {
+				return nil, fmt.Errorf("cluster: reshard offset: %w", err)
+			}
+			p.Reshards = append(p.Reshards, ReshardEvent{At: d, From: from, To: to})
+		case "reconnect":
+			d, err := time.ParseDuration(val)
+			if err != nil {
+				return nil, fmt.Errorf("cluster: reconnect: %w", err)
+			}
+			p.ReconnectSpread = d
 		case "skew":
 			mach, off, ok := strings.Cut(val, "@")
 			if !ok || mach == "" {
@@ -305,6 +434,14 @@ type FaultStats struct {
 	SpooledBatches int64
 	// BlackoutTicks counts simulation ticks spent inside a blackout.
 	BlackoutTicks int64
+	// ShardBlackoutTicks counts (tick × down shard) pairs spent inside
+	// shard blackouts — two shards down for one tick counts 2.
+	ShardBlackoutTicks int64
+	// ReshardsApplied / MovedKeys account executed ReshardEvents: how
+	// many ring changes ran and how many job×platform keys were handed
+	// off between shards (checkpoint frames, not re-aggregation).
+	ReshardsApplied int
+	MovedKeys       int
 	// DelayedSpecPushes counts spec-push rounds deferred by
 	// SpecPushDelay and later delivered.
 	DelayedSpecPushes int64
@@ -328,35 +465,56 @@ type FaultStats struct {
 }
 
 // errAggregatorDown is what machine links report during a blackout;
-// spools react by buffering.
-var errAggregatorDown = errors.New("cluster: aggregator blackout")
+// spools react by buffering. errShardDown and errReconnectBackoff are
+// the per-shard analogues: the target shard is blacked out, or its
+// blackout just lifted and this machine's jittered reconnect window
+// has not opened yet.
+var (
+	errAggregatorDown   = errors.New("cluster: aggregator blackout")
+	errShardDown        = errors.New("cluster: shard blackout")
+	errReconnectBackoff = errors.New("cluster: reconnect backoff")
+)
 
-// chaosLink sits between a machine's spool and the bus: it refuses
-// batches during aggregator blackouts (so the spool buffers them) and
+// chaosLink sits between a machine's per-shard spool and that shard's
+// bus: it refuses batches during blackouts — global, per-shard, or a
+// not-yet-elapsed reconnect backoff — so the spool buffers them, and
 // silently loses a SampleLoss fraction otherwise. It is only invoked
 // from the serial commit phase, so it may touch cluster-shared fault
 // state and its per-machine RNG without locks — and stays
 // deterministic at any worker count.
 type chaosLink struct {
-	c   *Cluster
-	rng *rand.Rand
+	c       *Cluster
+	rng     *rand.Rand
+	machine int
+	shard   int
 }
 
 func (l *chaosLink) Publish(samples []model.Sample) error {
-	if l.c.blackout {
+	c := l.c
+	if c.blackout {
 		return errAggregatorDown
 	}
-	if p := l.c.cfg.Faults.SampleLoss; p > 0 && l.rng.Float64() < p {
-		l.c.fstats.LostBatches++
+	if c.shardDown != nil && l.shard < len(c.shardDown) && c.shardDown[l.shard] {
+		return errShardDown
+	}
+	if c.reconnectUntil != nil {
+		if until := c.reconnectUntil[l.machine*c.shards+l.shard]; c.now.Before(until) {
+			return errReconnectBackoff
+		}
+	}
+	if p := c.cfg.Faults.SampleLoss; p > 0 && l.rng.Float64() < p {
+		c.fstats.LostBatches++
 		return nil // eaten by the pipe: at-most-once, loss is not an error
 	}
-	return l.c.bus.Publish(samples)
+	return c.buses[l.shard].Publish(samples)
 }
 
-// delayedSpecs is one recompute round waiting out SpecPushDelay.
+// delayedSpecs is one recompute round waiting out SpecPushDelay; shard
+// records which bus must eventually push it.
 type delayedSpecs struct {
 	at    time.Time
 	specs []model.Spec
+	shard int
 }
 
 // sortedCrashes returns the plan's crashes ordered by (At, Machine) so
@@ -368,6 +526,22 @@ func (p *FaultPlan) sortedCrashes() []CrashEvent {
 			return out[i].At < out[j].At
 		}
 		return out[i].Machine < out[j].Machine
+	})
+	return out
+}
+
+// sortedReshards orders the plan's reshard events by (At, From, To) so
+// application order is deterministic regardless of plan order.
+func (p *FaultPlan) sortedReshards() []ReshardEvent {
+	out := append([]ReshardEvent(nil), p.Reshards...)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].At != out[j].At {
+			return out[i].At < out[j].At
+		}
+		if out[i].From != out[j].From {
+			return out[i].From < out[j].From
+		}
+		return out[i].To < out[j].To
 	})
 	return out
 }
@@ -419,6 +593,14 @@ func garbageSample(rng *rand.Rand, machineName string, now time.Time) model.Samp
 // commit phase, before queues drain.
 func (c *Cluster) applyFaultTimeline(now time.Time) {
 	offset := now.Sub(c.cfg.Start)
+
+	// Reshards first: every later fault decision this tick (shard
+	// blackout flags, routing, spool drains) must see the new ring.
+	for c.reshardIdx < len(c.reshards) && c.reshards[c.reshardIdx].At <= offset {
+		c.applyReshard(c.reshards[c.reshardIdx])
+		c.reshardIdx++
+	}
+
 	was := c.blackout
 	c.blackout = false
 	for _, w := range c.cfg.Faults.AggregatorBlackouts {
@@ -436,6 +618,43 @@ func (c *Cluster) applyFaultTimeline(now time.Time) {
 			typ = "blackout_start"
 		}
 		c.cfg.Events.Emit(now, typ, map[string]string{"offset": offset.String()})
+	}
+
+	// Per-shard blackout flags, with full-jitter reconnect draws on the
+	// down→up transition: every machine's link to the recovered shard
+	// stays closed for uniform(0, ReconnectSpread], drawn from its own
+	// fault RNG stream in machine-index order — deterministic at any
+	// worker count, decorrelated across machines.
+	for s := 0; s < c.shards; s++ {
+		down := false
+		for _, sb := range c.cfg.Faults.ShardBlackouts {
+			if sb.Shard == s && sb.Window.contains(offset) {
+				down = true
+				break
+			}
+		}
+		if down {
+			c.fstats.ShardBlackoutTicks++
+		}
+		if down != c.prevShardDown[s] {
+			typ := "shard_blackout_end"
+			if down {
+				typ = "shard_blackout_start"
+			}
+			c.cfg.Events.Emit(now, typ, map[string]any{"shard": s, "offset": offset.String()})
+			if !down {
+				spread := c.cfg.Faults.ReconnectSpread
+				if spread <= 0 {
+					spread = 5 * time.Second
+				}
+				for i := range c.machs {
+					d := pipeline.FullJitterBackoff(0, spread, spread, c.faultRNGs[i].Float64())
+					c.reconnectUntil[i*c.shards+s] = now.Add(d)
+				}
+			}
+		}
+		c.shardDown[s] = down
+		c.prevShardDown[s] = down
 	}
 
 	for c.crashIdx < len(c.crashes) && c.crashes[c.crashIdx].At <= offset {
@@ -470,7 +689,13 @@ func (c *Cluster) applyFaultTimeline(now time.Time) {
 	}
 
 	for len(c.delayed) > 0 && !c.delayed[0].at.After(now) {
-		c.bus.Push(c.delayed[0].specs)
+		// A reshard may have retired the shard that built the delayed
+		// batch; clamp to a live bus — the watchers are the same set.
+		s := c.delayed[0].shard
+		if s >= len(c.buses) {
+			s = len(c.buses) - 1
+		}
+		c.buses[s].Push(c.delayed[0].specs)
 		c.fstats.DelayedSpecPushes++
 		c.delayed = c.delayed[1:]
 	}
@@ -489,7 +714,9 @@ func (c *Cluster) applyFaultTimeline(now time.Time) {
 func (c *Cluster) restartAgent(i int, now time.Time) (adopted, orphaned int) {
 	m := c.machs[i]
 	old := c.agents[i]
-	c.bus.Unwatch(old)
+	for _, bus := range c.buses {
+		bus.Unwatch(old)
+	}
 
 	a := agent.New(m, c.cfg.Params, c.queues[i])
 	// The span store survives the restart (it models central ring
@@ -514,9 +741,11 @@ func (c *Cluster) restartAgent(i int, now time.Time) (adopted, orphaned int) {
 	for _, id := range m.Tasks() {
 		a.RegisterTask(id, m.Task(id).Job)
 	}
-	for _, spec := range c.bus.Builder().Specs() {
-		if a.WantSpec(spec.Key()) {
-			a.DeliverSpec(spec)
+	for _, bus := range c.buses {
+		for _, spec := range bus.Builder().Specs() {
+			if a.WantSpec(spec.Key()) {
+				a.DeliverSpec(spec)
+			}
 		}
 	}
 	j := c.journals[i]
@@ -524,7 +753,9 @@ func (c *Cluster) restartAgent(i int, now time.Time) (adopted, orphaned int) {
 	ad, or := a.Reconcile(now, j.Entries())
 	c.agents[i] = a
 	c.agent[m.Name()] = a
-	c.bus.Watch(a)
+	for _, bus := range c.buses {
+		bus.Watch(a)
+	}
 	return len(ad), len(or)
 }
 
@@ -538,7 +769,7 @@ func (c *Cluster) FaultStats() FaultStats {
 		st.SpoolReplayed += s.Replayed
 		st.SpooledBatches += int64(s.Batches)
 	}
-	if v := c.bus.Validator(); v != nil {
+	if v := c.buses[0].Validator(); v != nil {
 		st.Quarantined = v.Quarantine.Total()
 	}
 	return st

@@ -427,7 +427,8 @@ func TestChaosDeterminismAcrossWorkerCounts(t *testing.T) {
 
 func TestParseFaultPlan(t *testing.T) {
 	p, err := ParseFaultPlan("blackout=30m+10m,loss=0.05,specdelay=2m,crash=machine-0003@20m," +
-		"restart=machine-0001@25m,corrupt=0.02,skew=machine-0002@-30s,spool=256,spoolbytes=1048576")
+		"restart=machine-0001@25m,corrupt=0.02,skew=machine-0002@-30s,spool=256,spoolbytes=1048576," +
+		"shardblackout=2@35m+5m,reshard=1>4@15m,reconnect=3s")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -441,6 +442,9 @@ func TestParseFaultPlan(t *testing.T) {
 		Skews:               []SkewEvent{{Machine: "machine-0002", Offset: -30 * time.Second}},
 		SpoolBatches:        256,
 		SpoolBytes:          1 << 20,
+		ShardBlackouts:      []ShardBlackoutEvent{{Shard: 2, Window: Window{From: 35 * time.Minute, To: 40 * time.Minute}}},
+		Reshards:            []ReshardEvent{{At: 15 * time.Minute, From: 1, To: 4}},
+		ReconnectSpread:     3 * time.Second,
 	}
 	if !reflect.DeepEqual(p, want) {
 		t.Errorf("parsed %+v, want %+v", p, want)
@@ -462,6 +466,9 @@ func TestParseFaultPlan(t *testing.T) {
 		"restart=@10m", "restart=machine-1", "restart=m@-5m",
 		"corrupt=2", "corrupt=x", "corrupt=-0.1",
 		"skew=@30s", "skew=machine-1", "skew=m@bogus",
+		"shardblackout=10m+5m", "shardblackout=-1@10m+5m", "shardblackout=x@10m+5m",
+		"reshard=4@10m", "reshard=0>4@10m", "reshard=1>0@10m", "reshard=1>4@-1m", "reshard=a>b@10m",
+		"reconnect=-1s", "reconnect=x",
 	} {
 		if _, err := ParseFaultPlan(bad); err == nil {
 			t.Errorf("accepted %q", bad)
@@ -477,6 +484,8 @@ func FuzzFaultPlanParse(f *testing.F) {
 	f.Add("loss=1")
 	f.Add("blackout=0s+1s,blackout=5s+1s")
 	f.Add("crash=a@0s,crash=b@0s,spoolbytes=9223372036854775807")
+	f.Add("shardblackout=0@10m+5m,shardblackout=3@1s+1s,reshard=1>4@15m,reconnect=3s")
+	f.Add("reshard=4>2@0s,reshard=1→4@1h")
 	f.Fuzz(func(t *testing.T, s string) {
 		p, err := ParseFaultPlan(s)
 		if err != nil {

@@ -55,6 +55,14 @@ type Config struct {
 	// task capped that many times is killed and restarted on a
 	// different machine ("our version of task migration").
 	AutoMigrateAfterCaps int
+	// Shards is the number of spec-aggregator shards (default 1). With
+	// N > 1 the spec tier splits behind a consistent-hash ring over
+	// job×platform keys: each shard runs its own SpecBuilder and bus,
+	// owns a stable subset of keys, and fails independently — a
+	// blacked-out shard degrades only its own jobs' specs. Because every
+	// per-key aggregate is independent, the merged spec table is
+	// byte-identical to a single-shard run at any shard count.
+	Shards int
 	// Workers is the number of goroutines ticking machines in
 	// parallel during Step's parallel phase (default GOMAXPROCS).
 	// Results are committed in machine-index order regardless, so the
@@ -102,6 +110,9 @@ func (c Config) withDefaults() Config {
 	if c.TickInterval <= 0 {
 		c.TickInterval = time.Second
 	}
+	if c.Shards <= 0 {
+		c.Shards = 1
+	}
 	if c.Workers <= 0 {
 		c.Workers = runtime.GOMAXPROCS(0)
 	}
@@ -143,10 +154,27 @@ type Cluster struct {
 	sched *scheduler.Scheduler
 	mach  map[string]*machine.Machine
 	agent map[string]*agent.Agent
-	bus   *pipeline.Bus
 	store *forensics.Store
 	jobs  map[model.JobName]*JobDef
 	now   time.Time
+
+	// Sharded spec tier: buses[s] is shard s's aggregator (bus + spec
+	// builder). shards is the LIVE shard count — a reshard event changes
+	// it mid-run. ring maps spec keys to shard indices (nil when shards
+	// == 1: everything goes to buses[0] with no hashing on the hot
+	// path); shardByKey memoizes ring lookups and is dropped whenever
+	// the ring changes. validator is shared across every bus so
+	// quarantine accounting stays fleet-wide. pipeCarryRecv/Drop carry
+	// the Stats of buses retired by a shrink reshard.
+	buses         []*pipeline.Bus
+	shards        int
+	ring          *pipeline.Ring
+	shardByKey    map[model.SpecKey]int
+	routers       []shardRouter
+	routeScratch  [][]model.Sample
+	validator     *core.SampleValidator
+	pipeCarryRecv int64
+	pipeCarryDrop int64
 
 	// Index-ordered views of the fleet: the parallel phase iterates
 	// these, never the maps, so work distribution and commit order are
@@ -187,13 +215,27 @@ type Cluster struct {
 	coreShared  *core.Metrics
 
 	// Chaos state (nil/zero without Config.Faults). Mutated only from
-	// the serial commit phase.
+	// the serial commit phase. spools is flattened [machine][shard]:
+	// machine i's spool toward shard s is spools[i*shards+s] (with
+	// shards == 1 that degenerates to the old one-spool-per-machine
+	// layout, spools[i]).
 	spools   []*pipeline.Spooler
 	blackout bool
-	fstats   FaultStats
-	crashes  []CrashEvent // sorted by (At, Machine)
-	crashIdx int
-	delayed  []delayedSpecs
+	// shardDown[s] mirrors the plan's ShardBlackouts for the current
+	// tick; prevShardDown detects transitions. reconnectUntil, indexed
+	// like spools, holds each (machine, shard) link's full-jitter
+	// reconnect deadline after a shard blackout lifts — links refuse
+	// traffic (spooling it) until their deadline, so a fleet does not
+	// thunder back into a freshly recovered shard in lockstep.
+	shardDown      []bool
+	prevShardDown  []bool
+	reconnectUntil []time.Time
+	reshards       []ReshardEvent // sorted by At
+	reshardIdx     int
+	fstats         FaultStats
+	crashes        []CrashEvent // sorted by (At, Machine)
+	crashIdx       int
+	delayed        []delayedSpecs
 	// journals hold each machine's cap journal (crash-safe actuation:
 	// restartAgent reconciles a fresh agent against its machine's
 	// journal). faultRNGs are the per-machine fault streams shared with
@@ -241,10 +283,11 @@ func New(cfg Config) *Cluster {
 		sched: scheduler.New(cfg.Overcommit),
 		mach:  make(map[string]*machine.Machine),
 		agent: make(map[string]*agent.Agent),
-		bus:   pipeline.NewBus(core.NewSpecBuilder(cfg.Params)),
 		store: forensics.NewStore(),
 		jobs:  make(map[model.JobName]*JobDef),
 		now:   cfg.Start,
+
+		shards: cfg.Shards,
 
 		pairCounts: make(map[[2]model.JobName]int),
 		capCounts:  make(map[model.TaskID]int),
@@ -255,15 +298,39 @@ func New(cfg Config) *Cluster {
 	if cfg.TraceCapacity >= 0 {
 		c.aggTrace = trace.NewStore(cfg.TraceCapacity)
 	}
-	c.bus.SetTrace(c.aggTrace)
 	if cfg.Registry != nil {
-		c.bus.SetMetrics(pipeline.NewMetrics(cfg.Registry))
-		c.bus.Builder().SetMetrics(core.NewMetrics(cfg.Registry))
 		c.agentShared = agent.NewMetrics(cfg.Registry)
 		c.coreShared = core.NewMetrics(cfg.Registry)
 		c.agentShards = make([]*agent.Metrics, cfg.Machines)
 		c.coreShards = make([]*core.Metrics, cfg.Machines)
 	}
+	if cfg.Faults != nil {
+		// Ingress defense in depth, same shape as cmd/cpi2aggregator:
+		// hostile samples (CorruptRate) quarantine at the bus before
+		// they can poison spec statistics. One validator is shared by
+		// every shard so quarantine totals stay fleet-wide.
+		c.validator = core.NewSampleValidator("aggregator", 256)
+		if cfg.Registry != nil {
+			c.validator.Metrics = core.NewMetrics(cfg.Registry)
+		}
+		c.reshards = cfg.Faults.sortedReshards()
+		// A reshard chain must be continuous: each event's From matches
+		// the live shard count at its offset. A broken chain means the
+		// plan is wrong — fail loudly, like Validate.
+		liveShards := cfg.Shards
+		for _, ev := range c.reshards {
+			if ev.From != liveShards {
+				panic(fmt.Sprintf("cluster: reshard %d>%d at %s, but the cluster has %d shards then",
+					ev.From, ev.To, ev.At, liveShards))
+			}
+			liveShards = ev.To
+		}
+	}
+	c.buses = make([]*pipeline.Bus, cfg.Shards)
+	for s := range c.buses {
+		c.buses[s] = c.newShardBus(s, cfg.Shards > 1)
+	}
+	c.initRouting()
 	if cfg.Workers > 1 {
 		c.pool = newPool(cfg.Workers - 1)
 	}
@@ -276,21 +343,16 @@ func New(cfg Config) *Cluster {
 		c.eventBufs = make([]*obs.EventBuffer, cfg.Machines)
 	}
 	if cfg.Faults != nil {
-		c.spools = make([]*pipeline.Spooler, cfg.Machines)
+		c.spools = make([]*pipeline.Spooler, cfg.Machines*cfg.Shards)
+		c.shardDown = make([]bool, cfg.Shards)
+		c.prevShardDown = make([]bool, cfg.Shards)
+		c.reconnectUntil = make([]time.Time, cfg.Machines*cfg.Shards)
 		c.crashes = cfg.Faults.sortedCrashes()
 		c.agentRestarts = cfg.Faults.sortedRestarts()
 		c.journals = make([]*core.MemCapJournal, cfg.Machines)
 		c.faultRNGs = make([]*rand.Rand, cfg.Machines)
 		c.midx = make(map[string]int, cfg.Machines)
 		c.skewByIdx = make([]time.Duration, cfg.Machines)
-		// Ingress defense in depth, same shape as cmd/cpi2aggregator:
-		// hostile samples (CorruptRate) quarantine at the bus before
-		// they can poison spec statistics.
-		v := core.NewSampleValidator("aggregator", 256)
-		if cfg.Registry != nil {
-			v.Metrics = core.NewMetrics(cfg.Registry)
-		}
-		c.bus.SetValidator(v)
 	}
 	for i := 0; i < cfg.Machines; i++ {
 		name := fmt.Sprintf("machine-%04d", i)
@@ -337,22 +399,16 @@ func New(cfg Config) *Cluster {
 			a.Manager().SetEvents(sink)
 		}
 		if cfg.Faults != nil {
-			// machine queue → spool → lossy/blackout link → bus. The spool
-			// is drained passively from the commit phase (never Started),
-			// so the whole chain stays deterministic.
-			// No registry instrumentation here: many spools sharing one
-			// gauge would fight over Set; FaultStats aggregates instead.
+			// machine queue → (per-shard) spool → lossy/blackout link →
+			// shard bus. The spools are drained passively from the commit
+			// phase (never Started), so the whole chain stays
+			// deterministic. No registry instrumentation here: many spools
+			// sharing one gauge would fight over Set; FaultStats
+			// aggregates instead.
 			c.faultRNGs[i] = rng.Stream("fault/" + name)
-			link := &chaosLink{c: c, rng: c.faultRNGs[i]}
-			c.spools[i] = pipeline.NewSpooler(link, pipeline.SpoolConfig{
-				MaxBatches: cfg.Faults.SpoolBatches,
-				MaxBytes:   cfg.Faults.SpoolBytes,
-			})
-			// Spool-replay spans land in the owning machine's store. The
-			// replay runs in the serial commit phase, after the parallel
-			// phase has joined, so the append order within each store is
-			// deterministic at any worker count.
-			c.spools[i].SetTrace(c.traces[i])
+			for s := 0; s < cfg.Shards; s++ {
+				c.spools[i*cfg.Shards+s] = c.newShardSpool(i, s)
+			}
 			// Every enforcement decision journals; restartAgent replays
 			// this against live cgroup state after an agent restart.
 			c.journals[i] = &core.MemCapJournal{}
@@ -364,7 +420,9 @@ func New(cfg Config) *Cluster {
 		c.machs[i] = m
 		c.agents[i] = a
 		c.queues[i] = q
-		c.bus.Watch(a)
+		for _, bus := range c.buses {
+			bus.Watch(a)
+		}
 		if err := c.sched.AddMachine(name, platform, float64(cfg.CPUsPerMachine)); err != nil {
 			panic(err) // unique generated names: cannot happen
 		}
@@ -385,8 +443,53 @@ func (c *Cluster) Now() time.Time { return c.now }
 // Scheduler returns the central scheduler.
 func (c *Cluster) Scheduler() *scheduler.Scheduler { return c.sched }
 
-// Bus returns the in-process pipeline.
-func (c *Cluster) Bus() *pipeline.Bus { return c.bus }
+// Bus returns the in-process pipeline of shard 0 — with the default
+// single shard, THE pipeline. Sharded callers use ShardBus/NumShards
+// or the merged views (AllSpecs, PipelineStats).
+func (c *Cluster) Bus() *pipeline.Bus { return c.buses[0] }
+
+// NumShards returns the live spec-tier shard count (reshard events
+// change it mid-run).
+func (c *Cluster) NumShards() int { return c.shards }
+
+// ShardBus returns shard s's pipeline (nil if out of range).
+func (c *Cluster) ShardBus(s int) *pipeline.Bus {
+	if s < 0 || s >= len(c.buses) {
+		return nil
+	}
+	return c.buses[s]
+}
+
+// Ring returns the live consistent-hash ring over spec keys (nil with
+// a single shard — no hashing happens then).
+func (c *Cluster) Ring() *pipeline.Ring { return c.ring }
+
+// PipelineStats sums (received, dropped) across every live shard bus,
+// plus the totals of buses retired by shrink reshards.
+func (c *Cluster) PipelineStats() (received, dropped int64) {
+	received, dropped = c.pipeCarryRecv, c.pipeCarryDrop
+	for _, bus := range c.buses {
+		r, d := bus.Stats()
+		received += r
+		dropped += d
+	}
+	return received, dropped
+}
+
+// AllSpecs returns the union of every shard's computed spec table,
+// sorted by (job, platform) — the same order a single-shard builder
+// publishes, so sharded and unsharded runs compare byte-for-byte.
+func (c *Cluster) AllSpecs() []model.Spec {
+	if c.shards == 1 {
+		return c.buses[0].Builder().Specs()
+	}
+	var out []model.Spec
+	for _, bus := range c.buses {
+		out = append(out, bus.Builder().Specs()...)
+	}
+	sortSpecsByKey(out)
+	return out
+}
 
 // Store returns the forensics incident store.
 func (c *Cluster) Store() *forensics.Store { return c.store }
@@ -652,23 +755,39 @@ func (c *Cluster) Step() {
 		}
 		if c.spools != nil {
 			// Replay any spooled backlog first, then this tick's samples
-			// behind it — arrival order at the bus stays publish order.
-			// TryDrainAt (not TryDrain) so replayed batches get spool
-			// spans recording how long the outage delayed them.
-			_, _ = c.spools[i].TryDrainAt(now)
-			_ = c.queues[i].DrainTo(c.spools[i])
+			// behind it — arrival order at each shard bus stays publish
+			// order. TryDrainAt (not TryDrain) so replayed batches get
+			// spool spans recording how long the outage delayed them.
+			if c.shards == 1 {
+				_, _ = c.spools[i].TryDrainAt(now)
+				_ = c.queues[i].DrainTo(c.spools[i])
+			} else {
+				base := i * c.shards
+				for s := 0; s < c.shards; s++ {
+					_, _ = c.spools[base+s].TryDrainAt(now)
+				}
+				_ = c.queues[i].DrainTo(&c.routers[i])
+			}
 			// Hostile-writer injection: with probability CorruptRate a
 			// garbage batch arrives at the bus claiming to be from this
 			// machine. It bypasses the spool (a hostile writer doesn't
 			// queue politely) but not ingress validation, which must
 			// quarantine every sample. Skipped during blackouts — an
-			// unreachable aggregator is unreachable to attackers too.
+			// unreachable aggregator is unreachable to attackers too,
+			// which with sharding includes the one shard owning the
+			// garbage key.
 			if p := c.cfg.Faults.CorruptRate; p > 0 && !c.blackout && c.faultRNGs[i].Float64() < p {
-				c.fstats.CorruptBatches++
-				_ = c.bus.Publish([]model.Sample{garbageSample(c.faultRNGs[i], c.machs[i].Name(), now)})
+				g := garbageSample(c.faultRNGs[i], c.machs[i].Name(), now)
+				target := c.shardOf(model.SpecKey{Job: g.Job, Platform: g.Platform})
+				if c.shardDown == nil || !c.shardDown[target] {
+					c.fstats.CorruptBatches++
+					_ = c.buses[target].Publish([]model.Sample{g})
+				}
 			}
+		} else if c.shards == 1 {
+			_ = c.queues[i].DrainTo(c.buses[0])
 		} else {
-			_ = c.queues[i].DrainTo(c.bus)
+			_ = c.queues[i].DrainTo(&c.routers[i])
 		}
 		for _, inc := range slot.incidents {
 			c.incidents = append(c.incidents, inc)
@@ -697,28 +816,38 @@ func (c *Cluster) Step() {
 	}
 }
 
-// maybeRecompute runs the due spec recompute, honoring the fault
-// plan: a blacked-out aggregator computes nothing, and SpecPushDelay
-// holds freshly computed specs back before machines see them.
+// maybeRecompute runs the due spec recompute on every live shard,
+// honoring the fault plan: a blacked-out aggregator (global or
+// per-shard) computes nothing — its staleness grows, and on recovery
+// the overdue Due check fires immediately — while SpecPushDelay holds
+// freshly computed specs back before machines see them. Shards are
+// visited in index order, so spec-push ordering is deterministic.
 func (c *Cluster) maybeRecompute(now time.Time) {
 	f := c.cfg.Faults
 	if f == nil {
-		c.bus.MaybeRecompute(now)
+		for _, bus := range c.buses {
+			bus.MaybeRecompute(now)
+		}
 		return
 	}
 	if c.blackout {
 		return // aggregator is down; staleness grows with the blackout
 	}
-	if f.SpecPushDelay <= 0 {
-		c.bus.MaybeRecompute(now)
-		return
-	}
-	if !c.bus.Builder().Due(now) {
-		return
-	}
-	specs := c.bus.Builder().Recompute(now)
-	if len(specs) > 0 {
-		c.delayed = append(c.delayed, delayedSpecs{at: now.Add(f.SpecPushDelay), specs: specs})
+	for s, bus := range c.buses {
+		if c.shardDown != nil && c.shardDown[s] {
+			continue // this shard is down; only ITS keys go stale
+		}
+		if f.SpecPushDelay <= 0 {
+			bus.MaybeRecompute(now)
+			continue
+		}
+		if !bus.Builder().Due(now) {
+			continue
+		}
+		specs := bus.Builder().Recompute(now)
+		if len(specs) > 0 {
+			c.delayed = append(c.delayed, delayedSpecs{at: now.Add(f.SpecPushDelay), specs: specs, shard: s})
+		}
 	}
 }
 
@@ -765,11 +894,21 @@ func (c *Cluster) Run(d time.Duration) {
 	}
 }
 
-// RecomputeSpecs forces a spec recomputation and push, regardless of
-// the configured interval. Experiments call this to bootstrap specs
-// from a warm-up phase without simulating a full 24 hours.
+// RecomputeSpecs forces a spec recomputation and push on every live
+// shard, regardless of the configured interval. Experiments call this
+// to bootstrap specs from a warm-up phase without simulating a full 24
+// hours. The returned union is sorted by (job, platform), matching
+// what a single-shard recompute returns.
 func (c *Cluster) RecomputeSpecs() []model.Spec {
-	return c.bus.Recompute(c.now)
+	if c.shards == 1 {
+		return c.buses[0].Recompute(c.now)
+	}
+	var out []model.Spec
+	for _, bus := range c.buses {
+		out = append(out, bus.Recompute(c.now)...)
+	}
+	sortSpecsByKey(out)
+	return out
 }
 
 // automate applies the §9 feedback loops to one incident.

@@ -1,0 +1,351 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/model"
+	"repro/internal/pipeline"
+)
+
+// Sharded spec tier. With Config.Shards == N > 1 the aggregator splits
+// into N shards behind a consistent-hash ring over job×platform keys:
+// each shard runs its own bus + SpecBuilder and owns a stable subset
+// of keys. Failure domains shrink accordingly — a shard blackout stalls
+// only its own keys' specs — and a reshard event (N→M) hands off
+// exactly the moved keys' builder state through the checkpoint-format
+// handoff frame (core.ExportKeys/ImportCheckpoint), which preserves
+// byte-identical specs across the split.
+//
+// Everything here runs in the serial commit phase, so routing, ring
+// swaps, and handoffs are as worker-count-independent as the rest of
+// the cluster.
+
+// shardName is the ring member name for shard s — the sim's analogue
+// of an aggregator address.
+func shardName(s int) string { return fmt.Sprintf("shard-%d", s) }
+
+// shardMembers builds the ring membership for n shards.
+func shardMembers(n int) []string {
+	out := make([]string, n)
+	for s := range out {
+		out[s] = shardName(s)
+	}
+	return out
+}
+
+// newShardBus builds one shard's bus + builder with the cluster's
+// trace/metrics/validator wiring. Shard identity (span Shard fields,
+// by-shard metric series) is only stamped when the tier is actually
+// sharded, so single-shard runs stay byte-identical to the pre-shard
+// code.
+func (c *Cluster) newShardBus(s int, sharded bool) *pipeline.Bus {
+	bus := pipeline.NewBus(core.NewSpecBuilder(c.cfg.Params))
+	bus.SetTrace(c.aggTrace)
+	if c.cfg.Registry != nil {
+		bus.SetMetrics(pipeline.NewMetrics(c.cfg.Registry))
+		bus.Builder().SetMetrics(core.NewMetrics(c.cfg.Registry))
+	}
+	if sharded {
+		bus.SetShard(shardName(s))
+	}
+	if c.validator != nil {
+		bus.SetValidator(c.validator)
+	}
+	return bus
+}
+
+// newShardSpool builds machine i's spool toward shard s: queue →
+// spool → chaos link → shard bus. Spool-replay spans land in the
+// owning machine's store; replay runs in the serial commit phase, so
+// span order is deterministic at any worker count.
+func (c *Cluster) newShardSpool(i, s int) *pipeline.Spooler {
+	link := &chaosLink{c: c, rng: c.faultRNGs[i], machine: i, shard: s}
+	sp := pipeline.NewSpooler(link, pipeline.SpoolConfig{
+		MaxBatches: c.cfg.Faults.SpoolBatches,
+		MaxBytes:   c.cfg.Faults.SpoolBytes,
+	})
+	sp.SetTrace(c.traces[i])
+	return sp
+}
+
+// initRouting builds the ring, the per-machine routers, and the
+// partition scratch for the current shard count. With one shard and no
+// reshard events in the plan, none of it is needed and none of it is
+// allocated — the hot path stays the direct queue→bus drain.
+func (c *Cluster) initRouting() {
+	mayShard := c.shards > 1
+	if c.cfg.Faults != nil && len(c.reshards) > 0 {
+		mayShard = true
+	}
+	if !mayShard {
+		return
+	}
+	if c.shards > 1 {
+		c.ring = pipeline.NewRing(shardMembers(c.shards), pipeline.DefaultVnodes)
+	}
+	c.shardByKey = make(map[model.SpecKey]int)
+	c.routers = make([]shardRouter, c.cfg.Machines)
+	for i := range c.routers {
+		c.routers[i] = shardRouter{c: c, machine: i}
+	}
+	c.routeScratch = make([][]model.Sample, c.shards)
+}
+
+// shardOf returns the shard index owning key under the live ring,
+// memoized until the next reshard.
+func (c *Cluster) shardOf(key model.SpecKey) int {
+	if c.shards == 1 {
+		return 0
+	}
+	if s, ok := c.shardByKey[key]; ok {
+		return s
+	}
+	s := c.ring.OwnerIndex(key)
+	if s < 0 {
+		s = 0 // empty ring cannot happen with shards > 1; stay safe
+	}
+	c.shardByKey[key] = s
+	return s
+}
+
+// shardRouter fans one machine's sample batches out to the shard
+// owning each sample's key. It implements BatchSink so Queue.DrainTo
+// hands it the whole tick's backlog at once. Only the serial commit
+// phase invokes it, which is why one shared partition scratch
+// (c.routeScratch) is safe: downstream sinks copy per the SampleSink
+// contract, so the scratch is reusable immediately.
+type shardRouter struct {
+	c       *Cluster
+	machine int
+}
+
+// sink resolves the downstream for (r.machine, shard s) lazily — via
+// the live spool table when faults are on, the live bus otherwise — so
+// routers survive resharding without rebuilds.
+func (r *shardRouter) sink(s int) pipeline.SampleSink {
+	c := r.c
+	if c.spools != nil {
+		return c.spools[r.machine*c.shards+s]
+	}
+	return c.buses[s]
+}
+
+// Publish implements SampleSink.
+func (r *shardRouter) Publish(samples []model.Sample) error {
+	return r.PublishBatches([][]model.Sample{samples})
+}
+
+// PublishBatches implements BatchSink. Batches from one agent are
+// usually single-job (one sampling window per task), so the common
+// case is "whole batch → one shard" with no partitioning at all.
+func (r *shardRouter) PublishBatches(batches [][]model.Sample) error {
+	c := r.c
+	var firstErr error
+	for _, samples := range batches {
+		if len(samples) == 0 {
+			continue
+		}
+		s0 := c.shardOf(model.SpecKey{Job: samples[0].Job, Platform: samples[0].Platform})
+		uniform := true
+		for i := 1; i < len(samples); i++ {
+			if c.shardOf(model.SpecKey{Job: samples[i].Job, Platform: samples[i].Platform}) != s0 {
+				uniform = false
+				break
+			}
+		}
+		if uniform {
+			if err := r.sink(s0).Publish(samples); err != nil && firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		scratch := c.routeScratch
+		for i := range scratch {
+			scratch[i] = scratch[i][:0]
+		}
+		for _, smp := range samples {
+			s := c.shardOf(model.SpecKey{Job: smp.Job, Platform: smp.Platform})
+			scratch[s] = append(scratch[s], smp)
+		}
+		for s, part := range scratch {
+			if len(part) == 0 {
+				continue
+			}
+			if err := r.sink(s).Publish(part); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+	}
+	return firstErr
+}
+
+// sortSpecsByKey sorts specs by (job, platform) — the publish order of
+// a single builder, which the merged multi-shard views reproduce.
+func sortSpecsByKey(specs []model.Spec) {
+	sort.Slice(specs, func(i, j int) bool {
+		if specs[i].Job != specs[j].Job {
+			return specs[i].Job < specs[j].Job
+		}
+		return specs[i].Platform < specs[j].Platform
+	})
+}
+
+// applyReshard executes one live reshard event (From→To shards) in the
+// serial commit phase:
+//
+//  1. New shards (grow) get fresh buses; they adopt the tier's
+//     recompute cadence from shard 0 so every shard keeps recomputing
+//     on the same ticks — the spec-equivalence guarantee depends on a
+//     shared recompute schedule.
+//  2. The ring is rebuilt and ONLY moved keys' builder state is handed
+//     off, shard-by-shard in index order, via ExportKeys →
+//     ImportCheckpoint (the checkpoint machinery). An import error is
+//     a bug (split-brain ownership) and panics.
+//  3. Retiring shards (shrink) hand off everything; their pipeline
+//     stats carry over so fleet totals never go backwards.
+//  4. Spooled-but-undelivered batches are lifted out of the old spool
+//     layout and re-routed through the new ring in machine-index
+//     order, preserving per-key arrival order (the only order specs
+//     depend on). They count as neither replayed nor dropped.
+func (c *Cluster) applyReshard(ev ReshardEvent) {
+	oldShards := c.shards
+	newShards := ev.To
+	nowT := c.now
+
+	// Phase 1: grow the bus set. Cadence adoption goes through an
+	// empty handoff frame, exercising the same ImportCheckpoint path a
+	// real shard bootstrap uses.
+	lastRecompute := c.buses[0].Builder().LastRecompute()
+	for s := oldShards; s < newShards; s++ {
+		bus := c.newShardBus(s, true)
+		if !lastRecompute.IsZero() {
+			cp := core.Checkpoint{Version: core.CheckpointVersion, LastRecompute: lastRecompute}
+			if err := bus.Builder().ImportCheckpoint(cp); err != nil {
+				panic(fmt.Sprintf("cluster: reshard cadence adoption: %v", err))
+			}
+		}
+		for _, a := range c.agents {
+			bus.Watch(a)
+		}
+		c.buses = append(c.buses, bus)
+	}
+	if newShards > 1 {
+		for s := 0; s < newShards; s++ {
+			c.buses[s].SetShard(shardName(s))
+		}
+	}
+
+	// Phase 2: rebuild the ring and hand off moved keys. Old shards are
+	// visited in index order and Keys() is sorted, so the handoff
+	// sequence is deterministic.
+	var newRing *pipeline.Ring
+	if newShards > 1 {
+		newRing = pipeline.NewRing(shardMembers(newShards), pipeline.DefaultVnodes)
+	}
+	ownerNew := func(key model.SpecKey) int {
+		if newShards == 1 {
+			return 0
+		}
+		return newRing.OwnerIndex(key)
+	}
+	moved := 0
+	for os := 0; os < oldShards; os++ {
+		b := c.buses[os].Builder()
+		keys := b.Keys()
+		byDest := make(map[int][]model.SpecKey)
+		for _, k := range keys {
+			d := ownerNew(k)
+			if d == os && os < newShards {
+				continue // stays home
+			}
+			byDest[d] = append(byDest[d], k)
+		}
+		for d := 0; d < newShards; d++ {
+			ks := byDest[d]
+			if len(ks) == 0 {
+				continue
+			}
+			frame := b.ExportKeys(ks, nowT)
+			if err := c.buses[d].Builder().ImportCheckpoint(frame); err != nil {
+				panic(fmt.Sprintf("cluster: reshard handoff %s→%s: %v", shardName(os), shardName(d), err))
+			}
+			moved += len(ks)
+		}
+	}
+
+	// Phase 3: retire shrunk-away buses, carrying their stats.
+	for os := newShards; os < oldShards; os++ {
+		r, d := c.buses[os].Stats()
+		c.pipeCarryRecv += r
+		c.pipeCarryDrop += d
+	}
+	c.buses = c.buses[:newShards]
+
+	// Phase 4: swap the routing tables, then re-route spooled backlog
+	// through the new ring. Swapping first lets the re-route go through
+	// the ordinary router path against the NEW spools; a batch whose
+	// new shard is down (or in reconnect backoff) simply spools there.
+	var oldSpools []*pipeline.Spooler
+	if c.spools != nil {
+		oldSpools = c.spools
+		c.spools = make([]*pipeline.Spooler, c.cfg.Machines*newShards)
+	}
+	c.ring = newRing
+	c.shards = newShards
+	if c.shardByKey == nil {
+		c.shardByKey = make(map[model.SpecKey]int)
+	} else {
+		for k := range c.shardByKey {
+			delete(c.shardByKey, k)
+		}
+	}
+	if c.routers == nil {
+		c.routers = make([]shardRouter, c.cfg.Machines)
+		for i := range c.routers {
+			c.routers[i] = shardRouter{c: c, machine: i}
+		}
+	}
+	if cap(c.routeScratch) >= newShards {
+		c.routeScratch = c.routeScratch[:newShards]
+	} else {
+		c.routeScratch = make([][]model.Sample, newShards)
+	}
+	if c.shardDown != nil {
+		oldDown, oldPrev := c.shardDown, c.prevShardDown
+		c.shardDown = make([]bool, newShards)
+		c.prevShardDown = make([]bool, newShards)
+		copy(c.shardDown, oldDown)
+		copy(c.prevShardDown, oldPrev)
+		// Reconnect windows are keyed by (machine, shard) under the OLD
+		// layout; after a reshard the links are new, so they start clean.
+		c.reconnectUntil = make([]time.Time, c.cfg.Machines*newShards)
+	}
+	if oldSpools != nil {
+		for i := 0; i < c.cfg.Machines; i++ {
+			for s := 0; s < newShards; s++ {
+				c.spools[i*newShards+s] = c.newShardSpool(i, s)
+			}
+		}
+		for i := 0; i < c.cfg.Machines; i++ {
+			for s := 0; s < oldShards; s++ {
+				old := oldSpools[i*oldShards+s]
+				st := old.Stats()
+				// The retired spool's lifetime counters fold into the
+				// cumulative stats so FaultStats never goes backwards.
+				c.fstats.SpoolDropped += st.Dropped
+				c.fstats.SpoolReplayed += st.Replayed
+				for _, batch := range old.TakeAll() {
+					_ = c.routers[i].Publish(batch)
+				}
+			}
+		}
+	}
+	c.fstats.ReshardsApplied++
+	c.fstats.MovedKeys += moved
+	c.cfg.Events.Emit(nowT, "reshard", map[string]any{
+		"from": oldShards, "to": newShards, "moved_keys": moved,
+	})
+}

@@ -75,12 +75,21 @@ type CheckpointTask struct {
 func (b *SpecBuilder) Checkpoint(now time.Time) Checkpoint {
 	b.mu.Lock()
 	defer b.mu.Unlock()
+	return b.checkpointLocked(now, nil)
+}
+
+// checkpointLocked builds a checkpoint of the keys in only (nil = all
+// keys). Caller holds b.mu.
+func (b *SpecBuilder) checkpointLocked(now time.Time, only map[model.SpecKey]bool) Checkpoint {
 	cp := Checkpoint{
 		Version:       CheckpointVersion,
 		SavedAt:       now,
 		LastRecompute: b.lastRecompute,
 	}
 	for key, h := range b.history {
+		if only != nil && !only[key] {
+			continue
+		}
 		cp.History = append(cp.History, CheckpointHistory{
 			Job: key.Job, Platform: key.Platform,
 			Weight: h.weight, Mean: h.mean, Variance: h.variance,
@@ -94,6 +103,9 @@ func (b *SpecBuilder) Checkpoint(now time.Time) Checkpoint {
 		return cp.History[i].Platform < cp.History[j].Platform
 	})
 	for key, agg := range b.pending {
+		if only != nil && !only[key] {
+			continue
+		}
 		p := CheckpointPending{
 			Job: key.Job, Platform: key.Platform,
 			CPI:      agg.cpi.State(),
@@ -115,7 +127,10 @@ func (b *SpecBuilder) Checkpoint(now time.Time) Checkpoint {
 		}
 		return cp.Pending[i].Platform < cp.Pending[j].Platform
 	})
-	for _, s := range b.specs {
+	for key, s := range b.specs {
+		if only != nil && !only[key] {
+			continue
+		}
 		cp.Specs = append(cp.Specs, s)
 	}
 	sort.Slice(cp.Specs, func(i, j int) bool {
@@ -137,28 +152,28 @@ func finite(fs ...float64) bool {
 	return true
 }
 
-// Restore replaces the builder's state with cp's. It validates the
-// checkpoint defensively — version mismatch, non-finite moments, or
-// negative counts are errors, never panics — and leaves the builder
-// untouched on failure.
-func (b *SpecBuilder) Restore(cp Checkpoint) error {
+// parseCheckpoint validates cp defensively — version mismatch,
+// non-finite moments, or negative counts are errors, never panics —
+// and materializes its maps. Restore and ImportCheckpoint share it,
+// so the handoff frame gets exactly the restore path's scrutiny.
+func parseCheckpoint(cp Checkpoint) (map[model.SpecKey]*specHistory, map[model.SpecKey]*pendingAgg, map[model.SpecKey]model.Spec, error) {
 	if cp.Version != CheckpointVersion {
-		return fmt.Errorf("core: checkpoint version %d, want %d", cp.Version, CheckpointVersion)
+		return nil, nil, nil, fmt.Errorf("core: checkpoint version %d, want %d", cp.Version, CheckpointVersion)
 	}
 	history := make(map[model.SpecKey]*specHistory, len(cp.History))
 	for _, h := range cp.History {
 		if h.Job == "" {
-			return fmt.Errorf("core: checkpoint history entry with empty job")
+			return nil, nil, nil, fmt.Errorf("core: checkpoint history entry with empty job")
 		}
 		if !finite(h.Weight, h.Mean, h.Variance, h.UsageMean) {
-			return fmt.Errorf("core: checkpoint history for %s/%s has non-finite moments", h.Job, h.Platform)
+			return nil, nil, nil, fmt.Errorf("core: checkpoint history for %s/%s has non-finite moments", h.Job, h.Platform)
 		}
 		if h.Weight < 0 || h.Variance < 0 || h.Tasks < 0 {
-			return fmt.Errorf("core: checkpoint history for %s/%s has negative fields", h.Job, h.Platform)
+			return nil, nil, nil, fmt.Errorf("core: checkpoint history for %s/%s has negative fields", h.Job, h.Platform)
 		}
 		key := model.SpecKey{Job: h.Job, Platform: h.Platform}
 		if _, dup := history[key]; dup {
-			return fmt.Errorf("core: duplicate checkpoint history key %s/%s", h.Job, h.Platform)
+			return nil, nil, nil, fmt.Errorf("core: duplicate checkpoint history key %s/%s", h.Job, h.Platform)
 		}
 		history[key] = &specHistory{
 			weight: h.Weight, mean: h.Mean, variance: h.Variance,
@@ -168,17 +183,17 @@ func (b *SpecBuilder) Restore(cp Checkpoint) error {
 	pending := make(map[model.SpecKey]*pendingAgg, len(cp.Pending))
 	for _, p := range cp.Pending {
 		if p.Job == "" {
-			return fmt.Errorf("core: checkpoint pending entry with empty job")
+			return nil, nil, nil, fmt.Errorf("core: checkpoint pending entry with empty job")
 		}
 		if !finite(p.CPI.Mean, p.CPI.M2, p.CPUUsage.Mean, p.CPUUsage.M2) {
-			return fmt.Errorf("core: checkpoint pending for %s/%s has non-finite moments", p.Job, p.Platform)
+			return nil, nil, nil, fmt.Errorf("core: checkpoint pending for %s/%s has non-finite moments", p.Job, p.Platform)
 		}
 		if p.CPI.N < 0 || p.CPI.M2 < 0 || p.CPUUsage.N < 0 || p.CPUUsage.M2 < 0 {
-			return fmt.Errorf("core: checkpoint pending for %s/%s has negative fields", p.Job, p.Platform)
+			return nil, nil, nil, fmt.Errorf("core: checkpoint pending for %s/%s has negative fields", p.Job, p.Platform)
 		}
 		key := model.SpecKey{Job: p.Job, Platform: p.Platform}
 		if _, dup := pending[key]; dup {
-			return fmt.Errorf("core: duplicate checkpoint pending key %s/%s", p.Job, p.Platform)
+			return nil, nil, nil, fmt.Errorf("core: duplicate checkpoint pending key %s/%s", p.Job, p.Platform)
 		}
 		agg := &pendingAgg{
 			cpi:      stats.MomentsFromState(p.CPI),
@@ -189,10 +204,10 @@ func (b *SpecBuilder) Restore(cp Checkpoint) error {
 		}
 		for _, t := range p.Tasks {
 			if t.Samples < 0 {
-				return fmt.Errorf("core: checkpoint pending for %s/%s: negative samples for %v", p.Job, p.Platform, t.Task)
+				return nil, nil, nil, fmt.Errorf("core: checkpoint pending for %s/%s: negative samples for %v", p.Job, p.Platform, t.Task)
 			}
 			if _, dup := agg.tasks[t.Task]; dup {
-				return fmt.Errorf("core: checkpoint pending for %s/%s: duplicate task %v", p.Job, p.Platform, t.Task)
+				return nil, nil, nil, fmt.Errorf("core: checkpoint pending for %s/%s: duplicate task %v", p.Job, p.Platform, t.Task)
 			}
 			agg.tasks[t.Task] = t.Samples
 		}
@@ -201,16 +216,26 @@ func (b *SpecBuilder) Restore(cp Checkpoint) error {
 	specs := make(map[model.SpecKey]model.Spec, len(cp.Specs))
 	for _, s := range cp.Specs {
 		if s.Job == "" {
-			return fmt.Errorf("core: checkpoint spec with empty job")
+			return nil, nil, nil, fmt.Errorf("core: checkpoint spec with empty job")
 		}
 		if !finite(s.CPIMean, s.CPIStddev, s.CPUUsageMean) {
-			return fmt.Errorf("core: checkpoint spec for %s/%s has non-finite fields", s.Job, s.Platform)
+			return nil, nil, nil, fmt.Errorf("core: checkpoint spec for %s/%s has non-finite fields", s.Job, s.Platform)
 		}
 		key := model.SpecKey{Job: s.Job, Platform: s.Platform}
 		if _, dup := specs[key]; dup {
-			return fmt.Errorf("core: duplicate checkpoint spec key %s/%s", s.Job, s.Platform)
+			return nil, nil, nil, fmt.Errorf("core: duplicate checkpoint spec key %s/%s", s.Job, s.Platform)
 		}
 		specs[key] = s
+	}
+	return history, pending, specs, nil
+}
+
+// Restore replaces the builder's state with cp's. It validates the
+// checkpoint defensively and leaves the builder untouched on failure.
+func (b *SpecBuilder) Restore(cp Checkpoint) error {
+	history, pending, specs, err := parseCheckpoint(cp)
+	if err != nil {
+		return err
 	}
 
 	b.mu.Lock()

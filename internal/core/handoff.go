@@ -1,0 +1,150 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/model"
+)
+
+// Handoff: live resharding moves a subset of a SpecBuilder's keys to
+// another builder using the checkpoint format as the wire frame.
+// Because every per-key aggregate (pending Welford moments, the
+// age-weighted history, the published spec) is independent of every
+// other key's, exporting a key from one builder and importing it into
+// another — then recomputing both at the same instant — produces
+// byte-identical specs to never having moved it. That property is what
+// lets a 1→4 shard split (or any ring change) promise spec equivalence
+// instead of merely eventual convergence; handoff_test.go pins it.
+
+// ExportKeys removes the given keys' state — history, pending
+// interval, and published spec — from b and returns it as a
+// Checkpoint stamped with now. Keys the builder does not know are
+// silently absent from the result (a reshard computes the moved-key
+// set from ring membership, which may be a superset of what this
+// builder has seen). The returned frame carries the builder's
+// LastRecompute so the importer can adopt the recompute cadence.
+func (b *SpecBuilder) ExportKeys(keys []model.SpecKey, now time.Time) Checkpoint {
+	only := make(map[model.SpecKey]bool, len(keys))
+	for _, k := range keys {
+		only[k] = true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	cp := b.checkpointLocked(now, only)
+	var backlog int64
+	for k := range only {
+		if agg, ok := b.pending[k]; ok {
+			backlog += agg.cpi.N()
+		}
+		delete(b.history, k)
+		delete(b.pending, k)
+		delete(b.specs, k)
+	}
+	b.metrics.SpecBacklog.Add(-float64(backlog))
+	return cp
+}
+
+// ImportCheckpoint merges cp's keys into b. It is all-or-nothing: a
+// malformed frame (parseCheckpoint rules) or a key collision with
+// state b already holds is an error that leaves b untouched —
+// ownership of a key lives on exactly one shard, so a collision means
+// the ring diff and the handoff disagree, and silently overwriting
+// either side would corrupt a spec. An empty builder adopts the
+// frame's LastRecompute, so a freshly created shard recomputes on the
+// donor's cadence instead of immediately.
+func (b *SpecBuilder) ImportCheckpoint(cp Checkpoint) error {
+	history, pending, specs, err := parseCheckpoint(cp)
+	if err != nil {
+		return err
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for k := range history {
+		if _, dup := b.history[k]; dup {
+			return fmt.Errorf("core: handoff import: history for %s already present", k)
+		}
+	}
+	for k := range pending {
+		if _, dup := b.pending[k]; dup {
+			return fmt.Errorf("core: handoff import: pending for %s already present", k)
+		}
+	}
+	for k := range specs {
+		if _, dup := b.specs[k]; dup {
+			return fmt.Errorf("core: handoff import: spec for %s already present", k)
+		}
+	}
+	for k, h := range history {
+		b.history[k] = h
+	}
+	var backlog int64
+	for k, agg := range pending {
+		b.pending[k] = agg
+		backlog += agg.cpi.N()
+	}
+	for k, s := range specs {
+		b.specs[k] = s
+	}
+	if b.lastRecompute.IsZero() {
+		b.lastRecompute = cp.LastRecompute
+	}
+	b.metrics.SpecBacklog.Add(float64(backlog))
+	return nil
+}
+
+// Keys returns every key the builder holds state for — the union of
+// history, pending, and published specs — sorted by (job, platform).
+// Resharding diffs ring ownership over exactly this set.
+func (b *SpecBuilder) Keys() []model.SpecKey {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	set := make(map[model.SpecKey]bool, len(b.history)+len(b.pending)+len(b.specs))
+	for k := range b.history {
+		set[k] = true
+	}
+	for k := range b.pending {
+		set[k] = true
+	}
+	for k := range b.specs {
+		set[k] = true
+	}
+	out := make([]model.SpecKey, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Job != out[j].Job {
+			return out[i].Job < out[j].Job
+		}
+		return out[i].Platform < out[j].Platform
+	})
+	return out
+}
+
+// KeyCount returns len(Keys()) without building the slice.
+func (b *SpecBuilder) KeyCount() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	set := make(map[model.SpecKey]bool, len(b.history)+len(b.pending)+len(b.specs))
+	for k := range b.history {
+		set[k] = true
+	}
+	for k := range b.pending {
+		set[k] = true
+	}
+	for k := range b.specs {
+		set[k] = true
+	}
+	return len(set)
+}
+
+// LastRecompute returns when the builder last recomputed (zero before
+// the first recompute). The /debug/ring endpoint reports it as the
+// shard's spec freshness.
+func (b *SpecBuilder) LastRecompute() time.Time {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.lastRecompute
+}

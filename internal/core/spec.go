@@ -24,6 +24,7 @@ type SpecBuilder struct {
 	params  Params
 	metrics *Metrics     // never nil
 	tracer  *trace.Store // nil = untraced
+	shard   string       // aggregator shard identity; "" = unsharded
 
 	mu            sync.Mutex
 	pending       map[model.SpecKey]*pendingAgg
@@ -78,6 +79,15 @@ func (b *SpecBuilder) SetMetrics(m *Metrics) {
 func (b *SpecBuilder) SetTrace(store *trace.Store) {
 	b.mu.Lock()
 	b.tracer = store
+	b.mu.Unlock()
+}
+
+// SetShard stamps the builder's spec_build spans with the aggregator
+// shard identity. Leave unset ("") in unsharded deployments — spans
+// then serialize exactly as before sharding existed.
+func (b *SpecBuilder) SetShard(shard string) {
+	b.mu.Lock()
+	b.shard = shard
 	b.mu.Unlock()
 }
 
@@ -160,6 +170,7 @@ func (b *SpecBuilder) Recompute(now time.Time) []model.Spec {
 		b.tracer.Add(trace.Span{
 			TraceID:      trace.SpecTraceID(key.String(), now),
 			Stage:        trace.StageSpecBuild,
+			Shard:        b.shard,
 			Key:          key.String(),
 			Time:         now,
 			QueueSeconds: age.Seconds(),

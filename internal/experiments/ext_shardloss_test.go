@@ -1,0 +1,29 @@
+package experiments
+
+import "testing"
+
+// TestShardLossShape pins the degradation contract the experiment
+// measures: victims on BOTH the dead shard's and healthy shards' keys
+// keep being detected through the blackout, the incident stream is
+// identical to the no-fault run, nothing innocent is capped, and the
+// spool replays everything with zero drops.
+func TestShardLossShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two warmed cluster runs; skipped under -short")
+	}
+	rep := mustRun(t, "ext-shardloss")
+	if v := metric(t, rep, "dead_shard_detections"); v == 0 {
+		t.Error("no detections on the dead shard's keys during the blackout")
+	}
+	if v := metric(t, rep, "healthy_shard_detections"); v == 0 {
+		t.Error("no detections on healthy shards' keys during the blackout")
+	}
+	for _, name := range []string{"incident_divergence", "false_caps", "spool_dropped"} {
+		if v := metric(t, rep, name); v != 0 {
+			t.Errorf("%s = %g, want 0", name, v)
+		}
+	}
+	if v := metric(t, rep, "spool_replayed"); v == 0 {
+		t.Error("nothing replayed after shard recovery")
+	}
+}

@@ -18,7 +18,7 @@ func roundTripIDs(short bool) []string {
 		"fig8", "fig10", "fig13",
 		"sec7rate", "fig14",
 		"ablation-filter", "ablation-feedback",
-		"ext-group", "ext-straggler",
+		"ext-group", "ext-straggler", "ext-shardloss",
 	}
 }
 

@@ -36,6 +36,21 @@ type Metrics struct {
 	// "decode" (malformed frame), "read" (transport failure mid-read).
 	// Clean closes are not counted.
 	WireErrors *obs.CounterVec // cpi2_wire_errors_total{reason}
+
+	// Per-shard SLIs: the same wire/spec-push/ingest signals broken out
+	// by aggregator shard, so a single dead shard is visible as ITS
+	// series going flat while the aggregates above keep moving. They are
+	// only populated once a Bus/Server/Client has a shard identity
+	// (SetShard); unsharded deployments carry no extra series.
+	SamplesInByShard  *obs.CounterVec // cpi2_pipeline_samples_by_shard_total{shard}
+	SpecPushesByShard *obs.CounterVec // cpi2_pipeline_spec_pushes_by_shard_total{shard}
+	WireErrorsByShard *obs.CounterVec // cpi2_wire_errors_by_shard_total{reason,shard}
+
+	// Misrouted counts samples refused by a shard's ownership filter:
+	// an agent with a stale ring pushed a key this shard does not own.
+	// Nonzero during a reshard rollout is expected; nonzero at steady
+	// state means the fleet disagrees about the ring.
+	Misrouted *obs.Counter // cpi2_pipeline_misrouted_total
 }
 
 // NewMetrics registers (or fetches) the pipeline metric set on r.
@@ -76,6 +91,17 @@ func NewMetrics(r *obs.Registry) *Metrics {
 		WireErrors: r.CounterVec("cpi2_wire_errors_total",
 			"wire connections dropped abnormally by a read loop, by reason",
 			"reason"),
+		SamplesInByShard: r.CounterVec("cpi2_pipeline_samples_by_shard_total",
+			"CPI samples accepted into the pipeline, by aggregator shard",
+			"shard"),
+		SpecPushesByShard: r.CounterVec("cpi2_pipeline_spec_pushes_by_shard_total",
+			"spec updates delivered to watchers, by the shard that built them",
+			"shard"),
+		WireErrorsByShard: r.CounterVec("cpi2_wire_errors_by_shard_total",
+			"abnormal wire drops by reason and aggregator shard",
+			"reason", "shard"),
+		Misrouted: r.Counter("cpi2_pipeline_misrouted_total",
+			"samples refused by a shard's ownership filter (sender has a stale ring)"),
 	}
 }
 

@@ -66,6 +66,7 @@ type Bus struct {
 	mu       sync.Mutex
 	metrics  *Metrics     // never nil; zero Metrics = uninstrumented
 	tracer   *trace.Store // nil = untraced
+	shard    string       // aggregator shard identity; "" = unsharded
 	watchers []SpecWatcher
 	received int64
 	dropped  int64
@@ -73,6 +74,8 @@ type Bus struct {
 	// builder sees it — the aggregator-side half of defense in depth
 	// (the agent validates at egress too, but the wire is untrusted).
 	validator *core.SampleValidator
+	// owns, when set, is the shard-ownership filter (see SetOwner).
+	owns func(model.SpecKey) bool
 }
 
 // NewBus creates a pipeline around the given spec builder.
@@ -109,6 +112,36 @@ func (b *Bus) SetTrace(store *trace.Store) {
 	b.builder.SetTrace(store)
 }
 
+// SetShard gives the bus (and its builder) an aggregator shard
+// identity: ingest and spec-push spans carry it, and the by-shard
+// metric series start counting. Leave unset in unsharded deployments —
+// spans and metrics then look exactly as they did before sharding.
+func (b *Bus) SetShard(shard string) {
+	b.mu.Lock()
+	b.shard = shard
+	b.mu.Unlock()
+	b.builder.SetShard(shard)
+}
+
+// Shard returns the bus's shard identity ("" when unsharded).
+func (b *Bus) Shard() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.shard
+}
+
+// SetOwner installs an ownership filter: inbound samples whose
+// job×platform key the predicate rejects are dropped and counted as
+// misrouted instead of entering the builder. A sharded aggregator
+// daemon sets this to its ring-ownership check so an agent with a
+// stale ring cannot make two shards both aggregate the same key. Nil
+// (the default) admits everything.
+func (b *Bus) SetOwner(owns func(model.SpecKey) bool) {
+	b.mu.Lock()
+	b.owns = owns
+	b.mu.Unlock()
+}
+
 // SetValidator installs an ingress sample validator (nil disables).
 // Call before traffic flows; quarantined samples are counted in the
 // validator's own metrics and never reach the spec builder.
@@ -136,12 +169,17 @@ func (b *Bus) Publish(samples []model.Sample) error {
 // once — one b.mu acquisition per drain instead of one per batch.
 func (b *Bus) PublishBatches(batches [][]model.Sample) error {
 	b.mu.Lock()
-	v, tracer := b.validator, b.tracer
+	v, tracer, shard, owns := b.validator, b.tracer, b.shard, b.owns
 	b.mu.Unlock()
-	var received, dropped int64
+	var received, dropped, misrouted int64
 	for _, samples := range batches {
 		var admitted int
 		for _, s := range samples {
+			if owns != nil && !owns(model.SpecKey{Job: s.Job, Platform: s.Platform}) {
+				misrouted++
+				dropped++
+				continue
+			}
 			if v != nil && !v.Admit(s) {
 				dropped++
 				continue
@@ -159,6 +197,7 @@ func (b *Bus) PublishBatches(batches [][]model.Sample) error {
 				TraceID: first.TraceID,
 				Stage:   trace.StageIngest,
 				Machine: first.Machine,
+				Shard:   shard,
 				Time:    first.Timestamp,
 				Detail:  fmt.Sprintf("%d/%d samples admitted", admitted, len(samples)),
 			})
@@ -174,6 +213,12 @@ func (b *Bus) PublishBatches(batches [][]model.Sample) error {
 	b.mu.Unlock()
 	m.SamplesIn.Add(float64(received))
 	m.SamplesDropped.Add(float64(dropped))
+	if misrouted > 0 {
+		m.Misrouted.Add(float64(misrouted))
+	}
+	if shard != "" {
+		m.SamplesInByShard.With(shard).Add(float64(received))
+	}
 	return nil
 }
 
@@ -226,7 +271,7 @@ func (b *Bus) Push(specs []model.Spec) {
 	b.mu.Lock()
 	watchers := make([]SpecWatcher, len(b.watchers))
 	copy(watchers, b.watchers)
-	m, tracer := b.metrics, b.tracer
+	m, tracer, shard := b.metrics, b.tracer, b.shard
 	b.mu.Unlock()
 	for _, spec := range specs {
 		delivered := 0
@@ -237,10 +282,14 @@ func (b *Bus) Push(specs []model.Spec) {
 				delivered++
 			}
 		}
+		if shard != "" && delivered > 0 {
+			m.SpecPushesByShard.With(shard).Add(float64(delivered))
+		}
 		if tracer != nil && delivered > 0 {
 			tracer.Add(trace.Span{
 				TraceID: trace.SpecTraceID(spec.Key().String(), spec.UpdatedAt),
 				Stage:   trace.StageSpecPush,
+				Shard:   shard,
 				Key:     spec.Key().String(),
 				Time:    spec.UpdatedAt,
 				Detail:  fmt.Sprintf("%d watchers", delivered),

@@ -3,6 +3,7 @@ package pipeline
 import (
 	"context"
 	"errors"
+	"math/rand"
 	"sync"
 	"time"
 
@@ -11,17 +12,19 @@ import (
 )
 
 // Redialer is a SampleSink that maintains a client connection to an
-// aggregation server, re-dialing with backoff whenever the connection
-// drops. Batches published while no connection is up are dropped (and
-// counted) — at-most-once delivery, same as the underlying pipe.
+// aggregation server, re-dialing with capped full-jitter backoff
+// whenever the connection drops. Batches published while no connection
+// is up are dropped (and counted) — at-most-once delivery, same as the
+// underlying pipe.
 type Redialer struct {
-	addr    string
-	onSpec  func(model.Spec)
-	backoff time.Duration
+	addr   string
+	onSpec func(model.Spec)
+	cfg    RedialConfig
 
 	mu        sync.Mutex
 	metrics   *Metrics // never nil
 	events    *obs.EventLog
+	shard     string // aggregator shard this redialer serves; "" = unsharded
 	client    *Client
 	subs      []model.SpecKey            // replay order: first-subscription order
 	subSet    map[model.SpecKey]struct{} // dedup for subs
@@ -36,16 +39,83 @@ type Redialer struct {
 // maxRedialBackoff caps the exponential re-dial backoff.
 const maxRedialBackoff = 30 * time.Second
 
-// NewRedialer starts a reconnecting client for addr. onSpec (may be
-// nil) is invoked for every spec push, across reconnects. The first
-// dial happens in the background; Publish before it completes counts
-// a dropped batch.
+// RedialConfig tunes the re-dial backoff. The zero value gets the
+// defaults from Sanitize.
+type RedialConfig struct {
+	// Base is the backoff ceiling for the first failed dial (default
+	// 100ms); the ceiling doubles per consecutive failure up to Max
+	// (default 30s).
+	Base time.Duration
+	Max  time.Duration
+	// Rand supplies the jitter randomness in [0,1); defaults to the
+	// global math/rand source. Tests (and deterministic simulations)
+	// inject a seeded one.
+	Rand func() float64
+}
+
+// Sanitize fills defaults for unset fields.
+func (c RedialConfig) Sanitize() RedialConfig {
+	if c.Base <= 0 {
+		c.Base = 100 * time.Millisecond
+	}
+	if c.Max <= 0 {
+		c.Max = maxRedialBackoff
+	}
+	if c.Max < c.Base {
+		c.Max = c.Base
+	}
+	if c.Rand == nil {
+		c.Rand = rand.Float64
+	}
+	return c
+}
+
+// FullJitterBackoff computes the sleep before re-dial attempt number
+// attempt (0-based): a uniform draw from (0, min(max, base·2^attempt)].
+// Full jitter — rather than ±20% around the deterministic doubling —
+// is what breaks reconnect storms: when a shard comes back from a
+// blackout, its N subscribers all saw the connection die on the same
+// tick, and with correlated backoff they would all re-dial on the same
+// tick too, every round. Spreading each sleep uniformly over the whole
+// window decorrelates them after the very first attempt. rnd must be
+// in [0,1); the result is floored at 1ms so a zero draw cannot busy-
+// spin the dial loop.
+func FullJitterBackoff(attempt int, base, max time.Duration, rnd float64) time.Duration {
+	if base <= 0 {
+		base = 100 * time.Millisecond
+	}
+	if max < base {
+		max = base
+	}
+	ceil := base
+	for i := 0; i < attempt && ceil < max; i++ {
+		ceil *= 2
+	}
+	if ceil > max {
+		ceil = max
+	}
+	d := time.Duration(rnd * float64(ceil))
+	if d < time.Millisecond {
+		d = time.Millisecond
+	}
+	return d
+}
+
+// NewRedialer starts a reconnecting client for addr with default
+// backoff. onSpec (may be nil) is invoked for every spec push, across
+// reconnects. The first dial happens in the background; Publish before
+// it completes counts a dropped batch.
 func NewRedialer(addr string, onSpec func(model.Spec)) *Redialer {
+	return NewRedialerWith(addr, onSpec, RedialConfig{})
+}
+
+// NewRedialerWith is NewRedialer with explicit backoff tuning.
+func NewRedialerWith(addr string, onSpec func(model.Spec), cfg RedialConfig) *Redialer {
 	ctx, cancel := context.WithCancel(context.Background())
 	r := &Redialer{
 		addr:    addr,
 		onSpec:  onSpec,
-		backoff: 100 * time.Millisecond,
+		cfg:     cfg.Sanitize(),
 		metrics: &Metrics{},
 		subSet:  make(map[model.SpecKey]struct{}),
 		cancel:  cancel,
@@ -65,6 +135,18 @@ func (r *Redialer) SetMetrics(m *Metrics) {
 	r.metrics = m
 	if r.client != nil {
 		r.client.SetMetrics(m)
+	}
+	r.mu.Unlock()
+}
+
+// SetShard labels the current and all future connections with the
+// aggregator shard this redialer serves, so wire errors land in the
+// per-shard series. "" (the default) leaves connections unsharded.
+func (r *Redialer) SetShard(shard string) {
+	r.mu.Lock()
+	r.shard = shard
+	if r.client != nil {
+		r.client.SetShard(shard)
 	}
 	r.mu.Unlock()
 }
@@ -173,21 +255,19 @@ func (r *Redialer) Close() error {
 func (r *Redialer) loop(ctx context.Context) {
 	defer close(r.done)
 	first := true
-	backoff := r.backoff
+	attempt := 0
 	for {
 		c, err := Dial(ctx, r.addr, r.onSpec)
 		if err != nil {
 			select {
 			case <-ctx.Done():
 				return
-			case <-time.After(backoff):
+			case <-time.After(FullJitterBackoff(attempt, r.cfg.Base, r.cfg.Max, r.cfg.Rand())):
 			}
-			if backoff *= 2; backoff > maxRedialBackoff {
-				backoff = maxRedialBackoff
-			}
+			attempt++
 			continue
 		}
-		backoff = r.backoff
+		attempt = 0
 
 		r.mu.Lock()
 		if r.closed {
@@ -197,6 +277,7 @@ func (r *Redialer) loop(ctx context.Context) {
 		}
 		c.SetMetrics(r.metrics)
 		c.SetEvents(r.events)
+		c.SetShard(r.shard)
 		if !first {
 			r.metrics.Reconnects.Inc()
 		}

@@ -1,0 +1,83 @@
+package pipeline
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// TestFullJitterBackoffBounds: every draw must land in
+// [1ms, min(max, base·2^attempt)], with the ceiling growing per
+// attempt and saturating at max.
+func TestFullJitterBackoffBounds(t *testing.T) {
+	const base, max = 100 * time.Millisecond, 2 * time.Second
+	rng := rand.New(rand.NewSource(42))
+	for attempt := 0; attempt < 12; attempt++ {
+		ceil := base << uint(attempt)
+		if ceil > max || ceil <= 0 { // <=0 guards shift overflow in the test itself
+			ceil = max
+		}
+		for i := 0; i < 200; i++ {
+			d := FullJitterBackoff(attempt, base, max, rng.Float64())
+			if d < time.Millisecond {
+				t.Fatalf("attempt %d: backoff %v under the 1ms floor", attempt, d)
+			}
+			if d > ceil {
+				t.Fatalf("attempt %d: backoff %v over ceiling %v", attempt, d, ceil)
+			}
+		}
+	}
+}
+
+// TestFullJitterBackoffDecorrelates is the reconnect-storm property:
+// two subscribers that lose the same shard on the same tick must not
+// sleep the same duration. With full jitter the collision probability
+// is ~0; with the old deterministic doubling it was 1.
+func TestFullJitterBackoffDecorrelates(t *testing.T) {
+	a := rand.New(rand.NewSource(1))
+	b := rand.New(rand.NewSource(2))
+	same := 0
+	const trials = 100
+	for i := 0; i < trials; i++ {
+		da := FullJitterBackoff(i%6, 100*time.Millisecond, 30*time.Second, a.Float64())
+		db := FullJitterBackoff(i%6, 100*time.Millisecond, 30*time.Second, b.Float64())
+		if da == db {
+			same++
+		}
+	}
+	if same > trials/10 {
+		t.Errorf("%d/%d backoff collisions between independent subscribers — jitter is not spreading", same, trials)
+	}
+}
+
+// TestFullJitterBackoffDeterministic: same rnd sequence, same sleeps —
+// what lets the simulator drive reconnect delays from its per-machine
+// RNG streams and stay byte-identical at any worker count.
+func TestFullJitterBackoffDeterministic(t *testing.T) {
+	seq := func() []time.Duration {
+		rng := rand.New(rand.NewSource(7))
+		out := make([]time.Duration, 8)
+		for i := range out {
+			out[i] = FullJitterBackoff(i, 50*time.Millisecond, time.Second, rng.Float64())
+		}
+		return out
+	}
+	a, b := seq(), seq()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("attempt %d: %v vs %v — backoff not a pure function of (attempt, rnd)", i, a[i], b[i])
+		}
+	}
+}
+
+// TestRedialConfigSanitize pins the defaults and the Max>=Base clamp.
+func TestRedialConfigSanitize(t *testing.T) {
+	c := RedialConfig{}.Sanitize()
+	if c.Base != 100*time.Millisecond || c.Max != maxRedialBackoff || c.Rand == nil {
+		t.Errorf("zero config sanitized to %+v", c)
+	}
+	c = RedialConfig{Base: time.Second, Max: time.Millisecond}.Sanitize()
+	if c.Max != time.Second {
+		t.Errorf("Max %v not clamped up to Base", c.Max)
+	}
+}

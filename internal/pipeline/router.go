@@ -1,0 +1,71 @@
+package pipeline
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/model"
+)
+
+// Router is a SampleSink that partitions every published batch across
+// per-shard sinks by consistent-hash ownership of each sample's
+// job×platform key. A multi-shard agent publishes through one Router
+// instead of one Redialer: each sample reaches exactly the shard that
+// owns its key, relative order within a shard is preserved, and a dead
+// shard's errors never block the slices bound for healthy shards.
+//
+// The Router itself copies nothing — it re-slices the input into
+// per-shard buckets and forwards them, so the usual SampleSink
+// contract holds: downstream sinks that buffer (Spooler, Queue) copy.
+type Router struct {
+	ring  *Ring
+	order []string              // ring member order, for deterministic fan-out
+	sinks map[string]SampleSink // one sink per ring member
+}
+
+// NewRouter builds a router over ring with one sink per ring member.
+// Every member must have a sink and every sink must belong to a member.
+func NewRouter(ring *Ring, sinks map[string]SampleSink) (*Router, error) {
+	if ring == nil || ring.Size() == 0 {
+		return nil, errors.New("pipeline: router needs a non-empty ring")
+	}
+	members := ring.Members()
+	if len(sinks) != len(members) {
+		return nil, fmt.Errorf("pipeline: router has %d sinks for %d ring members", len(sinks), len(members))
+	}
+	for _, m := range members {
+		if sinks[m] == nil {
+			return nil, fmt.Errorf("pipeline: router has no sink for ring member %q", m)
+		}
+	}
+	return &Router{ring: ring, order: members, sinks: sinks}, nil
+}
+
+// Ring returns the ring the router partitions over.
+func (r *Router) Ring() *Ring { return r.ring }
+
+// Publish implements SampleSink: samples are bucketed by owning shard
+// and forwarded in ring-member order. Errors from individual shards
+// are joined, not short-circuited — a blackout on one shard must not
+// stop delivery to the others.
+func (r *Router) Publish(samples []model.Sample) error {
+	if len(samples) == 0 {
+		return nil
+	}
+	buckets := make(map[string][]model.Sample, len(r.order))
+	for _, s := range samples {
+		owner := r.ring.Owner(model.SpecKey{Job: s.Job, Platform: s.Platform})
+		buckets[owner] = append(buckets[owner], s)
+	}
+	var errs []error
+	for _, member := range r.order {
+		b := buckets[member]
+		if len(b) == 0 {
+			continue
+		}
+		if err := r.sinks[member].Publish(b); err != nil {
+			errs = append(errs, fmt.Errorf("shard %s: %w", member, err))
+		}
+	}
+	return errors.Join(errs...)
+}

@@ -1,0 +1,150 @@
+package pipeline
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/model"
+)
+
+// captureSink records every batch it receives (copying, per contract).
+type captureSink struct {
+	batches [][]model.Sample
+	err     error
+}
+
+func (c *captureSink) Publish(samples []model.Sample) error {
+	cp := make([]model.Sample, len(samples))
+	copy(cp, samples)
+	c.batches = append(c.batches, cp)
+	return c.err
+}
+
+func TestRouterPartitionsByRingOwner(t *testing.T) {
+	members := []string{"shard-0", "shard-1", "shard-2"}
+	ring := NewRing(members, 0)
+	sinks := make(map[string]SampleSink, len(members))
+	caps := make(map[string]*captureSink, len(members))
+	for _, m := range members {
+		c := &captureSink{}
+		caps[m] = c
+		sinks[m] = c
+	}
+	r, err := NewRouter(ring, sinks)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	jobs := []model.JobName{"websearch", "bigtable", "logproc", "video", "memkv", "ads"}
+	var batch []model.Sample
+	for _, job := range jobs {
+		for k := 0; k < 3; k++ {
+			batch = append(batch, model.Sample{
+				Job:      job,
+				Platform: model.PlatformA,
+				Task:     model.TaskID{Job: job, Index: k},
+				Machine:  "m1",
+				CPI:      1.0,
+			})
+		}
+	}
+	if err := r.Publish(batch); err != nil {
+		t.Fatalf("publish: %v", err)
+	}
+
+	total := 0
+	for member, c := range caps {
+		for _, got := range c.batches {
+			for _, s := range got {
+				owner := ring.Owner(model.SpecKey{Job: s.Job, Platform: s.Platform})
+				if owner != member {
+					t.Errorf("sample for %s@%s routed to %s, ring owner is %s",
+						s.Job, s.Platform, member, owner)
+				}
+				total++
+			}
+		}
+		// Relative order within a shard must match the input order.
+		var idx []int
+		for _, got := range c.batches {
+			for _, s := range got {
+				for j, in := range batch {
+					if in.Task == s.Task && in.Job == s.Job {
+						idx = append(idx, j)
+					}
+				}
+			}
+		}
+		for j := 1; j < len(idx); j++ {
+			if idx[j] < idx[j-1] {
+				t.Errorf("shard %s received samples out of input order: %v", member, idx)
+				break
+			}
+		}
+	}
+	if total != len(batch) {
+		t.Fatalf("routed %d samples, published %d", total, len(batch))
+	}
+}
+
+func TestRouterDeadShardDoesNotBlockOthers(t *testing.T) {
+	members := []string{"shard-0", "shard-1", "shard-2", "shard-3"}
+	ring := NewRing(members, 0)
+	sinks := make(map[string]SampleSink, len(members))
+	caps := make(map[string]*captureSink, len(members))
+	for _, m := range members {
+		c := &captureSink{}
+		caps[m] = c
+		sinks[m] = c
+	}
+	// Find which shard owns bigtable@A and kill exactly that one.
+	deadKey := model.SpecKey{Job: "bigtable", Platform: model.PlatformA}
+	dead := ring.Owner(deadKey)
+	caps[dead].err = errors.New("connection refused")
+
+	r, err := NewRouter(ring, sinks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := []model.Sample{
+		{Job: "bigtable", Platform: model.PlatformA, CPI: 1},
+		{Job: "websearch", Platform: model.PlatformA, CPI: 1},
+		{Job: "logproc", Platform: model.PlatformB, CPI: 1},
+		{Job: "video", Platform: model.PlatformB, CPI: 1},
+	}
+	err = r.Publish(batch)
+	if err == nil {
+		t.Fatal("expected an error from the dead shard")
+	}
+	// Every sample NOT owned by the dead shard must still have arrived.
+	for _, s := range batch {
+		owner := ring.Owner(model.SpecKey{Job: s.Job, Platform: s.Platform})
+		if owner == dead {
+			continue
+		}
+		found := false
+		for _, got := range caps[owner].batches {
+			for _, g := range got {
+				if g.Job == s.Job && g.Platform == s.Platform {
+					found = true
+				}
+			}
+		}
+		if !found {
+			t.Errorf("sample %s@%s lost: healthy shard %s never saw it", s.Job, s.Platform, owner)
+		}
+	}
+}
+
+func TestRouterRejectsBadWiring(t *testing.T) {
+	ring := NewRing([]string{"a", "b"}, 0)
+	if _, err := NewRouter(nil, nil); err == nil {
+		t.Error("nil ring accepted")
+	}
+	if _, err := NewRouter(ring, map[string]SampleSink{"a": &captureSink{}}); err == nil {
+		t.Error("missing sink accepted")
+	}
+	if _, err := NewRouter(ring, map[string]SampleSink{"a": &captureSink{}, "c": &captureSink{}}); err == nil {
+		t.Error("sink for non-member accepted")
+	}
+}

@@ -245,6 +245,29 @@ func (s *Spooler) TryDrainAt(now time.Time) (int, error) {
 	return n, nil
 }
 
+// TakeAll removes and returns every spooled batch in publish order
+// without delivering it downstream. Resharding uses it: when a
+// machine's spool was pointed at a shard that no longer owns its keys,
+// the backlog is lifted out and re-routed through the new ring.
+// Taken batches count as neither replayed nor dropped — they are still
+// in flight, just on a different route.
+func (s *Spooler) TakeAll() [][]model.Sample {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.q) == 0 {
+		return nil
+	}
+	out := make([][]model.Sample, len(s.q))
+	for i, b := range s.q {
+		out[i] = b.samples
+		s.q[i].samples = nil
+	}
+	s.q = nil
+	s.qBytes = 0
+	s.metricsUpdateLocked()
+	return out
+}
+
 func (s *Spooler) metricsUpdateLocked() {
 	s.metrics.SpooledBatches.Set(float64(len(s.q)))
 	s.metrics.SpooledBytes.Set(float64(s.qBytes))

@@ -90,6 +90,9 @@ func (s *Server) noteWireError(remote string, err error) {
 	}
 	reason := wireErrorReason(err)
 	s.bus.Metrics().WireErrors.With(reason).Inc()
+	if shard := s.bus.Shard(); shard != "" {
+		s.bus.Metrics().WireErrorsByShard.With(reason, shard).Inc()
+	}
 	s.mu.Lock()
 	log := s.events
 	s.mu.Unlock()
@@ -298,6 +301,9 @@ type Client struct {
 	sendBuf []byte
 
 	events atomic.Pointer[obs.EventLog]
+	// shard labels this client's wire errors with the aggregator shard
+	// it is connected to ("" = unlabelled).
+	shard  atomic.Pointer[string]
 	onSpec func(model.Spec)
 	done   chan struct{}
 }
@@ -345,6 +351,18 @@ func (c *Client) SetMetrics(m *Metrics) {
 		m = &Metrics{}
 	}
 	c.m.Store(m)
+}
+
+// SetShard labels the client's by-shard wire-error series with the
+// aggregator shard this connection serves ("" disables). A multi-shard
+// agent dials one client per shard and tags each with its shard.
+func (c *Client) SetShard(shard string) { c.shard.Store(&shard) }
+
+func (c *Client) shardLabel() string {
+	if s := c.shard.Load(); s != nil {
+		return *s
+	}
+	return ""
 }
 
 var noMetrics = &Metrics{}
@@ -407,6 +425,9 @@ func (c *Client) noteWireError(err error) {
 	}
 	reason := wireErrorReason(err)
 	c.metrics().WireErrors.With(reason).Inc()
+	if shard := c.shardLabel(); shard != "" {
+		c.metrics().WireErrorsByShard.With(reason, shard).Inc()
+	}
 	c.events.Load().Emit(time.Now().UTC(), "wire_error", map[string]string{
 		"side":   "client",
 		"remote": c.conn.RemoteAddr().String(),
